@@ -1,0 +1,104 @@
+// Ablation bench: the exact streaming coefficient path vs the WaveLab-style
+// binned/DWT fast path (the computational scheme the paper's own MATLAB
+// simulations used). Measures the accuracy cost of binning + periodization
+// at several grid resolutions J, against the exact estimator with the same
+// fixed threshold schedule and against the full CV estimator, on Case 2.
+//
+// Expected shape: binned MISE is stable in J once 2^J >> n (the O(2^-J)
+// binning error is dominated by estimation error) and is competitive with —
+// here slightly better than — the exact path under the same schedule: the
+// interval path tracks ~filter_length extra boundary translates per level
+// (more variance), while periodization is a reasonable boundary rule for
+// densities with mild edge mismatch like this one.
+#include "bench_common.hpp"
+
+#include "core/binned.hpp"
+
+int main() {
+  using namespace wde;
+  const harness::ExperimentConfig config =
+      harness::ExperimentConfig::FromEnv(1024, 100, 513);
+  bench::PrintHeader("Ablation: exact vs binned/DWT coefficient paths", config);
+
+  auto density = std::make_shared<const processes::SineUniformMixtureDensity>();
+  const processes::TransformedProcess process =
+      harness::MakeCase(harness::DependenceCase::kLogisticMap, density);
+  const wavelet::WaveletFilter filter = bench::Sym8Basis().filter();
+
+  const int j0 = 2;
+  const int j1 = 6;
+  const double k_const = 2.0;  // the ablation sweep's best fixed constant
+
+  struct Variant {
+    std::string name;
+    int binned_levels;  // 0 = exact path
+    bool cv;
+  };
+  std::vector<Variant> variants;
+  for (int levels : {7, 8, 10, 12}) {
+    variants.push_back({Format("binned J=%d, hard K=%.1f", levels, k_const),
+                        levels, false});
+  }
+  variants.push_back({"exact, hard K=2.0", 0, false});
+  variants.push_back({"exact, STCV", 0, true});
+
+  const std::vector<std::vector<double>> rows = harness::CollectCurves(
+      config.replicates, config.seed, config.threads, variants.size(),
+      [&](stats::Rng& rng, int) {
+        const std::vector<double> xs = process.Sample(config.n, rng);
+        const core::ThresholdSchedule schedule =
+            core::TheoreticalSchedule(k_const, j0, j1, xs.size());
+        std::vector<double> ises(variants.size(), 0.0);
+        for (size_t v = 0; v < variants.size(); ++v) {
+          const Variant& variant = variants[v];
+          if (variant.binned_levels > 0) {
+            Result<core::BinnedWaveletFit> fit =
+                core::BinnedWaveletFit::Fit(filter, xs, j0, variant.binned_levels);
+            WDE_CHECK(fit.ok());
+            Result<std::vector<double>> grid =
+                fit->EstimateOnGrid(schedule, core::ThresholdKind::kHard);
+            WDE_CHECK(grid.ok());
+            // Evaluate the truth at the binned grid's cell centers.
+            const std::vector<double> centers = fit->GridCenters();
+            double acc = 0.0;
+            for (size_t i = 0; i < centers.size(); ++i) {
+              const double diff = (*grid)[i] - density->Pdf(centers[i]);
+              acc += diff * diff;
+            }
+            ises[v] = acc / static_cast<double>(centers.size());
+          } else {
+            core::FitOptions options;
+            options.j0 = j0;
+            Result<core::WaveletDensityFit> fit =
+                core::WaveletDensityFit::Fit(bench::Sym8Basis(), xs, options);
+            WDE_CHECK(fit.ok());
+            core::WaveletEstimate estimate =
+                variant.cv
+                    ? fit->Estimate(core::CrossValidate(fit->coefficients(),
+                                                        core::ThresholdKind::kSoft)
+                                        .Schedule(),
+                                    core::ThresholdKind::kSoft)
+                    : fit->Estimate(schedule, core::ThresholdKind::kHard);
+            const std::vector<double> est =
+                estimate.EvaluateOnGrid(0.0, 1.0, config.grid_points);
+            const std::vector<double> truth = density->PdfOnGrid(config.grid_points);
+            ises[v] = stats::IntegratedSquaredError(
+                est, truth, 1.0 / static_cast<double>(config.grid_points - 1));
+          }
+        }
+        return ises;
+      });
+
+  harness::TextTable table({"variant", "MISE"});
+  for (size_t v = 0; v < variants.size(); ++v) {
+    double mise = 0.0;
+    for (const std::vector<double>& row : rows) mise += row[v];
+    mise /= static_cast<double>(rows.size());
+    table.AddRow({variants[v].name, Format("%.5f", mise)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: binned MISE stable in J and competitive "
+               "with the exact path under the same schedule (see header "
+               "comment for the boundary-handling trade-off).\n";
+  return 0;
+}

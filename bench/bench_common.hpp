@@ -1,0 +1,82 @@
+#ifndef WDE_BENCH_BENCH_COMMON_HPP_
+#define WDE_BENCH_BENCH_COMMON_HPP_
+
+// Shared plumbing for the reproduction benches (one binary per table/figure
+// of the paper). Each bench prints: a header identifying the experiment, the
+// effective configuration, and a table (paper tables) or labelled series
+// blocks (paper figures). Absolute numbers depend on our concrete density
+// parameter choices (the paper gives its densities only as plots); the
+// qualitative shapes are the reproduction targets — see EXPERIMENTS.md.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "harness/cases.hpp"
+#include "harness/experiment_config.hpp"
+#include "harness/monte_carlo.hpp"
+#include "harness/table.hpp"
+#include "processes/target_density.hpp"
+#include "stats/loss.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace bench {
+
+/// The paper's wavelet: Daubechies Symmlet with N = 8 vanishing moments.
+inline const wavelet::WaveletBasis& Sym8Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletFilter> filter = wavelet::WaveletFilter::Symmlet(8);
+    WDE_CHECK(filter.ok());
+    Result<wavelet::WaveletBasis> b = wavelet::WaveletBasis::Create(*filter, 12);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const harness::ExperimentConfig& config) {
+  std::cout << "==== " << experiment << " ====\n";
+  std::cout << "wavelet: sym8 | " << config.Describe() << "\n\n";
+}
+
+inline std::vector<double> Grid01(size_t points) {
+  std::vector<double> x(points);
+  for (size_t i = 0; i < points; ++i) {
+    x[i] = static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return x;
+}
+
+/// Fits both CV estimators from one pass over the data (the coefficients are
+/// shared between HTCV and STCV, as in the paper's simulations).
+struct CvFits {
+  core::CrossValidationResult ht_cv;
+  core::CrossValidationResult st_cv;
+  core::WaveletEstimate ht;
+  core::WaveletEstimate st;
+};
+
+inline CvFits FitBothCv(const std::vector<double>& xs) {
+  Result<core::WaveletDensityFit> fit =
+      core::WaveletDensityFit::Fit(Sym8Basis(), xs);
+  WDE_CHECK(fit.ok(), fit.status().ToString().c_str());
+  core::CrossValidationResult ht_cv =
+      core::CrossValidate(fit->coefficients(), core::ThresholdKind::kHard);
+  core::CrossValidationResult st_cv =
+      core::CrossValidate(fit->coefficients(), core::ThresholdKind::kSoft);
+  core::WaveletEstimate ht = fit->Estimate(ht_cv.Schedule(), core::ThresholdKind::kHard);
+  core::WaveletEstimate st = fit->Estimate(st_cv.Schedule(), core::ThresholdKind::kSoft);
+  return CvFits{std::move(ht_cv), std::move(st_cv), std::move(ht), std::move(st)};
+}
+
+}  // namespace bench
+}  // namespace wde
+
+#endif  // WDE_BENCH_BENCH_COMMON_HPP_

@@ -1,0 +1,57 @@
+// Reproduces Figure 3 of the paper: mean cross-validated threshold levels
+// λ̂_j against the resolution level j, for hard and soft thresholding, one
+// curve per dependence case. Levels whose optimum empties the level have an
+// infinite λ̂; as the finite surrogate we average the smallest threshold that
+// achieves the empty level (the level's largest |β̂|), which is the quantity
+// a plot can show.
+//
+// Expected shape: thresholds increase with j; the three case curves are
+// close together (dependence does not move the thresholds); the growth is
+// NOT ∝ √j (the paper's remark about the theoretical schedule).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace wde;
+  const harness::ExperimentConfig config = harness::ExperimentConfig::FromEnv();
+  bench::PrintHeader("Figure 3: mean CV threshold levels per resolution", config);
+
+  auto density = std::make_shared<const processes::SineUniformMixtureDensity>();
+  const int j0 = core::DefaultPrimaryLevel(config.n, 8);
+  const int j_star = core::DefaultTopLevel(config.n);
+  const size_t levels = static_cast<size_t>(j_star - j0 + 1);
+
+  std::vector<double> level_axis(levels);
+  for (size_t i = 0; i < levels; ++i) level_axis[i] = static_cast<double>(j0) + i;
+
+  for (core::ThresholdKind kind :
+       {core::ThresholdKind::kHard, core::ThresholdKind::kSoft}) {
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+    for (harness::DependenceCase c : harness::kAllCases) {
+      const processes::TransformedProcess process = harness::MakeCase(c, density);
+      const std::vector<double> mean_lambda = harness::MeanCurve(
+          config.replicates, config.seed, config.threads, levels,
+          [&](stats::Rng& rng, int) {
+            const std::vector<double> xs = process.Sample(config.n, rng);
+            Result<core::WaveletDensityFit> fit =
+                core::WaveletDensityFit::Fit(bench::Sym8Basis(), xs);
+            WDE_CHECK(fit.ok());
+            const core::CrossValidationResult cv =
+                core::CrossValidate(fit->coefficients(), kind);
+            std::vector<double> lambdas(levels);
+            for (size_t i = 0; i < levels; ++i) {
+              lambdas[i] = cv.Level(j0 + static_cast<int>(i)).EffectiveLambda();
+            }
+            return lambdas;
+          });
+      series.emplace_back(harness::CaseName(c), mean_lambda);
+    }
+    harness::PrintSeries(
+        std::cout,
+        Format("Figure 3 / %s-thresholding: mean lambda_j vs level j",
+               core::ThresholdKindName(kind)),
+        level_axis, series);
+    std::cout << '\n';
+  }
+  std::cout << "expected shape: increasing in j; case curves nearly coincide.\n";
+  return 0;
+}

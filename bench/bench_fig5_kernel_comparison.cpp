@@ -1,0 +1,73 @@
+// Reproduces Figure 5 of the paper: mean (over replicates) of the STCV
+// wavelet estimator against two Epanechnikov kernel baselines — MATLAB's
+// rule-of-thumb width ("kernel 1") and the least-squares cross-validated
+// width ("kernel 2") — on the bimodal Gaussian-mixture density, one series
+// block per dependence case.
+//
+// Expected shape: kernel 1 oversmooths and misses the two modes; the STCV
+// wavelet mean and kernel 2 both resolve them, in all three cases alike.
+#include "bench_common.hpp"
+
+#include "kernel/bandwidth.hpp"
+#include "kernel/kde.hpp"
+
+int main() {
+  using namespace wde;
+  const harness::ExperimentConfig config =
+      harness::ExperimentConfig::FromEnv(1024, 200, 257);
+  bench::PrintHeader("Figure 5: mean STCV vs kernel estimators (bimodal f)",
+                     config);
+
+  auto density = std::make_shared<const processes::TruncatedGaussianMixtureDensity>(
+      processes::TruncatedGaussianMixtureDensity::Bimodal());
+  const std::vector<double> x = bench::Grid01(config.grid_points);
+  const std::vector<double> truth = density->PdfOnGrid(config.grid_points);
+  const kernel::Kernel epanechnikov(kernel::KernelType::kEpanechnikov);
+  const size_t g = config.grid_points;
+
+  for (harness::DependenceCase c : harness::kAllCases) {
+    const processes::TransformedProcess process = harness::MakeCase(c, density);
+    // Each replicate contributes three stacked curves.
+    const std::vector<double> mean_all = harness::MeanCurve(
+        config.replicates, config.seed, config.threads, 3 * g,
+        [&](stats::Rng& rng, int) {
+          const std::vector<double> xs = process.Sample(config.n, rng);
+          core::AdaptiveOptions options;
+          options.kind = core::ThresholdKind::kSoft;
+          Result<core::AdaptiveDensityEstimate> fit =
+              core::FitAdaptive(bench::Sym8Basis(), xs, options);
+          WDE_CHECK(fit.ok());
+          std::vector<double> row = fit->estimate.EvaluateOnGrid(0.0, 1.0, g);
+
+          const double h_rot = kernel::RuleOfThumbBandwidth(xs);
+          Result<kernel::KernelDensityEstimator> kde_rot =
+              kernel::KernelDensityEstimator::Create(epanechnikov, h_rot, xs);
+          WDE_CHECK(kde_rot.ok());
+          const std::vector<double> rot = kde_rot->EvaluateOnGrid(0.0, 1.0, g);
+
+          const double h_cv = kernel::LeastSquaresCvBandwidth(epanechnikov, xs);
+          Result<kernel::KernelDensityEstimator> kde_cv =
+              kernel::KernelDensityEstimator::Create(epanechnikov, h_cv, xs);
+          WDE_CHECK(kde_cv.ok());
+          const std::vector<double> cv = kde_cv->EvaluateOnGrid(0.0, 1.0, g);
+
+          row.insert(row.end(), rot.begin(), rot.end());
+          row.insert(row.end(), cv.begin(), cv.end());
+          return row;
+        });
+    const std::vector<double> wavelet(mean_all.begin(), mean_all.begin() + g);
+    const std::vector<double> kernel1(mean_all.begin() + g,
+                                      mean_all.begin() + 2 * g);
+    const std::vector<double> kernel2(mean_all.begin() + 2 * g, mean_all.end());
+    harness::PrintSeries(std::cout,
+                         Format("Figure 5 / %s", harness::CaseName(c)), x,
+                         {{"true_f", truth},
+                          {"stcv_wavelet", wavelet},
+                          {"kernel1_rot", kernel1},
+                          {"kernel2_cv", kernel2}});
+    std::cout << '\n';
+  }
+  std::cout << "expected shape: kernel1 misses the two modes; stcv and "
+               "kernel2 resolve them in every case.\n";
+  return 0;
+}

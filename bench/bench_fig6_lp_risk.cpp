@@ -1,0 +1,85 @@
+// Reproduces Figure 6 of the paper: the mean L^p risk
+// (E ||g − f||_p^p)^{1/p} for p = 1..20 of the STCV wavelet estimator and
+// the two Epanechnikov kernel baselines (rule-of-thumb and LSCV widths) on
+// the bimodal Gaussian-mixture density, one series block per case.
+//
+// Expected shape: kernel 2 (CV width) is best for small p (<= ~4); its risk
+// grows with p while the wavelet estimator's stays comparatively stable;
+// kernel 1 is worst at small p.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "kernel/bandwidth.hpp"
+#include "kernel/kde.hpp"
+
+int main() {
+  using namespace wde;
+  const harness::ExperimentConfig config =
+      harness::ExperimentConfig::FromEnv(1024, 200, 513);
+  bench::PrintHeader("Figure 6: mean Lp risk vs p for the three estimators",
+                     config);
+
+  constexpr int kMaxP = 20;
+  auto density = std::make_shared<const processes::TruncatedGaussianMixtureDensity>(
+      processes::TruncatedGaussianMixtureDensity::Bimodal());
+  const std::vector<double> truth = density->PdfOnGrid(config.grid_points);
+  const double dx = 1.0 / static_cast<double>(config.grid_points - 1);
+  const kernel::Kernel epanechnikov(kernel::KernelType::kEpanechnikov);
+
+  std::vector<double> p_axis(kMaxP);
+  for (int p = 1; p <= kMaxP; ++p) p_axis[static_cast<size_t>(p - 1)] = p;
+
+  for (harness::DependenceCase c : harness::kAllCases) {
+    const processes::TransformedProcess process = harness::MakeCase(c, density);
+    // Per replicate: 3 estimators × kMaxP values of ∫|g−f|^p.
+    const std::vector<double> mean_pows = harness::MeanCurve(
+        config.replicates, config.seed, config.threads, 3 * kMaxP,
+        [&](stats::Rng& rng, int) {
+          const std::vector<double> xs = process.Sample(config.n, rng);
+          core::AdaptiveOptions options;
+          options.kind = core::ThresholdKind::kSoft;
+          Result<core::AdaptiveDensityEstimate> fit =
+              core::FitAdaptive(bench::Sym8Basis(), xs, options);
+          WDE_CHECK(fit.ok());
+          const std::vector<double> wavelet =
+              fit->estimate.EvaluateOnGrid(0.0, 1.0, config.grid_points);
+
+          const double h_rot = kernel::RuleOfThumbBandwidth(xs);
+          const std::vector<double> rot =
+              kernel::KernelDensityEstimator::Create(epanechnikov, h_rot, xs)
+                  ->EvaluateOnGrid(0.0, 1.0, config.grid_points);
+          const double h_cv = kernel::LeastSquaresCvBandwidth(epanechnikov, xs);
+          const std::vector<double> cv =
+              kernel::KernelDensityEstimator::Create(epanechnikov, h_cv, xs)
+                  ->EvaluateOnGrid(0.0, 1.0, config.grid_points);
+
+          std::vector<double> row;
+          row.reserve(3 * kMaxP);
+          for (const std::vector<double>* est : {&wavelet, &rot, &cv}) {
+            for (int p = 1; p <= kMaxP; ++p) {
+              row.push_back(stats::LpErrorPow(*est, truth, dx, p));
+            }
+          }
+          return row;
+        });
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+    const char* names[3] = {"stcv_wavelet", "kernel1_rot", "kernel2_cv"};
+    for (int e = 0; e < 3; ++e) {
+      std::vector<double> risk(kMaxP);
+      for (int p = 1; p <= kMaxP; ++p) {
+        risk[static_cast<size_t>(p - 1)] = std::pow(
+            mean_pows[static_cast<size_t>(e * kMaxP + p - 1)], 1.0 / p);
+      }
+      series.emplace_back(names[e], std::move(risk));
+    }
+    harness::PrintSeries(std::cout,
+                         Format("Figure 6 / %s: (E||g-f||_p^p)^(1/p) vs p",
+                                harness::CaseName(c)),
+                         p_axis, series);
+    std::cout << '\n';
+  }
+  std::cout << "expected shape: kernel2 best at small p but growing in p; "
+               "stcv stable across p; kernel1 worst at small p.\n";
+  return 0;
+}

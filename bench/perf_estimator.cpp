@@ -1,0 +1,112 @@
+// google-benchmark microbenches for the core estimator: streaming
+// coefficient updates, cross-validation, reconstruction and range queries —
+// the costs a query optimizer would pay.
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive.hpp"
+#include "core/binned.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace {
+
+using namespace wde;
+
+const wavelet::WaveletBasis& Basis() {
+  static const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  return basis;
+}
+
+std::vector<double> Data(size_t n) {
+  stats::Rng rng(7);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.UniformDouble();
+  return xs;
+}
+
+void BM_CoefficientInsert(benchmark::State& state) {
+  const int j_max = static_cast<int>(state.range(0));
+  Result<core::EmpiricalCoefficients> coeffs =
+      core::EmpiricalCoefficients::Create(Basis(), 2, j_max);
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    coeffs->Add(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoefficientInsert)->Arg(6)->Arg(10)->Arg(12);
+
+void BM_CrossValidate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Result<core::WaveletDensityFit> fit =
+      core::WaveletDensityFit::Fit(Basis(), Data(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CrossValidate(fit->coefficients(), core::ThresholdKind::kSoft));
+  }
+}
+BENCHMARK(BM_CrossValidate)->Arg(1024)->Arg(8192);
+
+void BM_FitAdaptiveEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> xs = Data(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FitAdaptive(Basis(), xs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FitAdaptiveEndToEnd)->Arg(1024)->Arg(4096);
+
+void BM_EstimateReconstruction(benchmark::State& state) {
+  Result<core::WaveletDensityFit> fit =
+      core::WaveletDensityFit::Fit(Basis(), Data(1024));
+  const core::CrossValidationResult cv =
+      core::CrossValidate(fit->coefficients(), core::ThresholdKind::kSoft);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit->Estimate(cv.Schedule(), core::ThresholdKind::kSoft));
+  }
+}
+BENCHMARK(BM_EstimateReconstruction);
+
+void BM_EvaluatePoint(benchmark::State& state) {
+  Result<core::AdaptiveDensityEstimate> fit = core::FitAdaptive(Basis(), Data(1024));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.000917;
+    if (x > 1.0) x -= 1.0;
+    benchmark::DoNotOptimize(fit->estimate.Evaluate(x));
+  }
+}
+BENCHMARK(BM_EvaluatePoint);
+
+void BM_BinnedFitAndReconstruct(benchmark::State& state) {
+  // The WaveLab-style fast path: bin + pyramid + threshold + inverse.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> xs = Data(n);
+  const wavelet::WaveletFilter filter = *wavelet::WaveletFilter::Symmlet(8);
+  const core::ThresholdSchedule schedule = core::TheoreticalSchedule(1.0, 2, 9, n);
+  for (auto _ : state) {
+    Result<core::BinnedWaveletFit> fit = core::BinnedWaveletFit::Fit(filter, xs, 2, 10);
+    benchmark::DoNotOptimize(fit->EstimateOnGrid(schedule, core::ThresholdKind::kSoft));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BinnedFitAndReconstruct)->Arg(1024)->Arg(65536);
+
+void BM_IntegrateRange(benchmark::State& state) {
+  Result<core::AdaptiveDensityEstimate> fit = core::FitAdaptive(Basis(), Data(4096));
+  double a = 0.0;
+  for (auto _ : state) {
+    a += 0.000917;
+    if (a > 0.7) a -= 0.7;
+    benchmark::DoNotOptimize(fit->estimate.IntegrateRange(a, a + 0.2));
+  }
+}
+BENCHMARK(BM_IntegrateRange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// google-benchmark microbenches comparing the streaming selectivity
+// estimators: per-insert cost, range-query latency, and refit cost — the
+// numbers that decide whether the wavelet sketch is deployable in an
+// optimizer's statistics pipeline.
+#include <benchmark/benchmark.h>
+
+#include "selectivity/histogram.hpp"
+#include "selectivity/kde_selectivity.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace {
+
+using namespace wde;
+
+const wavelet::WaveletBasis& Basis() {
+  static const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  return basis;
+}
+
+selectivity::StreamingWaveletSelectivity MakeSketch(size_t refit_interval = 1ULL << 30) {
+  selectivity::StreamingWaveletSelectivity::Options options;
+  options.j0 = 2;
+  options.j_max = 11;
+  options.refit_interval = refit_interval;  // huge -> inserts never refit
+  return *selectivity::StreamingWaveletSelectivity::Create(Basis(), options);
+}
+
+void BM_InsertWaveletSketch(benchmark::State& state) {
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    sketch.Insert(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertWaveletSketch);
+
+void BM_InsertEquiWidth(benchmark::State& state) {
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 64);
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    hist.Insert(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertEquiWidth);
+
+void BM_InsertReservoir(benchmark::State& state) {
+  selectivity::ReservoirSampleSelectivity res(1024);
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    res.Insert(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertReservoir);
+
+template <typename Estimator>
+void QueryLoop(benchmark::State& state, Estimator& estimator) {
+  stats::Rng rng(5);
+  for (int i = 0; i < 65536; ++i) estimator.Insert(rng.UniformDouble());
+  double a = 0.0;
+  for (auto _ : state) {
+    a += 0.000917;
+    if (a > 0.8) a -= 0.8;
+    benchmark::DoNotOptimize(estimator.EstimateRange(a, a + 0.15));
+  }
+}
+
+void BM_QueryWaveletSketch(benchmark::State& state) {
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+  QueryLoop(state, sketch);
+}
+BENCHMARK(BM_QueryWaveletSketch);
+
+void BM_QueryEquiWidth(benchmark::State& state) {
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 64);
+  QueryLoop(state, hist);
+}
+BENCHMARK(BM_QueryEquiWidth);
+
+void BM_QueryEquiDepth(benchmark::State& state) {
+  selectivity::EquiDepthHistogram hist(0.0, 1.0, 64);
+  QueryLoop(state, hist);
+}
+BENCHMARK(BM_QueryEquiDepth);
+
+void BM_QueryKde(benchmark::State& state) {
+  selectivity::KdeSelectivity::Options options;
+  selectivity::KdeSelectivity kde(options);
+  QueryLoop(state, kde);
+}
+BENCHMARK(BM_QueryKde);
+
+void BM_InsertHaarSynopsis(benchmark::State& state) {
+  selectivity::WaveletSynopsisSelectivity synopsis =
+      *selectivity::WaveletSynopsisSelectivity::Create({});
+  stats::Rng rng(4);
+  for (auto _ : state) {
+    synopsis.Insert(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_InsertHaarSynopsis);
+
+void BM_QueryHaarSynopsis(benchmark::State& state) {
+  selectivity::WaveletSynopsisSelectivity synopsis =
+      *selectivity::WaveletSynopsisSelectivity::Create({});
+  QueryLoop(state, synopsis);
+}
+BENCHMARK(BM_QueryHaarSynopsis);
+
+void BM_WaveletRefit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+  stats::Rng rng(7);
+  for (size_t i = 0; i < n; ++i) sketch.Insert(rng.UniformDouble());
+  for (auto _ : state) {
+    sketch.Refit();
+  }
+}
+BENCHMARK(BM_WaveletRefit)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// google-benchmark microbenches for the wavelet substrate: filter
+// derivation, cascade table construction, point evaluation (table vs
+// Daubechies-Lagarias), and DWT round trips.
+#include <benchmark/benchmark.h>
+
+#include "stats/rng.hpp"
+#include "wavelet/cascade.hpp"
+#include "wavelet/daubechies_lagarias.hpp"
+#include "wavelet/dwt.hpp"
+#include "wavelet/filter.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace {
+
+using namespace wde;
+
+void BM_FilterDaubechies(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wavelet::WaveletFilter::Daubechies(order));
+  }
+}
+BENCHMARK(BM_FilterDaubechies)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_FilterSymmlet(benchmark::State& state) {
+  const int order = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wavelet::WaveletFilter::Symmlet(order));
+  }
+}
+BENCHMARK(BM_FilterSymmlet)->Arg(4)->Arg(8);
+
+void BM_CascadeTables(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  const wavelet::WaveletFilter filter = *wavelet::WaveletFilter::Symmlet(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wavelet::ComputeCascadeTables(filter, levels));
+  }
+}
+BENCHMARK(BM_CascadeTables)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_TablePointEvaluation(benchmark::State& state) {
+  const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  stats::Rng rng(1);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.37;
+    if (x > 14.0) x -= 14.0;
+    benchmark::DoNotOptimize(basis.Psi(x));
+  }
+}
+BENCHMARK(BM_TablePointEvaluation);
+
+void BM_DaubechiesLagariasPointEvaluation(benchmark::State& state) {
+  const wavelet::DaubechiesLagariasEvaluator dl(*wavelet::WaveletFilter::Symmlet(8));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.37;
+    if (x > 14.0) x -= 14.0;
+    benchmark::DoNotOptimize(dl.Psi(x));
+  }
+}
+BENCHMARK(BM_DaubechiesLagariasPointEvaluation);
+
+void BM_ScaledBasisEvaluation(benchmark::State& state) {
+  const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  const int j = static_cast<int>(state.range(0));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.000917;
+    if (x > 1.0) x -= 1.0;
+    const wavelet::TranslationWindow window = basis.PointWindow(j, x);
+    double acc = 0.0;
+    for (int k = window.lo; k <= window.hi; ++k) acc += basis.PsiJk(j, k, x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ScaledBasisEvaluation)->Arg(3)->Arg(8);
+
+void BM_DwtRoundTrip(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const wavelet::WaveletFilter filter = *wavelet::WaveletFilter::Symmlet(8);
+  stats::Rng rng(2);
+  std::vector<double> signal(n);
+  for (double& s : signal) s = rng.Gaussian();
+  for (auto _ : state) {
+    Result<wavelet::DwtCoefficients> coeffs = wavelet::ForwardDwt(filter, signal, 4);
+    benchmark::DoNotOptimize(wavelet::InverseDwt(filter, *coeffs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DwtRoundTrip)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// The paper's scenario end to end: density estimation from weakly dependent
+// time series. Builds the three dependence cases of §5.2 over the same
+// marginal, measures the covariance decay that Assumption (D) is about, fits
+// HTCV/STCV estimators and reports their integrated squared errors.
+//
+//   build/examples/dependent_series
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/adaptive.hpp"
+#include "diagnostics/covariance_decay.hpp"
+#include "harness/cases.hpp"
+#include "harness/table.hpp"
+#include "processes/target_density.hpp"
+#include "stats/loss.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+int main() {
+  using namespace wde;
+  Result<wavelet::WaveletBasis> basis =
+      wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8));
+  if (!basis.ok()) return 1;
+
+  auto density = std::make_shared<const processes::SineUniformMixtureDensity>();
+  const std::vector<double> truth = density->PdfOnGrid(513);
+  const size_t n = 2048;
+
+  harness::TextTable table({"sampling", "cov decay", "ISE (HTCV)", "ISE (STCV)",
+                            "j1_hat (STCV)"});
+  for (harness::DependenceCase c : harness::kAllCases) {
+    const processes::TransformedProcess process = harness::MakeCase(c, density);
+
+    // How dependent is this stream, really? Measure the covariance decay of
+    // a bounded-variation observable — the quantity Assumption (D) bounds.
+    const diagnostics::CovarianceDecayReport decay =
+        diagnostics::MeasureCovarianceDecay(
+            [&](stats::Rng& rng) { return process.Sample(8192, rng); },
+            [](double x) { return x < 0.5 ? 1.0 : 0.0; },
+            /*max_lag=*/10, /*replicates=*/4, /*seed=*/11);
+
+    stats::Rng rng(2024 + static_cast<uint64_t>(c));
+    const std::vector<double> xs = process.Sample(n, rng);
+
+    Result<core::WaveletDensityFit> fit = core::WaveletDensityFit::Fit(*basis, xs);
+    if (!fit.ok()) return 1;
+    const core::CrossValidationResult ht_cv =
+        core::CrossValidate(fit->coefficients(), core::ThresholdKind::kHard);
+    const core::CrossValidationResult st_cv =
+        core::CrossValidate(fit->coefficients(), core::ThresholdKind::kSoft);
+    const std::vector<double> ht =
+        fit->Estimate(ht_cv.Schedule(), core::ThresholdKind::kHard)
+            .EvaluateOnGrid(0.0, 1.0, 513);
+    const std::vector<double> st =
+        fit->Estimate(st_cv.Schedule(), core::ThresholdKind::kSoft)
+            .EvaluateOnGrid(0.0, 1.0, 513);
+
+    table.AddRow({harness::CaseName(c),
+                  decay.Verdict(),
+                  Format("%.4f", stats::IntegratedSquaredError(ht, truth, 1.0 / 512)),
+                  Format("%.4f", stats::IntegratedSquaredError(st, truth, 1.0 / 512)),
+                  Format("%d", st_cv.j1_hat)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nthe paper's message: with exponentially decaying covariances "
+      "(Assumption (D)),\ndependence does not degrade the cross-validated "
+      "wavelet estimators.\n");
+  return 0;
+}

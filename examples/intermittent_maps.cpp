@@ -1,0 +1,81 @@
+// When NOT to trust the estimator: intermittent dynamics (paper §5.5,
+// Proposition 5.1). The Liverani–Saussol–Vaienti map has polynomially
+// decaying covariances for large α', violating Assumption (D); thresholded
+// wavelet estimators then lose their risk guarantees while plain kernel
+// smoothing stays stable. This example shows the diagnostic a user should
+// run, and the estimator comparison on [0.01, 1].
+//
+//   build/examples/intermittent_maps
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/adaptive.hpp"
+#include "diagnostics/covariance_decay.hpp"
+#include "harness/table.hpp"
+#include "kernel/bandwidth.hpp"
+#include "kernel/kde.hpp"
+#include "processes/lsv_map.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+int main() {
+  using namespace wde;
+  Result<wavelet::WaveletBasis> basis =
+      wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8));
+  if (!basis.ok()) return 1;
+
+  harness::TextTable table({"alpha'", "decay verdict", "max |f_hat| wavelet",
+                            "max f_hat kernel", "mass near 0 (x<0.05)"});
+  for (double alpha : {0.3, 0.6, 0.9}) {
+    const processes::LsvMapProcess process(alpha);
+
+    // Step 1 — diagnose the dependence before trusting any risk bound.
+    const diagnostics::CovarianceDecayReport decay =
+        diagnostics::MeasureCovarianceDecay(
+            [&](stats::Rng& rng) { return process.Path(30000, rng); },
+            [](double x) { return x < 0.2 ? 1.0 : 0.0; },
+            /*max_lag=*/25, /*replicates=*/6, /*seed=*/3);
+
+    // Step 2 — fit both estimators on the restricted support [0.01, 1]
+    // (the invariant density behaves like x^{-alpha'} near 0).
+    stats::Rng rng(99);
+    const std::vector<double> path = process.Path(2048, rng);
+    std::vector<double> clipped;
+    for (double x : path) {
+      if (x >= 0.01) clipped.push_back(x);
+    }
+    core::AdaptiveOptions options;
+    options.fit.domain_lo = 0.01;
+    options.fit.domain_hi = 1.0;
+    Result<core::AdaptiveDensityEstimate> wavelet_fit =
+        core::FitAdaptive(*basis, clipped, options);
+    if (!wavelet_fit.ok()) return 1;
+    Result<kernel::KernelDensityEstimator> kde =
+        kernel::KernelDensityEstimator::Create(
+            kernel::Kernel(kernel::KernelType::kEpanechnikov),
+            kernel::RuleOfThumbBandwidth(clipped), clipped);
+    if (!kde.ok()) return 1;
+
+    double wavelet_max = 0.0;
+    double kernel_max = 0.0;
+    for (int i = 0; i <= 256; ++i) {
+      const double x = 0.01 + (1.0 - 0.01) * i / 256.0;
+      wavelet_max = std::max(wavelet_max, std::fabs(wavelet_fit->estimate.Evaluate(x)));
+      kernel_max = std::max(kernel_max, kde->Evaluate(x));
+    }
+    size_t near_zero = 0;
+    for (double x : path) near_zero += (x < 0.05);
+    table.AddRow({Format("%.1f", alpha),
+                  decay.Verdict(),
+                  Format("%.2f", wavelet_max), Format("%.2f", kernel_max),
+                  Format("%.1f%%", 100.0 * static_cast<double>(near_zero) /
+                                       static_cast<double>(path.size()))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nlesson (Proposition 5.1): once the covariance decay is polynomial,\n"
+      "the thresholded estimator's spikes grow with alpha' — check the decay\n"
+      "diagnostic before relying on the wavelet sketch.\n");
+  return 0;
+}

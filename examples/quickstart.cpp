@@ -1,0 +1,66 @@
+// Quickstart: estimate an unknown density from a sample with the adaptive
+// (cross-validated) thresholded wavelet estimator, in five steps.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "processes/target_density.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+int main() {
+  using namespace wde;
+
+  // 1. A wavelet basis. The paper uses Symmlets with 8 vanishing moments;
+  //    the basis owns precomputed φ/ψ tables and is cheap to copy around.
+  Result<wavelet::WaveletFilter> filter = wavelet::WaveletFilter::Symmlet(8);
+  if (!filter.ok()) {
+    std::fprintf(stderr, "filter: %s\n", filter.status().ToString().c_str());
+    return 1;
+  }
+  Result<wavelet::WaveletBasis> basis = wavelet::WaveletBasis::Create(*filter);
+  if (!basis.ok()) {
+    std::fprintf(stderr, "basis: %s\n", basis.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Some data. Here: 2048 draws from a sharp two-mode mixture that a
+  //    fixed-bandwidth estimator would oversmooth.
+  const processes::TruncatedGaussianMixtureDensity truth =
+      processes::TruncatedGaussianMixtureDensity::Bimodal();
+  stats::Rng rng(42);
+  std::vector<double> sample(2048);
+  for (double& x : sample) x = truth.InverseCdf(rng.UniformDouble());
+
+  // 3. Fit. FitAdaptive picks the paper's resolution levels from n, runs the
+  //    soft-threshold cross-validation (STCV) per level and reconstructs.
+  core::AdaptiveOptions options;
+  options.kind = core::ThresholdKind::kSoft;
+  Result<core::AdaptiveDensityEstimate> fit =
+      core::FitAdaptive(*basis, sample, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Use the estimate: pointwise values, range probabilities, total mass.
+  std::printf("x      f(x)    f_hat(x)\n");
+  for (double x : {0.10, 0.30, 0.48, 0.65, 0.90}) {
+    std::printf("%.2f   %6.3f  %6.3f\n", x, truth.Pdf(x), fit->estimate.Evaluate(x));
+  }
+  std::printf("\nP(0.25 <= X <= 0.35): true %.4f, estimated %.4f\n",
+              truth.Cdf(0.35) - truth.Cdf(0.25),
+              fit->estimate.IntegrateRange(0.25, 0.35));
+  std::printf("total estimated mass: %.4f\n", fit->estimate.TotalMass());
+
+  // 5. Inspect what the data-driven thresholding decided.
+  std::printf("\nselected top level j1_hat = %d (scanned j0=%d..j*=%d)\n",
+              fit->cv.j1_hat, fit->cv.j0, fit->cv.j_star);
+  for (const core::LevelCvResult& level : fit->cv.levels) {
+    std::printf("  level %2d: kept %3d / %3d coefficients\n", level.j, level.kept,
+                level.total);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// DB scenario: streaming range-selectivity estimation for a query optimizer.
+//
+// A column's values arrive as a *dependent* stream (an autocorrelated
+// process — think sensor readings or clustered inserts, not iid rows) with a
+// sharply bimodal distribution. We maintain four streaming statistics
+// side by side:
+//   * the adaptive wavelet sketch (this library's estimator — bounded
+//     memory, cross-validated thresholds that adapt to the dependence),
+//   * equi-width and equi-depth histograms,
+//   * a reservoir sample,
+// and compare their answers on a range-query workload, including after a
+// distribution drift.
+//
+//   build/examples/selectivity_stream
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "harness/cases.hpp"
+#include "harness/table.hpp"
+#include "processes/target_density.hpp"
+#include "selectivity/histogram.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+int main() {
+  using namespace wde;
+
+  Result<wavelet::WaveletBasis> basis =
+      wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8));
+  if (!basis.ok()) return 1;
+
+  // The stream: logistic-map dynamics pushed through a bimodal marginal.
+  auto density = std::make_shared<const processes::TruncatedGaussianMixtureDensity>(
+      processes::TruncatedGaussianMixtureDensity::Bimodal());
+  const processes::TransformedProcess stream =
+      harness::MakeCase(harness::DependenceCase::kLogisticMap, density);
+
+  selectivity::StreamingWaveletSelectivity::Options sketch_options;
+  sketch_options.j0 = 2;
+  sketch_options.j_max = 10;
+  sketch_options.refit_interval = 2048;
+  Result<selectivity::StreamingWaveletSelectivity> sketch =
+      selectivity::StreamingWaveletSelectivity::Create(*basis, sketch_options);
+  if (!sketch.ok()) return 1;
+  selectivity::EquiWidthHistogram equi_width(0.0, 1.0, 32);
+  selectivity::EquiDepthHistogram equi_depth(0.0, 1.0, 32);
+  selectivity::ReservoirSampleSelectivity reservoir(512);
+  selectivity::WaveletSynopsisSelectivity::Options synopsis_options;
+  synopsis_options.budget = 32;  // comparable space to the 32-bucket histograms
+  Result<selectivity::WaveletSynopsisSelectivity> synopsis =
+      selectivity::WaveletSynopsisSelectivity::Create(synopsis_options);
+  if (!synopsis.ok()) return 1;
+
+  stats::Rng rng(7);
+  const size_t kStreamLength = 16384;
+  const std::vector<double> values = stream.Sample(kStreamLength, rng);
+  for (double v : values) {
+    sketch->Insert(v);
+    equi_width.Insert(v);
+    equi_depth.Insert(v);
+    reservoir.Insert(v);
+    synopsis->Insert(v);
+  }
+  std::printf("ingested %zu dependent stream values (logistic-map driven)\n\n",
+              kStreamLength);
+
+  // A short-range-scan workload; ground truth from the generating density.
+  const std::vector<selectivity::RangeQuery> queries =
+      selectivity::CenteredRangeWorkload(rng, 400, 0.0, 1.0, 0.02, 0.25);
+  const auto truth = [&](const selectivity::RangeQuery& q) {
+    return density->Cdf(q.hi) - density->Cdf(q.lo);
+  };
+
+  harness::TextTable table(
+      {"estimator", "mean |err|", "rmse", "mean q-error", "max q-error"});
+  const auto add = [&](const selectivity::SelectivityEstimator& est) {
+    const selectivity::SelectivityAccuracy acc =
+        selectivity::EvaluateAccuracy(est, queries, truth);
+    table.AddRow({est.name(), Format("%.5f", acc.mean_abs_error),
+                  Format("%.5f", acc.rmse), Format("%.2f", acc.mean_qerror),
+                  Format("%.1f", acc.max_qerror)});
+  };
+  add(*sketch);
+  add(equi_width);
+  add(equi_depth);
+  add(reservoir);
+  add(*synopsis);
+  table.Print(std::cout);
+
+  // Drift: the workload moves to a narrow hot range; the sketch refits.
+  std::printf("\n-- drift: stream jumps to U(0.45, 0.55) --\n");
+  for (int i = 0; i < 32768; ++i) {
+    const double v = rng.Uniform(0.45, 0.55);
+    sketch->Insert(v);
+    equi_width.Insert(v);
+  }
+  std::printf("P(0.45 <= X <= 0.55) after drift: wavelet %.3f, equi-width %.3f "
+              "(stationary truth was %.3f)\n",
+              sketch->EstimateRange(0.45, 0.55), equi_width.EstimateRange(0.45, 0.55),
+              density->Cdf(0.55) - density->Cdf(0.45));
+  std::printf("\nthe wavelet sketch used %zu inserts, no buffered rows, and "
+              "cross-validated its own smoothing.\n",
+              sketch->count());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "core/adaptive.hpp"
+
+namespace wde {
+namespace core {
+
+Result<AdaptiveDensityEstimate> FitAdaptive(const wavelet::WaveletBasis& basis,
+                                            std::span<const double> data,
+                                            const AdaptiveOptions& options) {
+  Result<WaveletDensityFit> fit = WaveletDensityFit::Fit(basis, data, options.fit);
+  if (!fit.ok()) return fit.status();
+  CrossValidationResult cv = CrossValidate(fit->coefficients(), options.kind);
+  WaveletEstimate estimate = fit->Estimate(cv.Schedule(), options.kind);
+  return AdaptiveDensityEstimate{std::move(estimate), std::move(cv)};
+}
+
+}  // namespace core
+}  // namespace wde

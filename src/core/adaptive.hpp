@@ -1,0 +1,32 @@
+#ifndef WDE_CORE_ADAPTIVE_HPP_
+#define WDE_CORE_ADAPTIVE_HPP_
+
+#include <span>
+
+#include "core/cross_validation.hpp"
+#include "core/estimator.hpp"
+
+namespace wde {
+namespace core {
+
+/// One-call facade for the paper's data-driven estimators f̂ᴴᵀᶜᵛ / f̂ˢᵀᶜᵛ:
+/// fit empirical coefficients with the §5.1 defaults (j0 = ⌈ln n/(1+N)⌉,
+/// j* = log2 n), cross-validate per-level thresholds, reconstruct.
+struct AdaptiveOptions {
+  ThresholdKind kind = ThresholdKind::kSoft;
+  FitOptions fit;
+};
+
+struct AdaptiveDensityEstimate {
+  WaveletEstimate estimate;
+  CrossValidationResult cv;
+};
+
+Result<AdaptiveDensityEstimate> FitAdaptive(const wavelet::WaveletBasis& basis,
+                                            std::span<const double> data,
+                                            const AdaptiveOptions& options = {});
+
+}  // namespace core
+}  // namespace wde
+
+#endif  // WDE_CORE_ADAPTIVE_HPP_

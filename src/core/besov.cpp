@@ -1,0 +1,49 @@
+#include "core/besov.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace core {
+
+std::vector<double> LevelCoefficientNorms(const EmpiricalCoefficients& coefficients,
+                                          double pi) {
+  WDE_CHECK_GE(pi, 1.0);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(coefficients.j_max() - coefficients.j0() + 1));
+  for (int j = coefficients.j0(); j <= coefficients.j_max(); ++j) {
+    const CoefficientLevel& level = coefficients.detail_level(j);
+    double acc = 0.0;
+    const double n = static_cast<double>(coefficients.count());
+    for (double s1 : level.s1) acc += std::pow(std::fabs(s1 / n), pi);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double BesovSequenceNorm(const EmpiricalCoefficients& coefficients, double s,
+                         double pi, double r) {
+  WDE_CHECK(pi >= 1.0 && r >= 1.0 && s > 0.0);
+  const double n = static_cast<double>(coefficients.count());
+  WDE_CHECK_GT(coefficients.count(), 0u);
+
+  double alpha_norm = 0.0;
+  for (double s1 : coefficients.scaling_level().s1) {
+    alpha_norm += std::pow(std::fabs(s1 / n), pi);
+  }
+  alpha_norm = std::pow(alpha_norm, 1.0 / pi);
+
+  const std::vector<double> level_norms = LevelCoefficientNorms(coefficients, pi);
+  double detail_acc = 0.0;
+  for (size_t i = 0; i < level_norms.size(); ++i) {
+    const int j = coefficients.j0() + static_cast<int>(i);
+    const double weight =
+        std::exp2(static_cast<double>(j) * (s * pi + pi / 2.0 - 1.0));
+    detail_acc += std::pow(weight * level_norms[i], r / pi);
+  }
+  return alpha_norm + std::pow(detail_acc, 1.0 / r);
+}
+
+}  // namespace core
+}  // namespace wde

@@ -1,0 +1,25 @@
+#ifndef WDE_CORE_BESOV_HPP_
+#define WDE_CORE_BESOV_HPP_
+
+#include <vector>
+
+#include "core/coefficients.hpp"
+
+namespace wde {
+namespace core {
+
+/// Empirical Besov sequence norm of the fitted coefficients (paper §2.2):
+///   ‖f‖_{s,π,r} = |α̂_{j0,·}|_π + ( Σ_j [2^{j(sπ+π/2−1)} Σ_k |β̂_{j,k}|^π]^{r/π} )^{1/r},
+/// a diagnostic for the (unknown) smoothness class B^s_{π,r} driving the
+/// minimax rates of Theorem 3.1. Uses the fitted levels [j0, j_max].
+double BesovSequenceNorm(const EmpiricalCoefficients& coefficients, double s,
+                         double pi, double r);
+
+/// Per-level π-norms Σ_k |β̂_{j,k}|^π (before weighting); index 0 is level j0.
+std::vector<double> LevelCoefficientNorms(const EmpiricalCoefficients& coefficients,
+                                          double pi);
+
+}  // namespace core
+}  // namespace wde
+
+#endif  // WDE_CORE_BESOV_HPP_

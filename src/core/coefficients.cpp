@@ -1,0 +1,107 @@
+#include "core/coefficients.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace core {
+
+int DefaultPrimaryLevel(size_t n, int vanishing_moments) {
+  WDE_CHECK_GT(n, 1u);
+  const double raw = std::log(static_cast<double>(n)) /
+                     (1.0 + static_cast<double>(vanishing_moments));
+  int j0 = static_cast<int>(std::floor(raw)) + 1;  // smallest integer > raw
+  return std::max(j0, 0);
+}
+
+int DefaultTopLevel(size_t n) {
+  WDE_CHECK_GT(n, 1u);
+  int j = 0;
+  while ((n >> (j + 1)) > 0) ++j;
+  return j;
+}
+
+EmpiricalCoefficients::EmpiricalCoefficients(wavelet::WaveletBasis basis, int j0,
+                                             int j_max)
+    : basis_(std::move(basis)), j0_(j0), j_max_(j_max) {
+  const auto init_level = [this](int j, bool is_scaling) {
+    CoefficientLevel level;
+    level.j = j;
+    level.is_scaling = is_scaling;
+    const wavelet::TranslationWindow window = basis_.LevelWindow(j);
+    level.k_lo = window.lo;
+    level.s1.assign(static_cast<size_t>(window.size()), 0.0);
+    level.s2.assign(static_cast<size_t>(window.size()), 0.0);
+    return level;
+  };
+  scaling_ = init_level(j0_, true);
+  details_.reserve(static_cast<size_t>(j_max_ - j0_ + 1));
+  for (int j = j0_; j <= j_max_; ++j) details_.push_back(init_level(j, false));
+}
+
+Result<EmpiricalCoefficients> EmpiricalCoefficients::Create(
+    wavelet::WaveletBasis basis, int j0, int j_max) {
+  if (j0 < 0 || j_max < j0 || j_max > 26) {
+    return Status::InvalidArgument(
+        Format("invalid level range [%d, %d]", j0, j_max));
+  }
+  return EmpiricalCoefficients(std::move(basis), j0, j_max);
+}
+
+void EmpiricalCoefficients::AddToLevel(CoefficientLevel* level, double x) {
+  const wavelet::TranslationWindow window = basis_.PointWindow(level->j, x);
+  for (int k = window.lo; k <= window.hi; ++k) {
+    if (!level->Contains(k)) continue;
+    const double value = level->is_scaling ? basis_.PhiJk(level->j, k, x)
+                                           : basis_.PsiJk(level->j, k, x);
+    const size_t idx = static_cast<size_t>(k - level->k_lo);
+    level->s1[idx] += value;
+    level->s2[idx] += value * value;
+  }
+}
+
+void EmpiricalCoefficients::Add(double x) {
+  WDE_CHECK(x >= 0.0 && x <= 1.0, "observation outside the unit interval");
+  AddToLevel(&scaling_, x);
+  for (CoefficientLevel& level : details_) AddToLevel(&level, x);
+  ++count_;
+}
+
+void EmpiricalCoefficients::AddAll(std::span<const double> xs) {
+  for (double x : xs) Add(x);
+}
+
+const CoefficientLevel& EmpiricalCoefficients::detail_level(int j) const {
+  WDE_CHECK(j >= j0_ && j <= j_max_, "detail level out of range");
+  return details_[static_cast<size_t>(j - j0_)];
+}
+
+double EmpiricalCoefficients::AlphaHat(int k) const {
+  WDE_CHECK_GT(count_, 0u);
+  if (!scaling_.Contains(k)) return 0.0;
+  return scaling_.s1[static_cast<size_t>(k - scaling_.k_lo)] /
+         static_cast<double>(count_);
+}
+
+double EmpiricalCoefficients::BetaHat(int j, int k) const {
+  WDE_CHECK_GT(count_, 0u);
+  const CoefficientLevel& level = detail_level(j);
+  if (!level.Contains(k)) return 0.0;
+  return level.s1[static_cast<size_t>(k - level.k_lo)] / static_cast<double>(count_);
+}
+
+double EmpiricalCoefficients::CrossValidationTerm(int j, int k) const {
+  WDE_CHECK_GE(count_, 2u, "CV terms need at least two observations");
+  const CoefficientLevel& level = detail_level(j);
+  if (!level.Contains(k)) return 0.0;
+  const size_t idx = static_cast<size_t>(k - level.k_lo);
+  const double n = static_cast<double>(count_);
+  const double s1 = level.s1[idx];
+  const double s2 = level.s2[idx];
+  const double beta = s1 / n;
+  return beta * beta - 2.0 * (s1 * s1 - s2) / (n * (n - 1.0));
+}
+
+}  // namespace core
+}  // namespace wde

@@ -1,0 +1,89 @@
+#ifndef WDE_CORE_COEFFICIENTS_HPP_
+#define WDE_CORE_COEFFICIENTS_HPP_
+
+#include <span>
+#include <vector>
+
+#include "util/result.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace core {
+
+/// Per-level running sums for the empirical wavelet coefficients of data on
+/// the unit interval. For every translation k the structure maintains
+///   S1_k = Σ_i δ_{j,k}(X_i)   and   S2_k = Σ_i δ_{j,k}(X_i)²,
+/// where δ is φ (scaling level) or ψ (detail levels). These two sums are
+/// sufficient statistics for BOTH the coefficient estimates
+/// (β̂_{j,k} = S1_k/n) and the HTCV/STCV cross-validation criteria
+/// (which need Σ_{i≠h} δ(X_i)δ(X_h) = S1² − S2), so the whole adaptive
+/// estimator is streaming-updatable — the property the selectivity layer
+/// builds on.
+struct CoefficientLevel {
+  int j = 0;
+  bool is_scaling = false;
+  int k_lo = 0;  // first translation index
+  std::vector<double> s1;
+  std::vector<double> s2;
+
+  int size() const { return static_cast<int>(s1.size()); }
+  int k_hi() const { return k_lo + size() - 1; }
+  bool Contains(int k) const { return k >= k_lo && k <= k_hi(); }
+};
+
+/// Empirical coefficients of a sample on [0, 1]: one scaling level j0 and
+/// detail levels j0..j_max. Insertion costs O((j_max − j0 + 2) · L) table
+/// lookups per sample.
+class EmpiricalCoefficients {
+ public:
+  /// Fails if the level range is invalid.
+  static Result<EmpiricalCoefficients> Create(wavelet::WaveletBasis basis, int j0,
+                                              int j_max);
+
+  /// Adds one observation; x must lie in [0, 1] (checked).
+  void Add(double x);
+  void AddAll(std::span<const double> xs);
+
+  size_t count() const { return count_; }
+  int j0() const { return j0_; }
+  int j_max() const { return j_max_; }
+  const wavelet::WaveletBasis& basis() const { return basis_; }
+
+  const CoefficientLevel& scaling_level() const { return scaling_; }
+  /// Detail level j (j0 <= j <= j_max).
+  const CoefficientLevel& detail_level(int j) const;
+
+  /// α̂_{j0,k}; 0 for k outside the tracked window.
+  double AlphaHat(int k) const;
+  /// β̂_{j,k}; 0 for k outside the tracked window.
+  double BetaHat(int j, int k) const;
+
+  /// The per-coefficient contribution to the CV criterion (paper §5.1):
+  ///   β̂² − 2/(n(n−1)) Σ_{i≠h} ψ_{j,k}(X_i) ψ_{j,k}(X_h)
+  /// = β̂² − 2 (S1² − S2)/(n(n−1)).
+  double CrossValidationTerm(int j, int k) const;
+
+ private:
+  EmpiricalCoefficients(wavelet::WaveletBasis basis, int j0, int j_max);
+
+  void AddToLevel(CoefficientLevel* level, double x);
+
+  wavelet::WaveletBasis basis_;
+  int j0_;
+  int j_max_;
+  size_t count_ = 0;
+  CoefficientLevel scaling_;
+  std::vector<CoefficientLevel> details_;  // index j - j0
+};
+
+/// The paper's default primary resolution: smallest integer > ln(n)/(1 + N)
+/// where N is the wavelet regularity (Theorem 3.1 / §5.1).
+int DefaultPrimaryLevel(size_t n, int vanishing_moments);
+
+/// The cross-validation top level j* = log2(n) (§5.1), i.e. floor(log2 n).
+int DefaultTopLevel(size_t n);
+
+}  // namespace core
+}  // namespace wde
+
+#endif  // WDE_CORE_COEFFICIENTS_HPP_

@@ -1,0 +1,90 @@
+#include "core/confidence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/block_bootstrap.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace core {
+
+double ConfidenceBand::CoverageOf(std::span<const double> reference) const {
+  WDE_CHECK_EQ(reference.size(), grid.size(), "reference grid mismatch");
+  size_t inside = 0;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] >= lower[i] && reference[i] <= upper[i]) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(reference.size());
+}
+
+Result<ConfidenceBand> BootstrapConfidenceBand(const wavelet::WaveletBasis& basis,
+                                               std::span<const double> data,
+                                               const ConfidenceBandOptions& options) {
+  if (options.resamples < 10) {
+    return Status::InvalidArgument("need at least 10 bootstrap resamples");
+  }
+  if (!(options.level > 0.0 && options.level < 1.0)) {
+    return Status::InvalidArgument("confidence level must lie in (0,1)");
+  }
+  if (options.grid_points < 2) {
+    return Status::InvalidArgument("need at least 2 grid points");
+  }
+  Result<AdaptiveDensityEstimate> center_fit =
+      FitAdaptive(basis, data, options.adaptive);
+  if (!center_fit.ok()) return center_fit.status();
+
+  const double lo = options.adaptive.fit.domain_lo;
+  const double hi = options.adaptive.fit.domain_hi;
+  const size_t g = options.grid_points;
+
+  ConfidenceBand band;
+  band.level = options.level;
+  band.resamples = options.resamples;
+  band.block_length = options.block_length > 0
+                          ? options.block_length
+                          : stats::DefaultBlockLength(data.size());
+  band.grid.resize(g);
+  for (size_t i = 0; i < g; ++i) {
+    band.grid[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(g - 1);
+  }
+  band.center = center_fit->estimate.EvaluateOnGrid(lo, hi, g);
+
+  // Collect the bootstrap curves (resamples × grid).
+  std::vector<std::vector<double>> curves;
+  curves.reserve(static_cast<size_t>(options.resamples));
+  stats::Rng root(options.seed);
+  for (int b = 0; b < options.resamples; ++b) {
+    stats::Rng rng = root.Fork(static_cast<uint64_t>(b));
+    const std::vector<double> resample =
+        stats::CircularBlockBootstrapResample(data, band.block_length, rng);
+    Result<AdaptiveDensityEstimate> fit =
+        FitAdaptive(basis, resample, options.adaptive);
+    if (!fit.ok()) return fit.status();
+    curves.push_back(fit->estimate.EvaluateOnGrid(lo, hi, g));
+  }
+
+  // Pointwise percentile bounds.
+  const double tail = (1.0 - options.level) / 2.0;
+  band.lower.resize(g);
+  band.upper.resize(g);
+  std::vector<double> column(curves.size());
+  for (size_t i = 0; i < g; ++i) {
+    for (size_t b = 0; b < curves.size(); ++b) column[b] = curves[b][i];
+    std::sort(column.begin(), column.end());
+    const double pos_lo = tail * static_cast<double>(column.size() - 1);
+    const double pos_hi = (1.0 - tail) * static_cast<double>(column.size() - 1);
+    const auto pick = [&](double pos) {
+      const size_t idx = static_cast<size_t>(pos);
+      const double frac = pos - std::floor(pos);
+      const size_t next = std::min(idx + 1, column.size() - 1);
+      return column[idx] * (1.0 - frac) + column[next] * frac;
+    };
+    band.lower[i] = pick(pos_lo);
+    band.upper[i] = pick(pos_hi);
+  }
+  return band;
+}
+
+}  // namespace core
+}  // namespace wde

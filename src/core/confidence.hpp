@@ -1,0 +1,50 @@
+#ifndef WDE_CORE_CONFIDENCE_HPP_
+#define WDE_CORE_CONFIDENCE_HPP_
+
+#include <span>
+#include <vector>
+
+#include "core/adaptive.hpp"
+
+namespace wde {
+namespace core {
+
+/// Pointwise bootstrap confidence band for the adaptive wavelet estimator.
+/// `center` is the estimate on the full sample; `lower`/`upper` are pointwise
+/// percentile bounds across block-bootstrap refits. Percentile bands quantify
+/// sampling variability; they inherit the estimator's smoothing bias, so
+/// they are calibration diagnostics rather than exact frequentist intervals.
+struct ConfidenceBand {
+  std::vector<double> grid;
+  std::vector<double> center;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double level = 0.0;
+  size_t block_length = 0;
+  int resamples = 0;
+
+  /// Fraction of grid points where a reference curve lies inside the band.
+  double CoverageOf(std::span<const double> reference) const;
+};
+
+struct ConfidenceBandOptions {
+  AdaptiveOptions adaptive;
+  size_t grid_points = 257;
+  double level = 0.90;
+  int resamples = 200;
+  /// 0 = the n^{1/3} rule. Use 1 for iid data.
+  size_t block_length = 0;
+  uint64_t seed = 1;
+};
+
+/// Fits the estimator on `data`, then on `resamples` circular-block-bootstrap
+/// resamples (re-running the full cross-validation each time, so threshold
+/// selection noise is included), and returns the pointwise percentile band.
+Result<ConfidenceBand> BootstrapConfidenceBand(const wavelet::WaveletBasis& basis,
+                                               std::span<const double> data,
+                                               const ConfidenceBandOptions& options);
+
+}  // namespace core
+}  // namespace wde
+
+#endif  // WDE_CORE_CONFIDENCE_HPP_

@@ -1,0 +1,154 @@
+#include "core/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace core {
+namespace {
+
+struct RankedCoefficient {
+  double magnitude;  // |β̂_{j,k}|
+  double cv_term;    // β̂² − 2(S1² − S2)/(n(n−1))
+};
+
+LevelCvResult MinimizeLevel(const EmpiricalCoefficients& coefficients, int j,
+                            ThresholdKind kind, double lambda_floor) {
+  const CoefficientLevel& level = coefficients.detail_level(j);
+  const double n = static_cast<double>(coefficients.count());
+
+  std::vector<RankedCoefficient> ranked;
+  ranked.reserve(level.s1.size());
+  for (int k = level.k_lo; k <= level.k_hi(); ++k) {
+    RankedCoefficient rc;
+    rc.magnitude = std::fabs(level.s1[static_cast<size_t>(k - level.k_lo)] / n);
+    rc.cv_term = coefficients.CrossValidationTerm(j, k);
+    ranked.push_back(rc);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCoefficient& a, const RankedCoefficient& b) {
+              return a.magnitude > b.magnitude;
+            });
+
+  // Candidate m = number of kept coefficients (the m largest magnitudes).
+  // m = 0 corresponds to λ = +inf with criterion value 0. A stabilization
+  // floor truncates the candidate set: only thresholds λ = |β̂|_(m) at or
+  // above the floor are eligible.
+  double best_value = 0.0;
+  int best_m = 0;
+  double prefix = 0.0;
+  for (size_t m = 1; m <= ranked.size(); ++m) {
+    const double lambda = ranked[m - 1].magnitude;
+    if (lambda == 0.0) break;  // zero coefficients cannot be "kept" by |β̂| ≥ λ > 0
+    if (lambda < lambda_floor) break;
+    prefix += ranked[m - 1].cv_term;
+    double value = prefix;
+    if (kind == ThresholdKind::kSoft) {
+      value += static_cast<double>(m) * lambda * lambda;
+    }
+    if (value < best_value) {
+      best_value = value;
+      best_m = static_cast<int>(m);
+    }
+  }
+
+  LevelCvResult out;
+  out.j = j;
+  out.total = level.size();
+  out.kept = best_m;
+  out.cv_value = best_value;
+  out.lambda_hat = best_m > 0 ? ranked[static_cast<size_t>(best_m - 1)].magnitude
+                              : std::numeric_limits<double>::infinity();
+  out.max_magnitude = ranked.empty() ? 0.0 : ranked.front().magnitude;
+  return out;
+}
+
+}  // namespace
+
+double LevelCvResult::EffectiveLambda() const {
+  return std::isfinite(lambda_hat) ? lambda_hat : max_magnitude;
+}
+
+const LevelCvResult& CrossValidationResult::Level(int j) const {
+  WDE_CHECK(j >= j0 && j <= j_star, "level outside the CV range");
+  return levels[static_cast<size_t>(j - j0)];
+}
+
+ThresholdSchedule CrossValidationResult::Schedule() const {
+  ThresholdSchedule schedule;
+  schedule.j0 = j0;
+  schedule.lambda.reserve(levels.size());
+  for (const LevelCvResult& level : levels) schedule.lambda.push_back(level.lambda_hat);
+  return schedule;
+}
+
+double FinestLevelNoiseScale(const EmpiricalCoefficients& coefficients) {
+  const CoefficientLevel& finest = coefficients.detail_level(coefficients.j_max());
+  const double n = static_cast<double>(coefficients.count());
+  std::vector<double> magnitudes;
+  magnitudes.reserve(finest.s1.size());
+  for (double s1 : finest.s1) magnitudes.push_back(std::fabs(s1 / n));
+  std::sort(magnitudes.begin(), magnitudes.end());
+  const double median = magnitudes.empty() ? 0.0 : magnitudes[magnitudes.size() / 2];
+  return median / 0.6745;
+}
+
+namespace {
+
+/// Level-wise universal floor √(2 ln K_j) · σ̂_j. Coefficient noise in
+/// density estimation is heteroscedastic — Var(β̂_{j,k}) ≈ ∫ψ²_{j,k} f / n
+/// varies with the local density level — so σ̂_j is the *largest*
+/// per-coefficient standard error √(S2_k)/n on the level: the floor has to
+/// hold in the highest-variance region, which is where spurious hard-kept
+/// coefficients concentrate. This is the data-driven analogue of the paper's
+/// worst-case constant K in λ_j = K √(j/n) (√(2 ln K_j) grows like √j).
+double UniversalFloor(const EmpiricalCoefficients& coefficients, int j) {
+  const CoefficientLevel& level = coefficients.detail_level(j);
+  const double n = static_cast<double>(coefficients.count());
+  double max_s2 = 0.0;
+  for (double s2 : level.s2) max_s2 = std::max(max_s2, s2);
+  const double sigma = std::sqrt(max_s2) / n;
+  const double k_j = std::max(2.0, static_cast<double>(level.size()));
+  return sigma * std::sqrt(2.0 * std::log(k_j));
+}
+
+}  // namespace
+
+CrossValidationResult CrossValidate(const EmpiricalCoefficients& coefficients,
+                                    ThresholdKind kind) {
+  return CrossValidate(coefficients, kind,
+                       kind == ThresholdKind::kHard
+                           ? CvStabilization::kUniversalFloor
+                           : CvStabilization::kNone);
+}
+
+CrossValidationResult CrossValidate(const EmpiricalCoefficients& coefficients,
+                                    ThresholdKind kind,
+                                    CvStabilization stabilization) {
+  WDE_CHECK_GE(coefficients.count(), 2u, "CV needs at least two observations");
+  CrossValidationResult out;
+  out.kind = kind;
+  out.j0 = coefficients.j0();
+  out.j_star = coefficients.j_max();
+  for (int j = out.j0; j <= out.j_star; ++j) {
+    const double floor = stabilization == CvStabilization::kUniversalFloor
+                             ? UniversalFloor(coefficients, j)
+                             : 0.0;
+    out.levels.push_back(MinimizeLevel(coefficients, j, kind, floor));
+  }
+  // ĵ1: smallest level such that every level from it up to j* selects the
+  // empty model (CV_j(λ̂_j) = 0). If even j* keeps coefficients, ĵ1 = j*.
+  int j1 = out.j_star;
+  for (int j = out.j_star; j >= out.j0; --j) {
+    if (out.Level(j).kept > 0) break;
+    j1 = j;
+  }
+  out.j1_hat = j1;
+  return out;
+}
+
+}  // namespace core
+}  // namespace wde

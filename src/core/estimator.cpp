@@ -1,0 +1,218 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/optimize.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace core {
+
+double WaveletEstimate::Evaluate(double x) const {
+  const double t = (x - lo_) / width_;
+  if (t < 0.0 || t > 1.0) return 0.0;
+  double acc = 0.0;
+  {
+    const wavelet::TranslationWindow window = basis_.PointWindow(j0_, t);
+    for (int k = window.lo; k <= window.hi; ++k) {
+      const int idx = k - scaling_k_lo_;
+      if (idx < 0 || idx >= static_cast<int>(alpha_.size())) continue;
+      acc += alpha_[static_cast<size_t>(idx)] * basis_.PhiJk(j0_, k, t);
+    }
+  }
+  for (const DetailLevel& level : details_) {
+    if (level.kept == 0) continue;
+    const wavelet::TranslationWindow window = basis_.PointWindow(level.j, t);
+    for (int k = window.lo; k <= window.hi; ++k) {
+      const int idx = k - level.k_lo;
+      if (idx < 0 || idx >= static_cast<int>(level.theta.size())) continue;
+      const double theta = level.theta[static_cast<size_t>(idx)];
+      if (theta == 0.0) continue;
+      acc += theta * basis_.PsiJk(level.j, k, t);
+    }
+  }
+  return acc / width_;
+}
+
+std::vector<double> WaveletEstimate::EvaluateOnGrid(double lo, double hi,
+                                                    size_t points) const {
+  WDE_CHECK_GE(points, 2u);
+  WDE_CHECK_LT(lo, hi);
+  std::vector<double> out(points);
+  const double dx = (hi - lo) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) {
+    out[i] = Evaluate(lo + dx * static_cast<double>(i));
+  }
+  return out;
+}
+
+namespace {
+
+/// ∫_{ta}^{tb} δ_{j,k}(t) dt = 2^{-j/2} [Δ(2^j tb − k) − Δ(2^j ta − k)]
+/// where Δ is the mother antiderivative.
+double ScaledIntegral(double anti_hi, double anti_lo, int j) {
+  return (anti_hi - anti_lo) * std::exp2(-0.5 * static_cast<double>(j));
+}
+
+}  // namespace
+
+double WaveletEstimate::IntegrateRange(double a, double b) const {
+  if (b < a) std::swap(a, b);
+  const double ta = std::clamp((a - lo_) / width_, 0.0, 1.0);
+  const double tb = std::clamp((b - lo_) / width_, 0.0, 1.0);
+  if (tb <= ta) return 0.0;
+  const int support = basis_.support_length();
+  double acc = 0.0;
+  {
+    const double scale = std::ldexp(1.0, j0_);
+    const int k_first = std::max(scaling_k_lo_,
+                                 static_cast<int>(std::ceil(scale * ta)) - support);
+    const int k_last =
+        std::min(scaling_k_lo_ + static_cast<int>(alpha_.size()) - 1,
+                 static_cast<int>(std::floor(scale * tb)));
+    for (int k = k_first; k <= k_last; ++k) {
+      const double coeff = alpha_[static_cast<size_t>(k - scaling_k_lo_)];
+      if (coeff == 0.0) continue;
+      acc += coeff * ScaledIntegral(basis_.PhiAntiderivative(scale * tb - k),
+                                    basis_.PhiAntiderivative(scale * ta - k), j0_);
+    }
+  }
+  for (const DetailLevel& level : details_) {
+    if (level.kept == 0) continue;
+    const double scale = std::ldexp(1.0, level.j);
+    const int k_first =
+        std::max(level.k_lo, static_cast<int>(std::ceil(scale * ta)) - support);
+    const int k_last = std::min(level.k_lo + static_cast<int>(level.theta.size()) - 1,
+                                static_cast<int>(std::floor(scale * tb)));
+    for (int k = k_first; k <= k_last; ++k) {
+      const double coeff = level.theta[static_cast<size_t>(k - level.k_lo)];
+      if (coeff == 0.0) continue;
+      acc += coeff * ScaledIntegral(basis_.PsiAntiderivative(scale * tb - k),
+                                    basis_.PsiAntiderivative(scale * ta - k), level.j);
+    }
+  }
+  return acc;
+}
+
+double WaveletEstimate::TotalMass() const {
+  return IntegrateRange(domain_lo(), domain_hi());
+}
+
+double WaveletEstimate::Quantile(double u) const {
+  WDE_CHECK(u >= 0.0 && u <= 1.0, "quantile level must be in [0,1]");
+  if (u <= 0.0) return domain_lo();
+  if (u >= 1.0) return domain_hi();
+  const double mass = TotalMass();
+  WDE_CHECK_GT(mass, 0.0, "cannot take quantiles of a zero-mass estimate");
+  return numerics::BisectMonotone(
+      [this](double x) { return IntegrateRange(domain_lo(), x); }, u * mass,
+      domain_lo(), domain_hi());
+}
+
+int WaveletEstimate::j_max() const {
+  return details_.empty() ? j0_ - 1 : details_.back().j;
+}
+
+double WaveletEstimate::ThresholdedFraction(int j) const {
+  for (const DetailLevel& level : details_) {
+    if (level.j == j) {
+      if (level.theta.empty()) return 1.0;
+      return 1.0 -
+             static_cast<double>(level.kept) / static_cast<double>(level.theta.size());
+    }
+  }
+  return 1.0;
+}
+
+Result<WaveletDensityFit> WaveletDensityFit::Fit(const wavelet::WaveletBasis& basis,
+                                                 std::span<const double> data,
+                                                 const FitOptions& options) {
+  if (data.size() < 2) return Status::InvalidArgument("need at least 2 observations");
+  if (!(options.domain_lo < options.domain_hi)) {
+    return Status::InvalidArgument("empty estimation domain");
+  }
+  const int j0 = options.j0 >= 0
+                     ? options.j0
+                     : DefaultPrimaryLevel(data.size(),
+                                           basis.filter().vanishing_moments());
+  const int j_max = options.j_max >= 0 ? options.j_max : DefaultTopLevel(data.size());
+  if (j_max < j0) {
+    return Status::InvalidArgument(Format("j_max %d below j0 %d", j_max, j0));
+  }
+  Result<WaveletDensityFit> fit =
+      CreateStreaming(basis, j0, j_max, options.domain_lo, options.domain_hi);
+  if (!fit.ok()) return fit;
+  for (double x : data) {
+    if (x < options.domain_lo || x > options.domain_hi) {
+      return Status::OutOfRange(
+          Format("observation %.6g outside domain [%.6g, %.6g]", x,
+                 options.domain_lo, options.domain_hi));
+    }
+    fit->Add(x);
+  }
+  return fit;
+}
+
+Result<WaveletDensityFit> WaveletDensityFit::CreateStreaming(
+    const wavelet::WaveletBasis& basis, int j0, int j_max, double domain_lo,
+    double domain_hi) {
+  if (!(domain_lo < domain_hi)) {
+    return Status::InvalidArgument("empty estimation domain");
+  }
+  Result<EmpiricalCoefficients> coeffs = EmpiricalCoefficients::Create(basis, j0, j_max);
+  if (!coeffs.ok()) return coeffs.status();
+  return WaveletDensityFit(std::move(coeffs).value(), domain_lo,
+                           domain_hi - domain_lo);
+}
+
+void WaveletDensityFit::Add(double x) {
+  const double t = (x - lo_) / width_;
+  WDE_CHECK(t >= 0.0 && t <= 1.0, "observation outside the fit domain");
+  coefficients_.Add(t);
+}
+
+WaveletEstimate WaveletDensityFit::Estimate(const ThresholdSchedule& schedule,
+                                            ThresholdKind kind) const {
+  WDE_CHECK_GE(count(), 1u, "cannot estimate from an empty fit");
+  const double n = static_cast<double>(count());
+  WaveletEstimate out(coefficients_.basis());
+  out.lo_ = lo_;
+  out.width_ = width_;
+  out.j0_ = coefficients_.j0();
+
+  const CoefficientLevel& scaling = coefficients_.scaling_level();
+  out.scaling_k_lo_ = scaling.k_lo;
+  out.alpha_.resize(scaling.s1.size());
+  for (size_t i = 0; i < scaling.s1.size(); ++i) out.alpha_[i] = scaling.s1[i] / n;
+
+  const int j_hi = std::min(coefficients_.j_max(), schedule.j_max());
+  for (int j = coefficients_.j0(); j <= j_hi; ++j) {
+    const CoefficientLevel& level = coefficients_.detail_level(j);
+    const double lambda = schedule.LevelLambda(j);
+    WaveletEstimate::DetailLevel detail;
+    detail.j = j;
+    detail.k_lo = level.k_lo;
+    detail.theta.resize(level.s1.size());
+    for (size_t i = 0; i < level.s1.size(); ++i) {
+      const double theta = ApplyThreshold(kind, level.s1[i] / n, lambda);
+      detail.theta[i] = theta;
+      if (theta != 0.0) ++detail.kept;
+    }
+    out.details_.push_back(std::move(detail));
+  }
+  return out;
+}
+
+WaveletEstimate WaveletDensityFit::LinearEstimate(int j1) const {
+  ThresholdSchedule schedule;
+  schedule.j0 = coefficients_.j0();
+  const int j_hi = std::min(j1, coefficients_.j_max());
+  if (j_hi >= schedule.j0) {
+    schedule.lambda.assign(static_cast<size_t>(j_hi - schedule.j0 + 1), 0.0);
+  }
+  return Estimate(schedule, ThresholdKind::kHard);
+}
+
+}  // namespace core
+}  // namespace wde

@@ -1,0 +1,42 @@
+#include "harness/cases.hpp"
+
+#include "processes/iid_process.hpp"
+#include "processes/logistic_map.hpp"
+#include "processes/noncausal_ma.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace harness {
+
+const char* CaseName(DependenceCase c) {
+  switch (c) {
+    case DependenceCase::kIid:
+      return "Case 1 (iid)";
+    case DependenceCase::kLogisticMap:
+      return "Case 2 (logistic map)";
+    case DependenceCase::kNoncausalMa:
+      return "Case 3 (non-causal MA)";
+  }
+  return "unknown";
+}
+
+processes::TransformedProcess MakeCase(
+    DependenceCase c, std::shared_ptr<const processes::TargetDensity> target) {
+  WDE_CHECK(target != nullptr);
+  std::shared_ptr<const processes::RawProcess> raw;
+  switch (c) {
+    case DependenceCase::kIid:
+      raw = std::make_shared<const processes::IidUniformProcess>();
+      break;
+    case DependenceCase::kLogisticMap:
+      raw = std::make_shared<const processes::LogisticMapProcess>();
+      break;
+    case DependenceCase::kNoncausalMa:
+      raw = std::make_shared<const processes::NoncausalMaProcess>();
+      break;
+  }
+  return processes::TransformedProcess(std::move(raw), std::move(target));
+}
+
+}  // namespace harness
+}  // namespace wde

@@ -1,0 +1,30 @@
+#ifndef WDE_HARNESS_CASES_HPP_
+#define WDE_HARNESS_CASES_HPP_
+
+#include <memory>
+
+#include "processes/transformed_process.hpp"
+
+namespace wde {
+namespace harness {
+
+/// The paper's three weak-dependence samplings (§5.2), all sharing the same
+/// target marginal F:
+///   Case 1 — iid;
+///   Case 2 — logistic-map dynamical system (φ̃-weakly dependent);
+///   Case 3 — non-causal infinite moving average (λ-weakly dependent).
+enum class DependenceCase { kIid = 1, kLogisticMap = 2, kNoncausalMa = 3 };
+
+inline constexpr DependenceCase kAllCases[] = {
+    DependenceCase::kIid, DependenceCase::kLogisticMap, DependenceCase::kNoncausalMa};
+
+const char* CaseName(DependenceCase c);
+
+/// Builds the sampling pipeline X = F^{-1}(G(Y)) for a case and target F.
+processes::TransformedProcess MakeCase(DependenceCase c,
+                                       std::shared_ptr<const processes::TargetDensity> target);
+
+}  // namespace harness
+}  // namespace wde
+
+#endif  // WDE_HARNESS_CASES_HPP_

@@ -1,0 +1,29 @@
+#include "harness/experiment_config.hpp"
+
+#include <thread>
+
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace harness {
+
+ExperimentConfig ExperimentConfig::FromEnv(size_t default_n, int default_reps,
+                                           size_t default_grid) {
+  ExperimentConfig config;
+  config.n = static_cast<size_t>(EnvInt("WDE_N", static_cast<long>(default_n)));
+  config.replicates = static_cast<int>(EnvInt("WDE_REPS", default_reps));
+  config.seed = static_cast<uint64_t>(EnvInt("WDE_SEED", 20061015));
+  config.grid_points =
+      static_cast<size_t>(EnvInt("WDE_GRID", static_cast<long>(default_grid)));
+  const long hw = static_cast<long>(std::thread::hardware_concurrency());
+  config.threads = static_cast<int>(EnvInt("WDE_THREADS", hw > 0 ? hw : 1));
+  return config;
+}
+
+std::string ExperimentConfig::Describe() const {
+  return Format("n=%zu replicates=%d seed=%llu grid=%zu threads=%d", n, replicates,
+                static_cast<unsigned long long>(seed), grid_points, threads);
+}
+
+}  // namespace harness
+}  // namespace wde

@@ -1,0 +1,36 @@
+#ifndef WDE_HARNESS_EXPERIMENT_CONFIG_HPP_
+#define WDE_HARNESS_EXPERIMENT_CONFIG_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wde {
+namespace harness {
+
+/// Common knobs for the reproduction benches. Environment variables override
+/// the paper's defaults so a full 500-replicate run and a quick smoke run use
+/// the same binaries:
+///   WDE_N      sample size per replicate   (paper: 1024)
+///   WDE_REPS   Monte-Carlo replicates      (paper: 500)
+///   WDE_SEED   root RNG seed
+///   WDE_GRID   evaluation grid points
+///   WDE_THREADS worker threads for replicate loops
+struct ExperimentConfig {
+  size_t n = 1024;
+  int replicates = 500;
+  uint64_t seed = 20061015;  // the paper's arXiv v1 date
+  size_t grid_points = 1025;
+  int threads = 1;
+
+  /// Applies environment overrides on top of the given defaults.
+  static ExperimentConfig FromEnv(size_t default_n = 1024, int default_reps = 500,
+                                  size_t default_grid = 1025);
+
+  std::string Describe() const;
+};
+
+}  // namespace harness
+}  // namespace wde
+
+#endif  // WDE_HARNESS_EXPERIMENT_CONFIG_HPP_

@@ -1,0 +1,82 @@
+#include "harness/monte_carlo.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace harness {
+
+SummaryStats Summarize(std::span<const double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = stats::Mean(values);
+  s.stddev = stats::StdDev(values);
+  s.min = stats::Min(values);
+  s.max = stats::Max(values);
+  return s;
+}
+
+void ParallelFor(int count, int threads, const std::function<void(int)>& body) {
+  WDE_CHECK_GE(count, 0);
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  const int workers = std::min(threads, count);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) body(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<double> RunReplicates(int replicates, uint64_t seed, int threads,
+                                  const std::function<double(stats::Rng&, int)>& body) {
+  WDE_CHECK_GT(replicates, 0);
+  std::vector<double> out(static_cast<size_t>(replicates), 0.0);
+  const stats::Rng root(seed);
+  ParallelFor(replicates, threads, [&](int rep) {
+    stats::Rng rng = root.Fork(static_cast<uint64_t>(rep));
+    out[static_cast<size_t>(rep)] = body(rng, rep);
+  });
+  return out;
+}
+
+std::vector<std::vector<double>> CollectCurves(
+    int replicates, uint64_t seed, int threads, size_t dim,
+    const std::function<std::vector<double>(stats::Rng&, int)>& body) {
+  WDE_CHECK_GT(replicates, 0);
+  std::vector<std::vector<double>> rows(static_cast<size_t>(replicates));
+  const stats::Rng root(seed);
+  ParallelFor(replicates, threads, [&](int rep) {
+    stats::Rng rng = root.Fork(static_cast<uint64_t>(rep));
+    std::vector<double> row = body(rng, rep);
+    WDE_CHECK_EQ(row.size(), dim, "replicate returned wrong curve length");
+    rows[static_cast<size_t>(rep)] = std::move(row);
+  });
+  return rows;
+}
+
+std::vector<double> MeanCurve(int replicates, uint64_t seed, int threads, size_t dim,
+                              const std::function<std::vector<double>(stats::Rng&, int)>& body) {
+  const std::vector<std::vector<double>> rows =
+      CollectCurves(replicates, seed, threads, dim, body);
+  std::vector<double> mean(dim, 0.0);
+  for (const std::vector<double>& row : rows) {
+    for (size_t i = 0; i < dim; ++i) mean[i] += row[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(replicates);
+  return mean;
+}
+
+}  // namespace harness
+}  // namespace wde

@@ -1,0 +1,49 @@
+#ifndef WDE_HARNESS_MONTE_CARLO_HPP_
+#define WDE_HARNESS_MONTE_CARLO_HPP_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace harness {
+
+/// Aggregates of a scalar Monte-Carlo sample.
+struct SummaryStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+SummaryStats Summarize(std::span<const double> values);
+
+/// Runs `replicates` independent replicates of a scalar experiment. Each
+/// replicate r receives an RNG forked deterministically from (seed, r), so
+/// results are identical for any thread count.
+std::vector<double> RunReplicates(int replicates, uint64_t seed, int threads,
+                                  const std::function<double(stats::Rng&, int)>& body);
+
+/// Vector-valued variant: every replicate must return `dim` values; the
+/// replicate-wise mean curve is returned. Used for the paper's "mean of the
+/// estimators" figures.
+std::vector<double> MeanCurve(int replicates, uint64_t seed, int threads, size_t dim,
+                              const std::function<std::vector<double>(stats::Rng&, int)>& body);
+
+/// Vector-valued variant returning all replicate rows (replicates × dim).
+std::vector<std::vector<double>> CollectCurves(
+    int replicates, uint64_t seed, int threads, size_t dim,
+    const std::function<std::vector<double>(stats::Rng&, int)>& body);
+
+/// Chunked parallel-for over [0, count) with `threads` workers (serial when
+/// threads <= 1). The body must be safe to run concurrently for distinct
+/// indices.
+void ParallelFor(int count, int threads, const std::function<void(int)>& body);
+
+}  // namespace harness
+}  // namespace wde
+
+#endif  // WDE_HARNESS_MONTE_CARLO_HPP_

@@ -1,0 +1,59 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace harness {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  WDE_CHECK_EQ(row.size(), header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << std::left << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const std::vector<double>& x,
+                 const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  os << "# " << title << '\n';
+  os << "x";
+  for (const auto& [label, values] : series) {
+    WDE_CHECK_EQ(values.size(), x.size(), "series length mismatch");
+    os << ' ' << label;
+  }
+  os << '\n';
+  for (size_t i = 0; i < x.size(); ++i) {
+    os << Format("%.6g", x[i]);
+    for (const auto& [label, values] : series) {
+      os << ' ' << Format("%.6g", values[i]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace harness
+}  // namespace wde

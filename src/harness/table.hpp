@@ -1,0 +1,36 @@
+#ifndef WDE_HARNESS_TABLE_HPP_
+#define WDE_HARNESS_TABLE_HPP_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wde {
+namespace harness {
+
+/// Column-aligned text table for bench output, mirroring the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a labelled series block, one grid point per line:
+///   # <title>
+///   x <label1> <label2> ...
+///   0.00 1.234 ...
+/// This is the machine-readable analogue of the paper's figures.
+void PrintSeries(std::ostream& os, const std::string& title,
+                 const std::vector<double>& x,
+                 const std::vector<std::pair<std::string, std::vector<double>>>& series);
+
+}  // namespace harness
+}  // namespace wde
+
+#endif  // WDE_HARNESS_TABLE_HPP_

@@ -1,0 +1,60 @@
+#include "kernel/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace kernel {
+
+KernelDensityEstimator::KernelDensityEstimator(Kernel kernel, double bandwidth,
+                                               std::vector<double> sorted)
+    : kernel_(std::move(kernel)), bandwidth_(bandwidth), sorted_(std::move(sorted)) {}
+
+Result<KernelDensityEstimator> KernelDensityEstimator::Create(
+    Kernel kernel, double bandwidth, std::span<const double> data) {
+  if (data.empty()) return Status::InvalidArgument("KDE requires data");
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument("bandwidth must be positive and finite");
+  }
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  return KernelDensityEstimator(std::move(kernel), bandwidth, std::move(sorted));
+}
+
+double KernelDensityEstimator::Evaluate(double x) const {
+  const double radius = kernel_.support_radius() * bandwidth_;
+  const auto lo =
+      std::lower_bound(sorted_.begin(), sorted_.end(), x - radius);
+  const auto hi = std::upper_bound(lo, sorted_.end(), x + radius);
+  double acc = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    acc += kernel_.Evaluate((x - *it) / bandwidth_);
+  }
+  return acc / (static_cast<double>(sorted_.size()) * bandwidth_);
+}
+
+std::vector<double> KernelDensityEstimator::EvaluateOnGrid(double lo, double hi,
+                                                           size_t points) const {
+  WDE_CHECK_GE(points, 2u);
+  WDE_CHECK_LT(lo, hi);
+  std::vector<double> out(points);
+  const double dx = (hi - lo) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) {
+    out[i] = Evaluate(lo + dx * static_cast<double>(i));
+  }
+  return out;
+}
+
+double KernelDensityEstimator::IntegrateRange(double a, double b) const {
+  if (b < a) std::swap(a, b);
+  double acc = 0.0;
+  for (double x : sorted_) {
+    acc += kernel_.Cdf((b - x) / bandwidth_) - kernel_.Cdf((a - x) / bandwidth_);
+  }
+  return acc / static_cast<double>(sorted_.size());
+}
+
+}  // namespace kernel
+}  // namespace wde

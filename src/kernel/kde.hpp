@@ -1,0 +1,46 @@
+#ifndef WDE_KERNEL_KDE_HPP_
+#define WDE_KERNEL_KDE_HPP_
+
+#include <span>
+#include <vector>
+
+#include "kernel/kernels.hpp"
+#include "util/result.hpp"
+
+namespace wde {
+namespace kernel {
+
+/// Classical kernel density estimator f̂(x) = (nh)^{-1} Σ K((x - X_i)/h),
+/// evaluated over a sorted copy of the data so that compactly supported
+/// kernels cost O(log n + n·h) per query. This is the paper's baseline
+/// estimator (§5.4); no boundary correction is applied, as in the paper.
+class KernelDensityEstimator {
+ public:
+  static Result<KernelDensityEstimator> Create(Kernel kernel, double bandwidth,
+                                               std::span<const double> data);
+
+  double Evaluate(double x) const;
+
+  /// Values on an inclusive uniform grid [lo, hi].
+  std::vector<double> EvaluateOnGrid(double lo, double hi, size_t points) const;
+
+  /// Estimated P(a <= X <= b) from the kernel CDF (used as a selectivity
+  /// baseline).
+  double IntegrateRange(double a, double b) const;
+
+  double bandwidth() const { return bandwidth_; }
+  const Kernel& kernel() const { return kernel_; }
+  size_t sample_size() const { return sorted_.size(); }
+
+ private:
+  KernelDensityEstimator(Kernel kernel, double bandwidth, std::vector<double> sorted);
+
+  Kernel kernel_;
+  double bandwidth_;
+  std::vector<double> sorted_;
+};
+
+}  // namespace kernel
+}  // namespace wde
+
+#endif  // WDE_KERNEL_KDE_HPP_

@@ -1,0 +1,101 @@
+#include "kernel/kernels.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "numerics/integration.hpp"
+#include "numerics/special_functions.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace kernel {
+namespace {
+
+double RawKernel(KernelType type, double u) {
+  const double au = std::fabs(u);
+  switch (type) {
+    case KernelType::kEpanechnikov:
+      return au <= 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
+    case KernelType::kGaussian:
+      return numerics::NormalPdf(u);
+    case KernelType::kBiweight:
+      return au <= 1.0 ? 0.9375 * (1.0 - u * u) * (1.0 - u * u) : 0.0;
+    case KernelType::kTriangular:
+      return au <= 1.0 ? 1.0 - au : 0.0;
+  }
+  return 0.0;
+}
+
+double RadiusFor(KernelType type) {
+  return type == KernelType::kGaussian ? 8.0 : 1.0;
+}
+
+}  // namespace
+
+Kernel::Kernel(KernelType type) : type_(type), radius_(RadiusFor(type)) {
+  // CDF table on [-R, R].
+  const size_t kCdfPoints = 4097;
+  const double cdf_dx = 2.0 * radius_ / static_cast<double>(kCdfPoints - 1);
+  std::vector<double> density(kCdfPoints);
+  for (size_t i = 0; i < kCdfPoints; ++i) {
+    density[i] = RawKernel(type_, -radius_ + cdf_dx * static_cast<double>(i));
+  }
+  std::vector<double> cdf = numerics::CumulativeTrapezoid(density, cdf_dx);
+  // Normalize the tail to exactly 1 so range estimates telescope cleanly.
+  const double total = cdf.back();
+  WDE_CHECK_GT(total, 0.99);
+  for (double& c : cdf) c /= total;
+  cdf_table_ = std::make_shared<const numerics::UniformGridInterpolator>(
+      -radius_, cdf_dx, std::move(cdf));
+
+  // Self-convolution table on [-2R, 2R]; by symmetry compute t >= 0 and
+  // mirror.
+  const size_t kConvPoints = 2049;
+  const double conv_dx = 2.0 * radius_ / static_cast<double>(kConvPoints - 1);
+  std::vector<double> half(kConvPoints);
+  for (size_t i = 0; i < kConvPoints; ++i) {
+    const double t = conv_dx * static_cast<double>(i);
+    const double lo = std::max(-radius_, t - radius_);
+    const double hi = std::min(radius_, t + radius_);
+    half[i] = hi > lo ? numerics::IntegrateFunction(
+                            [this, t](double u) {
+                              return RawKernel(type_, u) * RawKernel(type_, t - u);
+                            },
+                            lo, hi, 256)
+                      : 0.0;
+  }
+  std::vector<double> conv(2 * kConvPoints - 1);
+  for (size_t i = 0; i < kConvPoints; ++i) {
+    conv[kConvPoints - 1 + i] = half[i];
+    conv[kConvPoints - 1 - i] = half[i];
+  }
+  conv_table_ = std::make_shared<const numerics::UniformGridInterpolator>(
+      -2.0 * radius_, conv_dx, std::move(conv));
+}
+
+double Kernel::Evaluate(double u) const { return RawKernel(type_, u); }
+
+double Kernel::Cdf(double u) const {
+  if (u <= -radius_) return 0.0;
+  if (u >= radius_) return 1.0;
+  return cdf_table_->Evaluate(u);
+}
+
+double Kernel::SelfConvolution(double t) const { return conv_table_->Evaluate(t); }
+
+std::string Kernel::name() const {
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kGaussian:
+      return "gaussian";
+    case KernelType::kBiweight:
+      return "biweight";
+    case KernelType::kTriangular:
+      return "triangular";
+  }
+  return "unknown";
+}
+
+}  // namespace kernel
+}  // namespace wde

@@ -1,0 +1,52 @@
+#ifndef WDE_KERNEL_KERNELS_HPP_
+#define WDE_KERNEL_KERNELS_HPP_
+
+#include <memory>
+#include <string>
+
+#include "numerics/interpolation.hpp"
+
+namespace wde {
+namespace kernel {
+
+enum class KernelType { kEpanechnikov, kGaussian, kBiweight, kTriangular };
+
+/// A symmetric probability kernel K with unit mass. Provides the kernel
+/// itself, its CDF (for selectivity/range queries), and its self-convolution
+/// K*K (for the exact ∫f̂² term of least-squares cross-validation). CDF and
+/// self-convolution are precomputed numerically on fine grids, which keeps
+/// the class kernel-agnostic; closed forms exist for the shipped kernels and
+/// are used as test oracles.
+class Kernel {
+ public:
+  explicit Kernel(KernelType type);
+
+  double Evaluate(double u) const;
+
+  /// Radius R such that K vanishes outside [-R, R] (effective radius for the
+  /// Gaussian).
+  double support_radius() const { return radius_; }
+
+  /// ∫_{-∞}^{u} K.
+  double Cdf(double u) const;
+
+  /// (K*K)(t) = ∫ K(u) K(t-u) du, supported on [-2R, 2R].
+  double SelfConvolution(double t) const;
+
+  /// Roughness ∫ K² = (K*K)(0).
+  double Roughness() const { return SelfConvolution(0.0); }
+
+  KernelType type() const { return type_; }
+  std::string name() const;
+
+ private:
+  KernelType type_;
+  double radius_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> cdf_table_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> conv_table_;
+};
+
+}  // namespace kernel
+}  // namespace wde
+
+#endif  // WDE_KERNEL_KERNELS_HPP_

@@ -1,0 +1,46 @@
+#include "numerics/integration.hpp"
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace numerics {
+
+double TrapezoidIntegral(std::span<const double> values, double dx) {
+  if (values.size() < 2) return 0.0;
+  double acc = 0.5 * (values.front() + values.back());
+  for (size_t i = 1; i + 1 < values.size(); ++i) acc += values[i];
+  return acc * dx;
+}
+
+double SimpsonIntegral(std::span<const double> values, double dx) {
+  const size_t n = values.size();
+  if (n < 3 || n % 2 == 0) return TrapezoidIntegral(values, dx);
+  double odd = 0.0;
+  double even = 0.0;
+  for (size_t i = 1; i + 1 < n; i += 2) odd += values[i];
+  for (size_t i = 2; i + 1 < n; i += 2) even += values[i];
+  return dx / 3.0 * (values.front() + values.back() + 4.0 * odd + 2.0 * even);
+}
+
+double IntegrateFunction(const std::function<double(double)>& f, double a, double b,
+                         int intervals) {
+  WDE_CHECK_GT(intervals, 0);
+  if (intervals % 2 != 0) ++intervals;
+  const double h = (b - a) / intervals;
+  double acc = f(a) + f(b);
+  for (int i = 1; i < intervals; ++i) {
+    acc += f(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+std::vector<double> CumulativeTrapezoid(std::span<const double> values, double dx) {
+  std::vector<double> out(values.size(), 0.0);
+  for (size_t i = 1; i < values.size(); ++i) {
+    out[i] = out[i - 1] + 0.5 * dx * (values[i - 1] + values[i]);
+  }
+  return out;
+}
+
+}  // namespace numerics
+}  // namespace wde

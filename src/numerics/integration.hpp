@@ -1,0 +1,30 @@
+#ifndef WDE_NUMERICS_INTEGRATION_HPP_
+#define WDE_NUMERICS_INTEGRATION_HPP_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace wde {
+namespace numerics {
+
+/// Trapezoid rule over equally spaced samples with spacing `dx`.
+double TrapezoidIntegral(std::span<const double> values, double dx);
+
+/// Composite Simpson rule over equally spaced samples (values.size() must be
+/// odd and >= 3); falls back to the trapezoid rule otherwise.
+double SimpsonIntegral(std::span<const double> values, double dx);
+
+/// Integrates `f` over [a, b] with the composite Simpson rule on `intervals`
+/// subintervals (rounded up to an even count).
+double IntegrateFunction(const std::function<double(double)>& f, double a, double b,
+                         int intervals = 1024);
+
+/// Running cumulative trapezoid integral: out[i] = integral of values[0..i].
+/// out[0] = 0.
+std::vector<double> CumulativeTrapezoid(std::span<const double> values, double dx);
+
+}  // namespace numerics
+}  // namespace wde
+
+#endif  // WDE_NUMERICS_INTEGRATION_HPP_

@@ -1,0 +1,31 @@
+#include "numerics/interpolation.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace numerics {
+
+UniformGridInterpolator::UniformGridInterpolator(double x0, double dx,
+                                                 std::vector<double> values)
+    : x0_(x0), dx_(dx), values_(std::move(values)) {
+  WDE_CHECK_GT(dx_, 0.0, "grid spacing must be positive");
+  WDE_CHECK_GE(values_.size(), 2u, "need at least two grid points");
+}
+
+double UniformGridInterpolator::x1() const {
+  return x0_ + dx_ * static_cast<double>(values_.size() - 1);
+}
+
+double UniformGridInterpolator::Evaluate(double x) const {
+  const double t = (x - x0_) / dx_;
+  if (t < 0.0 || t > static_cast<double>(values_.size() - 1)) return 0.0;
+  const auto idx = static_cast<size_t>(t);
+  if (idx + 1 >= values_.size()) return values_.back();
+  const double frac = t - static_cast<double>(idx);
+  return values_[idx] * (1.0 - frac) + values_[idx + 1] * frac;
+}
+
+}  // namespace numerics
+}  // namespace wde

@@ -1,0 +1,34 @@
+#ifndef WDE_NUMERICS_INTERPOLATION_HPP_
+#define WDE_NUMERICS_INTERPOLATION_HPP_
+
+#include <vector>
+
+namespace wde {
+namespace numerics {
+
+/// Piecewise-linear interpolant over a uniform grid x0, x0+dx, ...
+/// Evaluates to 0 outside the grid span (matching compactly supported
+/// functions, the main use case).
+class UniformGridInterpolator {
+ public:
+  UniformGridInterpolator() : x0_(0.0), dx_(1.0) {}
+  UniformGridInterpolator(double x0, double dx, std::vector<double> values);
+
+  double x0() const { return x0_; }
+  double dx() const { return dx_; }
+  const std::vector<double>& values() const { return values_; }
+  /// Right end of the grid span.
+  double x1() const;
+
+  double Evaluate(double x) const;
+
+ private:
+  double x0_;
+  double dx_;
+  std::vector<double> values_;
+};
+
+}  // namespace numerics
+}  // namespace wde
+
+#endif  // WDE_NUMERICS_INTERPOLATION_HPP_

@@ -1,0 +1,72 @@
+#include "numerics/optimize.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace numerics {
+
+double GoldenSectionMinimize(const std::function<double(double)>& f, double a,
+                             double b, double tolerance, int max_iterations) {
+  WDE_CHECK_LT(a, b);
+  const double inv_phi = 0.6180339887498949;  // (sqrt(5)-1)/2
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double GridThenGoldenMinimize(const std::function<double(double)>& f, double a,
+                              double b, int grid_points, double tolerance) {
+  WDE_CHECK_GE(grid_points, 3);
+  const double step = (b - a) / (grid_points - 1);
+  double best_x = a;
+  double best_f = f(a);
+  for (int i = 1; i < grid_points; ++i) {
+    const double x = a + i * step;
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  const double lo = std::max(a, best_x - step);
+  const double hi = std::min(b, best_x + step);
+  return GoldenSectionMinimize(f, lo, hi, tolerance);
+}
+
+double BisectMonotone(const std::function<double(double)>& f, double target,
+                      double a, double b, double tolerance, int max_iterations) {
+  WDE_CHECK_LE(a, b);
+  double lo = a;
+  double hi = b;
+  for (int i = 0; i < max_iterations && (hi - lo) > tolerance; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace numerics
+}  // namespace wde

@@ -1,0 +1,31 @@
+#ifndef WDE_NUMERICS_OPTIMIZE_HPP_
+#define WDE_NUMERICS_OPTIMIZE_HPP_
+
+#include <functional>
+
+namespace wde {
+namespace numerics {
+
+/// Minimizes a unimodal scalar function on [a, b] by golden-section search.
+/// Returns the abscissa of the minimum.
+double GoldenSectionMinimize(const std::function<double(double)>& f, double a,
+                             double b, double tolerance = 1e-8,
+                             int max_iterations = 200);
+
+/// Coarse-to-fine minimizer for possibly multimodal objectives: evaluates f on
+/// `grid_points` equally spaced points in [a, b], then refines around the best
+/// point with golden-section search.
+double GridThenGoldenMinimize(const std::function<double(double)>& f, double a,
+                              double b, int grid_points = 32,
+                              double tolerance = 1e-8);
+
+/// Solves f(x) = target for monotone non-decreasing f on [a, b] by bisection.
+/// Used to invert CDFs. Returns the midpoint of the final bracket.
+double BisectMonotone(const std::function<double(double)>& f, double target,
+                      double a, double b, double tolerance = 1e-12,
+                      int max_iterations = 200);
+
+}  // namespace numerics
+}  // namespace wde
+
+#endif  // WDE_NUMERICS_OPTIMIZE_HPP_

@@ -1,0 +1,41 @@
+#include "processes/ar1_process.hpp"
+
+#include <cmath>
+
+#include "numerics/special_functions.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace processes {
+
+Ar1GaussianProcess::Ar1GaussianProcess(double rho, double innovation_stddev,
+                                       int burn_in)
+    : rho_(rho), innovation_stddev_(innovation_stddev), burn_in_(burn_in) {
+  WDE_CHECK(std::fabs(rho_) < 1.0, "AR(1) requires |rho| < 1 for stationarity");
+  WDE_CHECK_GT(innovation_stddev_, 0.0);
+  marginal_stddev_ = innovation_stddev_ / std::sqrt(1.0 - rho_ * rho_);
+}
+
+std::vector<double> Ar1GaussianProcess::Path(size_t n, stats::Rng& rng) const {
+  std::vector<double> path(n);
+  // Start from the stationary marginal, so the burn-in is belt and braces.
+  double y = rng.Gaussian(0.0, marginal_stddev_);
+  for (int b = 0; b < burn_in_; ++b) {
+    y = rho_ * y + rng.Gaussian(0.0, innovation_stddev_);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    y = rho_ * y + rng.Gaussian(0.0, innovation_stddev_);
+    path[i] = y;
+  }
+  return path;
+}
+
+double Ar1GaussianProcess::MarginalCdf(double y) const {
+  return numerics::NormalCdf(y / marginal_stddev_);
+}
+
+std::string Ar1GaussianProcess::name() const { return Format("ar1(%.2f)", rho_); }
+
+}  // namespace processes
+}  // namespace wde

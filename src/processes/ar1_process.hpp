@@ -1,0 +1,36 @@
+#ifndef WDE_PROCESSES_AR1_PROCESS_HPP_
+#define WDE_PROCESSES_AR1_PROCESS_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Gaussian AR(1): Y_t = ρ Y_{t-1} + ξ_t with ξ_t iid N(0, σ²). A standard
+/// λ-weakly dependent model (a causal linear process with geometric
+/// coefficients, §4.4.1 of the paper) whose covariances decay like ρ^r; the
+/// stationary marginal N(0, σ²/(1−ρ²)) gives a closed-form G for the quantile
+/// transform. Included as an extra weakly-dependent sampling beyond the
+/// paper's three cases.
+class Ar1GaussianProcess : public RawProcess {
+ public:
+  Ar1GaussianProcess(double rho, double innovation_stddev = 1.0, int burn_in = 256);
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override;
+
+  double rho() const { return rho_; }
+  double marginal_stddev() const { return marginal_stddev_; }
+
+ private:
+  double rho_;
+  double innovation_stddev_;
+  double marginal_stddev_;
+  int burn_in_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_AR1_PROCESS_HPP_

@@ -1,0 +1,42 @@
+#include "processes/arch_process.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace processes {
+
+ArchProcess::ArchProcess(double omega, double alpha, int burn_in)
+    : omega_(omega), alpha_(alpha), burn_in_(burn_in) {
+  WDE_CHECK_GT(omega_, 0.0);
+  WDE_CHECK(alpha_ >= 0.0 && alpha_ < 1.0, "ARCH(1) needs alpha in [0,1)");
+}
+
+double ArchProcess::StationaryVariance() const { return omega_ / (1.0 - alpha_); }
+
+std::vector<double> ArchProcess::Path(size_t n, stats::Rng& rng) const {
+  std::vector<double> path(n);
+  double x = rng.Gaussian(0.0, std::sqrt(StationaryVariance()));
+  for (int b = 0; b < burn_in_; ++b) {
+    x = rng.Gaussian() * std::sqrt(omega_ + alpha_ * x * x);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    x = rng.Gaussian() * std::sqrt(omega_ + alpha_ * x * x);
+    path[i] = x;
+  }
+  return path;
+}
+
+double ArchProcess::MarginalCdf(double /*y*/) const {
+  WDE_CHECK(false, "ARCH marginal has no closed form; use diagnostics only");
+  return 0.0;
+}
+
+std::string ArchProcess::name() const {
+  return Format("arch(%.2f,%.2f)", omega_, alpha_);
+}
+
+}  // namespace processes
+}  // namespace wde

@@ -1,0 +1,40 @@
+#ifndef WDE_PROCESSES_ARCH_PROCESS_HPP_
+#define WDE_PROCESSES_ARCH_PROCESS_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// ARCH(1), the simplest instance of the paper's affine class (§4.4.3):
+///   X_t = ξ_t √(ω + α X²_{t−1}),  ξ_t iid N(0, 1),
+/// i.e. M(x) = √(ω + αx²), f ≡ 0. For α < 1 a stationary solution exists;
+/// Gaussian innovations have a bounded density, so condition (J) holds and
+/// the model satisfies Assumption (D) with b = 1/2 (Proposition 4.2).
+///
+/// The hallmark dependence structure — X_t serially *uncorrelated* while X²_t
+/// is autocorrelated with lag-r correlation α^r — is exactly the kind of
+/// dependence classical linear diagnostics miss; tests assert it.
+class ArchProcess : public RawProcess {
+ public:
+  ArchProcess(double omega = 0.2, double alpha = 0.5, int burn_in = 512);
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override;
+
+  double omega() const { return omega_; }
+  double alpha() const { return alpha_; }
+  /// Stationary variance ω/(1−α).
+  double StationaryVariance() const;
+
+ private:
+  double omega_;
+  double alpha_;
+  int burn_in_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_ARCH_PROCESS_HPP_

@@ -1,0 +1,27 @@
+#include "processes/doubling_map.hpp"
+
+namespace wde {
+namespace processes {
+
+std::vector<double> DoublingMapProcess::Path(size_t n, stats::Rng& rng) const {
+  // Simulate the causal AR(1) form directly: X_t = (X_{t-1} + ξ_t)/2.
+  // Starting from U[0,1] the chain is stationary immediately; the burn-in is
+  // kept for symmetry with the other generators.
+  std::vector<double> path(n);
+  double x = rng.UniformDouble();
+  for (int b = 0; b < burn_in_; ++b) x = 0.5 * (x + (rng.Bernoulli(0.5) ? 1.0 : 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    x = 0.5 * (x + (rng.Bernoulli(0.5) ? 1.0 : 0.0));
+    path[i] = x;
+  }
+  return path;
+}
+
+double DoublingMapProcess::MarginalCdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  if (y >= 1.0) return 1.0;
+  return y;
+}
+
+}  // namespace processes
+}  // namespace wde

@@ -1,0 +1,29 @@
+#ifndef WDE_PROCESSES_DOUBLING_MAP_HPP_
+#define WDE_PROCESSES_DOUBLING_MAP_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Andrews' (1984) example, equation (1.1) of the paper: the stationary AR(1)
+/// chain X_t = (X_{t-1} + ξ_t)/2 with ξ_t iid Bernoulli(1/2). Its mixing
+/// coefficients do NOT vanish (time reversal gives the doubling map
+/// T(x) = 2x mod 1), yet it is φ̃-weakly dependent — the paper's motivating
+/// case for abandoning mixing conditions. The invariant law is U[0,1].
+class DoublingMapProcess : public RawProcess {
+ public:
+  explicit DoublingMapProcess(int burn_in = 64) : burn_in_(burn_in) {}
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override { return "doubling-map-ar1"; }
+
+ private:
+  int burn_in_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_DOUBLING_MAP_HPP_

@@ -1,0 +1,17 @@
+#include "processes/iid_process.hpp"
+
+namespace wde {
+namespace processes {
+
+std::vector<double> IidUniformProcess::Path(size_t n, stats::Rng& rng) const {
+  return stats::UniformSample(rng, n);
+}
+
+double IidUniformProcess::MarginalCdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  if (y >= 1.0) return 1.0;
+  return y;
+}
+
+}  // namespace processes
+}  // namespace wde

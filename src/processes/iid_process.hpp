@@ -1,0 +1,21 @@
+#ifndef WDE_PROCESSES_IID_PROCESS_HPP_
+#define WDE_PROCESSES_IID_PROCESS_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Case 1 of the paper: independent U[0,1] observations (the quantile
+/// transform then produces iid draws from any target F).
+class IidUniformProcess : public RawProcess {
+ public:
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override { return "iid-uniform"; }
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_IID_PROCESS_HPP_

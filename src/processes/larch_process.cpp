@@ -1,0 +1,59 @@
+#include "processes/larch_process.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace processes {
+
+LarchProcess::LarchProcess(double intercept, double scale, double decay,
+                           int truncation_lag, int burn_in)
+    : intercept_(intercept),
+      scale_(scale),
+      decay_(decay),
+      truncation_lag_(truncation_lag),
+      burn_in_(burn_in) {
+  WDE_CHECK(decay_ > 0.0 && decay_ < 1.0, "decay must lie in (0,1)");
+  WDE_CHECK_GT(truncation_lag_, 0);
+  // E|ξ| = 1/4 for U(−1/2, 1/2); stationarity needs E|ξ| Σ|a_j| < 1.
+  const double weight_sum = std::fabs(scale_) * decay_ / (1.0 - decay_);
+  WDE_CHECK(weight_sum * 0.25 < 1.0, "LARCH coefficients violate stationarity");
+}
+
+std::vector<double> LarchProcess::Path(size_t n, stats::Rng& rng) const {
+  const size_t lag = static_cast<size_t>(truncation_lag_);
+  std::vector<double> history(lag, 0.0);  // ring buffer, most recent at head_
+  size_t head = 0;
+  std::vector<double> path(n);
+  const size_t total = n + static_cast<size_t>(burn_in_);
+  for (size_t t = 0; t < total; ++t) {
+    double acc = intercept_;
+    double weight = scale_;
+    for (size_t j = 1; j <= lag; ++j) {
+      weight *= decay_;
+      acc += weight * history[(head + lag - j) % lag];
+    }
+    const double xi = rng.Uniform(-0.5, 0.5);
+    const double x = xi * acc;
+    history[head] = x;
+    head = (head + 1) % lag;
+    if (t >= static_cast<size_t>(burn_in_)) {
+      path[t - static_cast<size_t>(burn_in_)] = x;
+    }
+  }
+  return path;
+}
+
+double LarchProcess::MarginalCdf(double /*y*/) const {
+  WDE_CHECK(false, "LARCH marginal has no closed form; use diagnostics only");
+  return 0.0;
+}
+
+std::string LarchProcess::name() const {
+  return Format("larch(%.2f,%.2f)", scale_, decay_);
+}
+
+}  // namespace processes
+}  // namespace wde

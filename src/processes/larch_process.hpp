@@ -1,0 +1,43 @@
+#ifndef WDE_PROCESSES_LARCH_PROCESS_HPP_
+#define WDE_PROCESSES_LARCH_PROCESS_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// LARCH(∞) model of §4.4.2:
+///   X_t = ξ_t (a + Σ_{j≥1} a_j X_{t−j}),
+/// with iid centered innovations and geometric coefficients
+/// a_j = scale·decay^j. For Σ_j |a_j| E|ξ| < 1 a stationary solution exists
+/// and is λ-weakly dependent with λ(r) ≤ C exp(−a √r) (the paper's b = 1/2
+/// case), so Assumption (D) holds. Innovations here are uniform on
+/// [−1/2, 1/2].
+///
+/// The marginal law has no closed form, so the process is exposed for
+/// dependence diagnostics and raw-density estimation rather than the
+/// quantile transform; `MarginalCdf` aborts like the LSV map's.
+class LarchProcess : public RawProcess {
+ public:
+  /// `scale`·Σ decay^j · E|ξ| must stay below 1 (checked).
+  LarchProcess(double intercept = 1.0, double scale = 0.4, double decay = 0.5,
+               int truncation_lag = 64, int burn_in = 512);
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override;
+
+  double intercept() const { return intercept_; }
+
+ private:
+  double intercept_;
+  double scale_;
+  double decay_;
+  int truncation_lag_;
+  int burn_in_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_LARCH_PROCESS_HPP_

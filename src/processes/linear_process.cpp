@@ -1,0 +1,87 @@
+#include "processes/linear_process.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace processes {
+
+TwoSidedLinearProcess::TwoSidedLinearProcess(double scale, double decay,
+                                             Innovation innovation)
+    : scale_(scale), decay_(decay), innovation_(innovation) {
+  WDE_CHECK(decay_ > 0.0 && decay_ < 1.0, "decay must lie in (0,1)");
+  WDE_CHECK(scale_ != 0.0);
+  truncation_lag_ =
+      static_cast<int>(std::ceil(std::log(1e-14) / std::log(decay_)));
+}
+
+double TwoSidedLinearProcess::InnovationVariance() const {
+  switch (innovation_) {
+    case Innovation::kGaussian:
+      return 1.0;
+    case Innovation::kUniform:
+      return 1.0 / 12.0;  // U(-1/2, 1/2)
+    case Innovation::kBernoulli:
+      return 0.25;  // Bernoulli(1/2)
+  }
+  return 0.0;
+}
+
+double TwoSidedLinearProcess::TheoreticalAutocovariance(int r) const {
+  WDE_CHECK_GE(r, 0);
+  // Σ_j a_j a_{j+r} with a_j = s·d^{|j|}:
+  //   split by sign of j and j+r; geometric sums give
+  //   s² d^r [ (1 + d²)/(1 − d²) + r ].
+  const double d = decay_;
+  const double s = scale_;
+  const double factor =
+      (1.0 + d * d) / (1.0 - d * d) + static_cast<double>(r);
+  return InnovationVariance() * s * s * std::pow(d, r) * factor;
+}
+
+std::vector<double> TwoSidedLinearProcess::Path(size_t n, stats::Rng& rng) const {
+  const size_t lag = static_cast<size_t>(truncation_lag_);
+  const size_t total = n + 2 * lag;
+  std::vector<double> noise(total);
+  for (double& xi : noise) {
+    switch (innovation_) {
+      case Innovation::kGaussian:
+        xi = rng.Gaussian();
+        break;
+      case Innovation::kUniform:
+        xi = rng.Uniform(-0.5, 0.5);
+        break;
+      case Innovation::kBernoulli:
+        xi = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+        break;
+    }
+  }
+  // Precompute the two-sided weights a_{-lag}..a_{lag}.
+  std::vector<double> weights(2 * lag + 1);
+  for (size_t j = 0; j <= 2 * lag; ++j) {
+    const auto offset = static_cast<long>(j) - static_cast<long>(lag);
+    weights[j] = scale_ * std::pow(decay_, std::labs(offset));
+  }
+  std::vector<double> path(n);
+  for (size_t t = 0; t < n; ++t) {
+    double acc = 0.0;
+    for (size_t j = 0; j <= 2 * lag; ++j) acc += weights[j] * noise[t + j];
+    path[t] = acc;
+  }
+  return path;
+}
+
+double TwoSidedLinearProcess::MarginalCdf(double /*y*/) const {
+  WDE_CHECK(false,
+            "two-sided linear marginal has no closed form; use diagnostics only");
+  return 0.0;
+}
+
+std::string TwoSidedLinearProcess::name() const {
+  return Format("two-sided-linear(%.2f,%.2f)", scale_, decay_);
+}
+
+}  // namespace processes
+}  // namespace wde

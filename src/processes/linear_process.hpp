@@ -1,0 +1,49 @@
+#ifndef WDE_PROCESSES_LINEAR_PROCESS_HPP_
+#define WDE_PROCESSES_LINEAR_PROCESS_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Generic two-sided (non-causal) linear process of §4.4.1:
+///   Y_t = Σ_{j∈Z} a_j ξ_{t−j},   a_j = scale · decay^{|j|},
+/// with selectable iid innovations, simulated by direct convolution with a
+/// truncation lag chosen so the discarded geometric tail is below 1e−14.
+/// Generalizes the paper's Case 3 (which is the Bernoulli(1/2), decay 1/2,
+/// scale 1/3 instance with its closed-form marginal — see
+/// `NoncausalMaProcess`). With geometric weights, λ(r) decays exponentially
+/// and Assumption (D) holds with b = 1.
+///
+/// The exact marginal CDF is intractable for general weights, so this class
+/// serves dependence diagnostics; its second-order structure is fully known:
+/// Cov(Y_0, Y_r) = σ²_ξ Σ_j a_j a_{j+r} (closed form below) — which the tests
+/// verify against sample autocovariances.
+class TwoSidedLinearProcess : public RawProcess {
+ public:
+  enum class Innovation { kGaussian, kUniform, kBernoulli };
+
+  TwoSidedLinearProcess(double scale, double decay,
+                        Innovation innovation = Innovation::kGaussian);
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override;
+
+  /// Theoretical autocovariance Cov(Y_0, Y_r) for r >= 0.
+  double TheoreticalAutocovariance(int r) const;
+
+  /// Variance of one innovation.
+  double InnovationVariance() const;
+
+ private:
+  double scale_;
+  double decay_;
+  Innovation innovation_;
+  int truncation_lag_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_LINEAR_PROCESS_HPP_

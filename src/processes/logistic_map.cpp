@@ -1,0 +1,43 @@
+#include "processes/logistic_map.hpp"
+
+#include <cmath>
+
+namespace wde {
+namespace processes {
+namespace {
+
+/// Double-precision orbits can collapse onto the absorbing fixed point 0
+/// (e.g. through rounding to exactly 0.5 -> 1 -> 0). Re-inject from the
+/// invariant law when that happens; the event is rare enough not to bias the
+/// marginal.
+double Guard(double y, stats::Rng& rng) {
+  if (y > 1e-13 && y < 1.0 - 1e-13) return y;
+  return LogisticMapProcess::InvariantQuantile(rng.UniformDouble());
+}
+
+}  // namespace
+
+double LogisticMapProcess::InvariantQuantile(double u) {
+  const double s = std::sin(M_PI * u / 2.0);
+  return s * s;
+}
+
+std::vector<double> LogisticMapProcess::Path(size_t n, stats::Rng& rng) const {
+  std::vector<double> path(n);
+  double y = InvariantQuantile(rng.UniformDouble());
+  for (int b = 0; b < burn_in_; ++b) y = Guard(Map(y), rng);
+  for (size_t i = 0; i < n; ++i) {
+    path[i] = y;
+    y = Guard(Map(y), rng);
+  }
+  return path;
+}
+
+double LogisticMapProcess::MarginalCdf(double y) const {
+  if (y <= 0.0) return 0.0;
+  if (y >= 1.0) return 1.0;
+  return 2.0 / M_PI * std::asin(std::sqrt(y));
+}
+
+}  // namespace processes
+}  // namespace wde

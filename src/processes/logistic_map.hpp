@@ -1,0 +1,40 @@
+#ifndef WDE_PROCESSES_LOGISTIC_MAP_HPP_
+#define WDE_PROCESSES_LOGISTIC_MAP_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Case 2 of the paper: the expanding map T(x) = 4x(1-x), iterated from a
+/// draw of its invariant (arcsine) distribution. The associated time-reversed
+/// Markov chain is φ̃-weakly dependent with exponentially decaying
+/// coefficients (Proposition 4.1 applies); classical mixing coefficients fail
+/// for it (Remark 1 of the paper).
+///
+/// The invariant CDF is G(y) = (2/π) asin(√y) with density 1/(π√(y(1-y))).
+/// (The paper's formula "G(x) = 2√(x(1-x))/π" is the plot of a related
+/// function; the arcsine law is the logistic map's invariant distribution.)
+class LogisticMapProcess : public RawProcess {
+ public:
+  /// `burn_in` extra iterations are discarded before the recorded path.
+  explicit LogisticMapProcess(int burn_in = 256) : burn_in_(burn_in) {}
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+  double MarginalCdf(double y) const override;
+  std::string name() const override { return "logistic-map"; }
+
+  /// The map itself, exposed for tests: T(x) = 4x(1-x).
+  static double Map(double x) { return 4.0 * x * (1.0 - x); }
+
+  /// Inverse of the invariant CDF: G^{-1}(u) = sin²(πu/2).
+  static double InvariantQuantile(double u);
+
+ private:
+  int burn_in_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_LOGISTIC_MAP_HPP_

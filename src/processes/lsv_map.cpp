@@ -1,0 +1,46 @@
+#include "processes/lsv_map.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace processes {
+
+LsvMapProcess::LsvMapProcess(double alpha) : alpha_(alpha) {
+  WDE_CHECK(alpha_ > 0.0 && alpha_ < 1.0, "LSV index must lie in (0,1)");
+}
+
+double LsvMapProcess::Map(double x) const {
+  if (x <= 0.5) {
+    return x * (1.0 + std::pow(2.0 * x, alpha_));
+  }
+  return 2.0 * x - 1.0;
+}
+
+std::vector<double> LsvMapProcess::Path(size_t n, stats::Rng& rng) const {
+  std::vector<double> path(n);
+  double z = rng.UniformDouble();
+  // Burn-in of n iterations, then record n values: (X_1..X_n) = (Z_{n+1}..Z_{2n}).
+  for (size_t b = 0; b < n; ++b) {
+    z = Map(z);
+    if (z <= 1e-14 || z >= 1.0) z = rng.UniformDouble();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    z = Map(z);
+    if (z <= 1e-14 || z >= 1.0) z = rng.UniformDouble();
+    path[i] = z;
+  }
+  return path;
+}
+
+double LsvMapProcess::MarginalCdf(double /*y*/) const {
+  WDE_CHECK(false, "LSV invariant CDF has no closed form; do not transform");
+  return 0.0;
+}
+
+std::string LsvMapProcess::name() const { return Format("lsv-map(%.2f)", alpha_); }
+
+}  // namespace processes
+}  // namespace wde

@@ -1,0 +1,44 @@
+#ifndef WDE_PROCESSES_LSV_MAP_HPP_
+#define WDE_PROCESSES_LSV_MAP_HPP_
+
+#include "processes/process.hpp"
+
+namespace wde {
+namespace processes {
+
+/// Liverani–Saussol–Vaienti intermittent map (paper §5.5):
+///   T(x) = x (1 + 2^α' x^α')  for 0 ≤ x ≤ 1/2,
+///   T(x) = 2x − 1             for 1/2 < x ≤ 1,
+/// with 0 < α' < 1. The neutral fixed point at 0 makes covariances decay only
+/// polynomially, r^{1−1/α'}, so Assumption (D) FAILS and Proposition 5.1 shows
+/// thresholded wavelet estimators cannot be near-minimax. The invariant
+/// density is unbounded (~x^{-α'} near 0) and has no closed form; experiments
+/// therefore restrict to [0.01, 1] and compare estimators against each other,
+/// exactly as in the paper.
+///
+/// Simulation matches the paper: Z_0 ~ Lebesgue on [0,1], apply T 2n times,
+/// keep the second half (ergodic-average burn-in).
+class LsvMapProcess : public RawProcess {
+ public:
+  explicit LsvMapProcess(double alpha);
+
+  std::vector<double> Path(size_t n, stats::Rng& rng) const override;
+
+  /// The invariant CDF has no closed form; MarginalCdf is deliberately
+  /// unsupported (aborts). LSV experiments never use the quantile transform.
+  double MarginalCdf(double y) const override;
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+
+  /// One application of the map.
+  double Map(double x) const;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_LSV_MAP_HPP_

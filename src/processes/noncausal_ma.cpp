@@ -1,0 +1,54 @@
+#include "processes/noncausal_ma.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace processes {
+
+double NoncausalMaProcess::TriangularSumCdf(double s) {
+  if (s <= 0.0) return 0.0;
+  if (s >= 2.0) return 1.0;
+  if (s <= 1.0) return 0.5 * s * s;
+  return 1.0 - 0.5 * (2.0 - s) * (2.0 - s);
+}
+
+std::vector<double> NoncausalMaProcess::Path(size_t n, stats::Rng& rng) const {
+  WDE_CHECK_GT(n, 0u);
+  const long iterations =
+      std::max(8L, static_cast<long>(iterations_factor_ * static_cast<double>(n)));
+  const long pad = iterations;  // window [-N, n-1+N] in paper indexing
+  const long total = static_cast<long>(n) + 2 * pad;
+
+  std::vector<double> noise(static_cast<size_t>(total));
+  for (double& xi : noise) xi = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+
+  std::vector<double> current(static_cast<size_t>(total), 0.0);
+  std::vector<double> next(static_cast<size_t>(total), 0.0);
+  for (long it = 0; it < iterations; ++it) {
+    for (long i = 0; i < total; ++i) {
+      const double left = (i > 0) ? current[static_cast<size_t>(i - 1)] : 0.0;
+      const double right = (i + 1 < total) ? current[static_cast<size_t>(i + 1)] : 0.0;
+      next[static_cast<size_t>(i)] =
+          0.4 * (left + right) + 0.2 * noise[static_cast<size_t>(i)];
+    }
+    current.swap(next);
+  }
+
+  std::vector<double> path(n);
+  for (size_t i = 0; i < n; ++i) path[i] = current[static_cast<size_t>(pad) + i];
+  return path;
+}
+
+double NoncausalMaProcess::MarginalCdf(double y) const {
+  // Y = (U + U' + ξ)/3 with ξ Bernoulli(1/2):
+  // G(y) = ½ P(U+U' ≤ 3y) + ½ P(U+U' ≤ 3y − 1).
+  if (y <= 0.0) return 0.0;
+  if (y >= 1.0) return 1.0;
+  return 0.5 * TriangularSumCdf(3.0 * y) + 0.5 * TriangularSumCdf(3.0 * y - 1.0);
+}
+
+}  // namespace processes
+}  // namespace wde

@@ -1,0 +1,33 @@
+#ifndef WDE_PROCESSES_PROCESS_HPP_
+#define WDE_PROCESSES_PROCESS_HPP_
+
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace processes {
+
+/// A stationary real-valued process with a known marginal CDF on its own
+/// scale. Implementations produce a *stationary* path (burn-in and
+/// approximation schemes are internal). The quantile transform
+/// X = F^{-1}(G(Y)) in `TransformedProcess` then imposes any target marginal
+/// while preserving the dependence structure — the paper's §5.2 scheme.
+class RawProcess {
+ public:
+  virtual ~RawProcess() = default;
+
+  /// Generates a stationary sample path Y_1..Y_n.
+  virtual std::vector<double> Path(size_t n, stats::Rng& rng) const = 0;
+
+  /// The common marginal CDF G of Y_t.
+  virtual double MarginalCdf(double y) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_PROCESS_HPP_

@@ -1,0 +1,123 @@
+#include "processes/target_density.hpp"
+
+#include <cmath>
+
+#include "numerics/optimize.hpp"
+#include "numerics/special_functions.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace processes {
+
+double TargetDensity::InverseCdf(double u) const {
+  WDE_CHECK(u >= 0.0 && u <= 1.0, "quantile level must be in [0,1]");
+  if (u <= 0.0) return support_lo();
+  if (u >= 1.0) return support_hi();
+  return numerics::BisectMonotone([this](double x) { return Cdf(x); }, u,
+                                  support_lo(), support_hi());
+}
+
+std::vector<double> TargetDensity::PdfOnGrid(size_t points) const {
+  WDE_CHECK_GE(points, 2u);
+  std::vector<double> out(points);
+  const double lo = support_lo();
+  const double dx = (support_hi() - lo) / static_cast<double>(points - 1);
+  for (size_t i = 0; i < points; ++i) out[i] = Pdf(lo + dx * static_cast<double>(i));
+  return out;
+}
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+SineUniformMixtureDensity::SineUniformMixtureDensity(double amplitude,
+                                                     double breakpoint,
+                                                     double left_mass)
+    : amplitude_(amplitude), breakpoint_(breakpoint), left_mass_(left_mass) {
+  WDE_CHECK(amplitude_ > -1.0 && amplitude_ < 1.0, "amplitude must keep f positive");
+  WDE_CHECK(breakpoint_ > 0.0 && breakpoint_ < 1.0);
+  WDE_CHECK(left_mass_ > 0.0 && left_mass_ < 1.0);
+  // ∫_0^d (1 + a sin(2πx)) dx = d + a (1 − cos(2πd)) / (2π).
+  const double left_integral =
+      breakpoint_ + amplitude_ * (1.0 - std::cos(kTwoPi * breakpoint_)) / kTwoPi;
+  left_scale_ = left_mass_ / left_integral;
+  right_value_ = (1.0 - left_mass_) / (1.0 - breakpoint_);
+}
+
+double SineUniformMixtureDensity::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  if (x < breakpoint_) return left_scale_ * (1.0 + amplitude_ * std::sin(kTwoPi * x));
+  return right_value_;
+}
+
+double SineUniformMixtureDensity::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  if (x < breakpoint_) {
+    return left_scale_ * (x + amplitude_ * (1.0 - std::cos(kTwoPi * x)) / kTwoPi);
+  }
+  return left_mass_ + right_value_ * (x - breakpoint_);
+}
+
+double SineUniformMixtureDensity::JumpSize() const {
+  const double left_limit =
+      left_scale_ * (1.0 + amplitude_ * std::sin(kTwoPi * breakpoint_));
+  return std::fabs(left_limit - right_value_);
+}
+
+TruncatedGaussianMixtureDensity::TruncatedGaussianMixtureDensity(
+    std::vector<Component> components)
+    : components_(std::move(components)) {
+  WDE_CHECK(!components_.empty());
+  double weight_sum = 0.0;
+  normalization_ = 0.0;
+  for (const Component& c : components_) {
+    WDE_CHECK_GT(c.weight, 0.0);
+    WDE_CHECK_GT(c.stddev, 0.0);
+    weight_sum += c.weight;
+  }
+  WDE_CHECK(std::fabs(weight_sum - 1.0) < 1e-9, "component weights must sum to 1");
+  mass_at_0_.reserve(components_.size());
+  for (const Component& c : components_) {
+    const double at0 = numerics::NormalCdf((0.0 - c.mean) / c.stddev);
+    const double at1 = numerics::NormalCdf((1.0 - c.mean) / c.stddev);
+    mass_at_0_.push_back(at0);
+    normalization_ += c.weight * (at1 - at0);
+  }
+  WDE_CHECK_GT(normalization_, 0.0);
+}
+
+TruncatedGaussianMixtureDensity TruncatedGaussianMixtureDensity::Bimodal() {
+  return TruncatedGaussianMixtureDensity(
+      {{0.5, 0.30, 0.04}, {0.5, 0.65, 0.02}});
+}
+
+double TruncatedGaussianMixtureDensity::Pdf(double x) const {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  double acc = 0.0;
+  for (const Component& c : components_) {
+    acc += c.weight * numerics::NormalPdf((x - c.mean) / c.stddev) / c.stddev;
+  }
+  return acc / normalization_;
+}
+
+double TruncatedGaussianMixtureDensity::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    const Component& c = components_[i];
+    acc += c.weight *
+           (numerics::NormalCdf((x - c.mean) / c.stddev) - mass_at_0_[i]);
+  }
+  return acc / normalization_;
+}
+
+double UniformDensity::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x;
+}
+
+}  // namespace processes
+}  // namespace wde

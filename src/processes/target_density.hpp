@@ -1,0 +1,104 @@
+#ifndef WDE_PROCESSES_TARGET_DENSITY_HPP_
+#define WDE_PROCESSES_TARGET_DENSITY_HPP_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wde {
+namespace processes {
+
+/// A compactly supported probability density with a computable CDF, used both
+/// as the common marginal F of the simulated processes (via the quantile
+/// transform) and as the ground truth for risk computations.
+/// All densities in the reproduction are supported on [0, 1].
+class TargetDensity {
+ public:
+  virtual ~TargetDensity() = default;
+
+  virtual double Pdf(double x) const = 0;
+  virtual double Cdf(double x) const = 0;
+
+  /// Quantile function F^{-1}(u) for u in [0,1]. The default implementation
+  /// inverts Cdf by bisection over the support.
+  virtual double InverseCdf(double u) const;
+
+  /// Support interval; [0, 1] for all shipped densities.
+  virtual double support_lo() const { return 0.0; }
+  virtual double support_hi() const { return 1.0; }
+
+  virtual std::string name() const = 0;
+
+  /// Samples Pdf on `points` equally spaced grid points across the support
+  /// (including both endpoints).
+  std::vector<double> PdfOnGrid(size_t points) const;
+};
+
+/// The paper's first simulated density: a mixture of a sine-modulated
+/// component on [0, breakpoint) and a uniform component on [breakpoint, 1],
+/// exhibiting a jump discontinuity at the breakpoint. Parameters follow
+/// DESIGN.md: amplitude 0.4, breakpoint 0.7, left mass 0.75 (range ~[0.59,
+/// 1.34], jump ~0.24, matching the paper's Figures 1-2).
+class SineUniformMixtureDensity : public TargetDensity {
+ public:
+  SineUniformMixtureDensity(double amplitude = 0.4, double breakpoint = 0.7,
+                            double left_mass = 0.75);
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  std::string name() const override { return "sine-uniform-mixture"; }
+
+  double breakpoint() const { return breakpoint_; }
+  /// Size of the jump |f(d^-) - f(d^+)| at the breakpoint.
+  double JumpSize() const;
+
+ private:
+  double amplitude_;
+  double breakpoint_;
+  double left_mass_;
+  double left_scale_;   // C1
+  double right_value_;  // C2
+};
+
+/// The paper's second simulated density: a two-component Gaussian mixture
+/// truncated/renormalized to [0, 1]. Defaults (0.5 N(0.30, 0.04²) +
+/// 0.5 N(0.65, 0.02²)) put the two modes near heights 5 and 10 as in the
+/// paper's Figure 5.
+class TruncatedGaussianMixtureDensity : public TargetDensity {
+ public:
+  struct Component {
+    double weight;
+    double mean;
+    double stddev;
+  };
+
+  explicit TruncatedGaussianMixtureDensity(std::vector<Component> components);
+
+  /// The paper's two-mode default.
+  static TruncatedGaussianMixtureDensity Bimodal();
+
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  std::string name() const override { return "gaussian-mixture"; }
+
+  const std::vector<Component>& components() const { return components_; }
+
+ private:
+  std::vector<Component> components_;
+  double normalization_;          // total mass inside [0,1]
+  std::vector<double> mass_at_0_; // per-component CDF at 0
+};
+
+/// Uniform density on [0, 1]; the simplest smoke-test target.
+class UniformDensity : public TargetDensity {
+ public:
+  double Pdf(double x) const override { return (x >= 0.0 && x <= 1.0) ? 1.0 : 0.0; }
+  double Cdf(double x) const override;
+  double InverseCdf(double u) const override { return u; }
+  std::string name() const override { return "uniform"; }
+};
+
+}  // namespace processes
+}  // namespace wde
+
+#endif  // WDE_PROCESSES_TARGET_DENSITY_HPP_

@@ -1,0 +1,114 @@
+#include "selectivity/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace selectivity {
+
+EquiWidthHistogram::EquiWidthHistogram(double lo, double hi, int buckets) : lo_(lo) {
+  WDE_CHECK_LT(lo, hi);
+  WDE_CHECK_GT(buckets, 0);
+  width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(static_cast<size_t>(buckets), 0.0);
+}
+
+void EquiWidthHistogram::Insert(double x) {
+  if (!std::isfinite(x)) return;
+  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
+  x = std::clamp(x, lo_, hi);
+  auto bucket = static_cast<long>((x - lo_) / width_);
+  bucket = std::clamp(bucket, 0L, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<size_t>(bucket)] += 1.0;
+  ++count_;
+}
+
+double EquiWidthHistogram::EstimateRange(double a, double b) const {
+  if (count_ == 0) return 0.0;
+  if (b < a) std::swap(a, b);
+  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
+  a = std::clamp(a, lo_, hi);
+  b = std::clamp(b, lo_, hi);
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double bucket_lo = lo_ + width_ * static_cast<double>(i);
+    const double bucket_hi = bucket_lo + width_;
+    const double overlap = std::min(b, bucket_hi) - std::max(a, bucket_lo);
+    if (overlap <= 0.0) continue;
+    acc += counts_[i] * overlap / width_;
+  }
+  return acc / static_cast<double>(count_);
+}
+
+std::string EquiWidthHistogram::name() const {
+  return Format("equi-width(%d)", buckets());
+}
+
+EquiDepthHistogram::EquiDepthHistogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets) {
+  WDE_CHECK_LT(lo, hi);
+  WDE_CHECK_GT(buckets, 0);
+}
+
+void EquiDepthHistogram::Insert(double x) {
+  if (!std::isfinite(x)) return;
+  values_.push_back(std::clamp(x, lo_, hi_));
+}
+
+void EquiDepthHistogram::RebuildIfStale() const {
+  if (!boundaries_.empty() && built_at_count_ == values_.size()) return;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  boundaries_.assign(static_cast<size_t>(buckets_) + 1, lo_);
+  if (sorted.empty()) {
+    boundaries_.back() = hi_;
+    built_at_count_ = 0;
+    return;
+  }
+  boundaries_.front() = lo_;
+  boundaries_.back() = hi_;
+  for (int b = 1; b < buckets_; ++b) {
+    const double pos = static_cast<double>(b) / static_cast<double>(buckets_) *
+                       static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<size_t>(pos);
+    const double frac = pos - std::floor(pos);
+    const double value = sorted[idx] * (1.0 - frac) +
+                         sorted[std::min(idx + 1, sorted.size() - 1)] * frac;
+    boundaries_[static_cast<size_t>(b)] = value;
+  }
+  // Boundaries must be non-decreasing even for highly skewed data.
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    boundaries_[i] = std::max(boundaries_[i], boundaries_[i - 1]);
+  }
+  built_at_count_ = values_.size();
+}
+
+double EquiDepthHistogram::CdfAt(double x) const {
+  if (x <= boundaries_.front()) return 0.0;
+  if (x >= boundaries_.back()) return 1.0;
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+  const size_t bucket = static_cast<size_t>(it - boundaries_.begin()) - 1;
+  const double bucket_lo = boundaries_[bucket];
+  const double bucket_hi = boundaries_[bucket + 1];
+  const double mass_per_bucket = 1.0 / static_cast<double>(buckets_);
+  const double within =
+      bucket_hi > bucket_lo ? (x - bucket_lo) / (bucket_hi - bucket_lo) : 1.0;
+  return mass_per_bucket * (static_cast<double>(bucket) + within);
+}
+
+double EquiDepthHistogram::EstimateRange(double a, double b) const {
+  if (values_.empty()) return 0.0;
+  if (b < a) std::swap(a, b);
+  RebuildIfStale();
+  return CdfAt(b) - CdfAt(a);
+}
+
+std::string EquiDepthHistogram::name() const {
+  return Format("equi-depth(%d)", buckets_);
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -1,0 +1,61 @@
+#ifndef WDE_SELECTIVITY_HISTOGRAM_HPP_
+#define WDE_SELECTIVITY_HISTOGRAM_HPP_
+
+#include <vector>
+
+#include "selectivity/selectivity_estimator.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// Classic equi-width histogram over a fixed domain with the
+/// continuous-uniform assumption inside buckets — the standard optimizer
+/// baseline the wavelet estimator competes with.
+class EquiWidthHistogram : public SelectivityEstimator {
+ public:
+  EquiWidthHistogram(double lo, double hi, int buckets);
+
+  void Insert(double x) override;
+  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return count_; }
+  std::string name() const override;
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  size_t count_ = 0;
+};
+
+/// Equi-depth (equi-height) histogram: bucket boundaries at sample quantiles,
+/// equal mass per bucket, linear interpolation inside buckets. Rebuilt lazily
+/// from the retained values when stale (rebuild cost shows up in the perf
+/// benches, as it would in ANALYZE).
+class EquiDepthHistogram : public SelectivityEstimator {
+ public:
+  EquiDepthHistogram(double lo, double hi, int buckets);
+
+  void Insert(double x) override;
+  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return values_.size(); }
+  std::string name() const override;
+
+ private:
+  void RebuildIfStale() const;
+  /// Estimated CDF at x from the bucket boundaries.
+  double CdfAt(double x) const;
+
+  double lo_;
+  double hi_;
+  int buckets_;
+  std::vector<double> values_;
+  mutable std::vector<double> boundaries_;  // buckets_ + 1 entries
+  mutable size_t built_at_count_ = 0;
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_HISTOGRAM_HPP_

@@ -1,0 +1,46 @@
+#include "selectivity/kde_selectivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernel/bandwidth.hpp"
+
+namespace wde {
+namespace selectivity {
+
+void KdeSelectivity::Insert(double x) {
+  if (!std::isfinite(x)) return;
+  values_.push_back(std::clamp(x, options_.domain_lo, options_.domain_hi));
+}
+
+void KdeSelectivity::RefitIfStale() const {
+  if (values_.size() < 4) return;
+  if (kde_.has_value() && values_.size() - fitted_at_count_ < options_.refit_interval) {
+    return;
+  }
+  const double bandwidth = kernel::RuleOfThumbBandwidth(values_);
+  Result<kernel::KernelDensityEstimator> kde = kernel::KernelDensityEstimator::Create(
+      kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth, values_);
+  if (kde.ok()) {
+    kde_ = std::move(kde).value();
+    fitted_at_count_ = values_.size();
+  }
+}
+
+double KdeSelectivity::EstimateRange(double a, double b) const {
+  RefitIfStale();
+  if (!kde_.has_value()) {
+    // Tiny-sample fallback: exact fraction of buffered values.
+    if (values_.empty()) return 0.0;
+    if (b < a) std::swap(a, b);
+    size_t hits = 0;
+    for (double x : values_) {
+      if (x >= a && x <= b) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(values_.size());
+  }
+  return std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
+}
+
+}  // namespace selectivity
+}  // namespace wde

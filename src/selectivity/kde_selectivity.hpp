@@ -1,0 +1,44 @@
+#ifndef WDE_SELECTIVITY_KDE_SELECTIVITY_HPP_
+#define WDE_SELECTIVITY_KDE_SELECTIVITY_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "kernel/kde.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// Kernel-density selectivity baseline: buffers the stream (unlike the
+/// wavelet sketch it is NOT bounded-memory), rebuilds an Epanechnikov KDE
+/// with the rule-of-thumb bandwidth when stale, and answers ranges from the
+/// kernel CDF.
+class KdeSelectivity : public SelectivityEstimator {
+ public:
+  struct Options {
+    double domain_lo = 0.0;
+    double domain_hi = 1.0;
+    size_t refit_interval = 1024;
+  };
+
+  explicit KdeSelectivity(const Options& options) : options_(options) {}
+
+  void Insert(double x) override;
+  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return values_.size(); }
+  std::string name() const override { return "kde-rot"; }
+
+ private:
+  void RefitIfStale() const;
+
+  Options options_;
+  std::vector<double> values_;
+  mutable std::optional<kernel::KernelDensityEstimator> kde_;
+  mutable size_t fitted_at_count_ = 0;
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_KDE_SELECTIVITY_HPP_

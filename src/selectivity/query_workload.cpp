@@ -1,0 +1,66 @@
+#include "selectivity/query_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace selectivity {
+
+std::vector<RangeQuery> UniformRangeWorkload(stats::Rng& rng, size_t count,
+                                             double domain_lo, double domain_hi) {
+  WDE_CHECK_LT(domain_lo, domain_hi);
+  std::vector<RangeQuery> out(count);
+  for (RangeQuery& q : out) {
+    double a = rng.Uniform(domain_lo, domain_hi);
+    double b = rng.Uniform(domain_lo, domain_hi);
+    if (b < a) std::swap(a, b);
+    q = {a, b};
+  }
+  return out;
+}
+
+std::vector<RangeQuery> CenteredRangeWorkload(stats::Rng& rng, size_t count,
+                                              double domain_lo, double domain_hi,
+                                              double min_width, double max_width) {
+  WDE_CHECK_LT(domain_lo, domain_hi);
+  WDE_CHECK(min_width > 0.0 && max_width >= min_width);
+  std::vector<RangeQuery> out(count);
+  for (RangeQuery& q : out) {
+    const double width = rng.Uniform(min_width, max_width);
+    const double center = rng.Uniform(domain_lo, domain_hi);
+    q.lo = std::max(domain_lo, center - width / 2.0);
+    q.hi = std::min(domain_hi, center + width / 2.0);
+  }
+  return out;
+}
+
+SelectivityAccuracy EvaluateAccuracy(
+    const SelectivityEstimator& estimator, std::span<const RangeQuery> queries,
+    const std::function<double(const RangeQuery&)>& truth, double qerror_floor) {
+  SelectivityAccuracy acc;
+  acc.queries = queries.size();
+  if (queries.empty()) return acc;
+  double sq_sum = 0.0;
+  for (const RangeQuery& q : queries) {
+    const double est = estimator.EstimateRange(q.lo, q.hi);
+    const double ref = truth(q);
+    const double abs_err = std::fabs(est - ref);
+    acc.mean_abs_error += abs_err;
+    sq_sum += abs_err * abs_err;
+    const double lo = std::max(std::min(est, ref), qerror_floor);
+    const double hi = std::max(std::max(est, ref), qerror_floor);
+    const double qerr = hi / lo;
+    acc.mean_qerror += qerr;
+    acc.max_qerror = std::max(acc.max_qerror, qerr);
+  }
+  const double n = static_cast<double>(queries.size());
+  acc.mean_abs_error /= n;
+  acc.rmse = std::sqrt(sq_sum / n);
+  acc.mean_qerror /= n;
+  return acc;
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -1,0 +1,51 @@
+#ifndef WDE_SELECTIVITY_QUERY_WORKLOAD_HPP_
+#define WDE_SELECTIVITY_QUERY_WORKLOAD_HPP_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "selectivity/selectivity_estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// A closed range predicate [lo, hi].
+struct RangeQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Generates `count` queries with both endpoints uniform over the domain
+/// (sorted per query).
+std::vector<RangeQuery> UniformRangeWorkload(stats::Rng& rng, size_t count,
+                                             double domain_lo, double domain_hi);
+
+/// Generates `count` queries with uniform centers and widths in
+/// [min_width, max_width], clipped to the domain — the typical analytic
+/// "short range scan" workload.
+std::vector<RangeQuery> CenteredRangeWorkload(stats::Rng& rng, size_t count,
+                                              double domain_lo, double domain_hi,
+                                              double min_width, double max_width);
+
+/// Accuracy aggregates of an estimator against a ground-truth selectivity
+/// oracle. The q-error is max(est, truth)/min(est, truth) with both floored
+/// at `qerror_floor` (the DB-standard multiplicative error measure).
+struct SelectivityAccuracy {
+  double mean_abs_error = 0.0;
+  double rmse = 0.0;
+  double mean_qerror = 0.0;
+  double max_qerror = 0.0;
+  size_t queries = 0;
+};
+
+SelectivityAccuracy EvaluateAccuracy(
+    const SelectivityEstimator& estimator, std::span<const RangeQuery> queries,
+    const std::function<double(const RangeQuery&)>& truth,
+    double qerror_floor = 1e-4);
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_QUERY_WORKLOAD_HPP_

@@ -1,0 +1,44 @@
+#include "selectivity/sample_selectivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace selectivity {
+
+ReservoirSampleSelectivity::ReservoirSampleSelectivity(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  WDE_CHECK_GT(capacity_, 0u);
+  reservoir_.reserve(capacity_);
+}
+
+void ReservoirSampleSelectivity::Insert(double x) {
+  if (!std::isfinite(x)) return;
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  const uint64_t slot = rng_.UniformInt(seen_);
+  if (slot < capacity_) reservoir_[static_cast<size_t>(slot)] = x;
+}
+
+double ReservoirSampleSelectivity::EstimateRange(double a, double b) const {
+  if (reservoir_.empty()) return 0.0;
+  if (b < a) std::swap(a, b);
+  size_t hits = 0;
+  for (double x : reservoir_) {
+    if (x >= a && x <= b) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(reservoir_.size());
+}
+
+std::string ReservoirSampleSelectivity::name() const {
+  return Format("reservoir(%zu)", capacity_);
+}
+
+}  // namespace selectivity
+}  // namespace wde

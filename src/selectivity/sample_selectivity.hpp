@@ -1,0 +1,35 @@
+#ifndef WDE_SELECTIVITY_SAMPLE_SELECTIVITY_HPP_
+#define WDE_SELECTIVITY_SAMPLE_SELECTIVITY_HPP_
+
+#include <vector>
+
+#include "selectivity/selectivity_estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// Bernard-Vitter reservoir sampling baseline: keeps a fixed-size uniform
+/// sample of the stream and answers range queries by the sample fraction.
+class ReservoirSampleSelectivity : public SelectivityEstimator {
+ public:
+  ReservoirSampleSelectivity(size_t capacity, uint64_t seed = 42);
+
+  void Insert(double x) override;
+  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return seen_; }
+  std::string name() const override;
+
+  const std::vector<double>& reservoir() const { return reservoir_; }
+
+ private:
+  size_t capacity_;
+  size_t seen_ = 0;
+  std::vector<double> reservoir_;
+  stats::Rng rng_;
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_SAMPLE_SELECTIVITY_HPP_

@@ -1,0 +1,37 @@
+#ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
+#define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
+
+#include <cstddef>
+#include <string>
+
+namespace wde {
+namespace selectivity {
+
+/// A streaming estimator of range-predicate selectivity over a single numeric
+/// attribute: after observing values x_1..x_n, EstimateRange(a, b)
+/// approximates P(a <= X <= b) — the fraction of rows a query optimizer
+/// expects `WHERE a <= col AND col <= b` to select.
+///
+/// Implementations are single-writer/single-reader and not thread-safe;
+/// wrap externally if shared.
+class SelectivityEstimator {
+ public:
+  virtual ~SelectivityEstimator() = default;
+
+  /// Ingests one value. Values outside the declared domain are clamped and
+  /// non-finite values (NaN/±inf) are silently dropped — an optimizer must
+  /// tolerate dirty input rather than abort.
+  virtual void Insert(double x) = 0;
+
+  /// Estimated selectivity of [a, b]; implementations return values in
+  /// [0, 1] up to estimator bias (wavelet estimates may slightly overshoot).
+  virtual double EstimateRange(double a, double b) const = 0;
+
+  virtual size_t count() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_

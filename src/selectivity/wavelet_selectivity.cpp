@@ -1,0 +1,64 @@
+#include "selectivity/wavelet_selectivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace selectivity {
+
+Result<StreamingWaveletSelectivity> StreamingWaveletSelectivity::Create(
+    const wavelet::WaveletBasis& basis, const Options& options) {
+  Result<core::WaveletDensityFit> fit = core::WaveletDensityFit::CreateStreaming(
+      basis, options.j0, options.j_max, options.domain_lo, options.domain_hi);
+  if (!fit.ok()) return fit.status();
+  if (options.refit_interval == 0) {
+    return Status::InvalidArgument("refit_interval must be positive");
+  }
+  return StreamingWaveletSelectivity(std::move(fit).value(), options);
+}
+
+void StreamingWaveletSelectivity::Insert(double x) {
+  if (!std::isfinite(x)) return;
+  fit_.Add(std::clamp(x, options_.domain_lo, options_.domain_hi));
+  if (fit_.count() - fitted_at_count_ >= options_.refit_interval) RefitIfStale();
+}
+
+void StreamingWaveletSelectivity::Refit() const {
+  if (fit_.count() < 2) return;
+  cv_ = core::CrossValidate(fit_.coefficients(), options_.kind);
+  estimate_ = fit_.Estimate(cv_->Schedule(), options_.kind);
+  fitted_at_count_ = fit_.count();
+}
+
+void StreamingWaveletSelectivity::RefitIfStale() const {
+  if (!estimate_.has_value() ||
+      fit_.count() - fitted_at_count_ >= options_.refit_interval) {
+    Refit();
+  }
+}
+
+double StreamingWaveletSelectivity::EstimateRange(double a, double b) const {
+  if (fit_.count() < 2) return 0.0;
+  RefitIfStale();
+  if (!estimate_.has_value()) return 0.0;
+  // Clamp to [0, 1]: the thresholded expansion is a near-density but not a
+  // guaranteed one.
+  return std::clamp(estimate_->IntegrateRange(a, b), 0.0, 1.0);
+}
+
+double StreamingWaveletSelectivity::EstimateDensity(double x) const {
+  if (fit_.count() < 2) return 0.0;
+  RefitIfStale();
+  return estimate_.has_value() ? estimate_->Evaluate(x) : 0.0;
+}
+
+std::string StreamingWaveletSelectivity::name() const {
+  return Format("wavelet-%scv(j0=%d,j*=%d)",
+                options_.kind == core::ThresholdKind::kSoft ? "st" : "ht",
+                options_.j0, options_.j_max);
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -1,0 +1,68 @@
+#ifndef WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_
+#define WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_
+
+#include <optional>
+
+#include "core/adaptive.hpp"
+#include "core/estimator.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// The paper's adaptive wavelet estimator packaged as a streaming selectivity
+/// estimator. Because the HTCV/STCV criteria depend only on the running sums
+/// (S1, S2, n) per coefficient (see `EmpiricalCoefficients`), inserts are
+/// O(levels × filter_length) table lookups and *no sample buffer is kept* —
+/// the estimator is a true sketch. The thresholded estimate is re-derived
+/// from the sums when stale (every `refit_interval` inserts, or lazily at
+/// query time), and range queries use exact basis antiderivatives.
+///
+/// Crucially for streams, the cross-validated thresholds adapt to the
+/// dependence structure of the stream (the paper's point): no mixing
+/// constants need to be known.
+class StreamingWaveletSelectivity : public SelectivityEstimator {
+ public:
+  struct Options {
+    double domain_lo = 0.0;
+    double domain_hi = 1.0;
+    int j0 = 2;
+    int j_max = 11;  // level budget fixed up front (memory O(2^j_max))
+    core::ThresholdKind kind = core::ThresholdKind::kSoft;
+    size_t refit_interval = 1024;
+  };
+
+  static Result<StreamingWaveletSelectivity> Create(
+      const wavelet::WaveletBasis& basis, const Options& options);
+
+  void Insert(double x) override;
+  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return fit_.count(); }
+  std::string name() const override;
+
+  /// Forces a refit (CV + reconstruction) now; normally lazy.
+  void Refit() const;
+
+  /// Point density estimate (refits lazily like EstimateRange).
+  double EstimateDensity(double x) const;
+
+  /// The most recent cross-validation result, if any refit has happened.
+  const std::optional<core::CrossValidationResult>& last_cv() const { return cv_; }
+
+ private:
+  StreamingWaveletSelectivity(core::WaveletDensityFit fit, const Options& options)
+      : options_(options), fit_(std::move(fit)) {}
+
+  void RefitIfStale() const;
+
+  Options options_;
+  core::WaveletDensityFit fit_;
+  mutable std::optional<core::WaveletEstimate> estimate_;
+  mutable std::optional<core::CrossValidationResult> cv_;
+  mutable size_t fitted_at_count_ = 0;
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_

@@ -1,0 +1,103 @@
+#include "selectivity/wavelet_synopsis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace selectivity {
+
+WaveletSynopsisSelectivity::WaveletSynopsisSelectivity(const Options& options)
+    : options_(options),
+      haar_(wavelet::WaveletFilter::Haar()),
+      counts_(1ULL << options.grid_log2, 0.0) {}
+
+Result<WaveletSynopsisSelectivity> WaveletSynopsisSelectivity::Create(
+    const Options& options) {
+  if (!(options.domain_lo < options.domain_hi)) {
+    return Status::InvalidArgument("empty domain");
+  }
+  if (options.grid_log2 < 2 || options.grid_log2 > 22) {
+    return Status::InvalidArgument("grid_log2 must be in [2, 22]");
+  }
+  if (options.budget == 0 || options.rebuild_interval == 0) {
+    return Status::InvalidArgument("budget and rebuild_interval must be positive");
+  }
+  return WaveletSynopsisSelectivity(options);
+}
+
+void WaveletSynopsisSelectivity::Insert(double x) {
+  if (!std::isfinite(x)) return;  // dirty input: ignore, do not poison the grid
+  const double t = std::clamp(
+      (x - options_.domain_lo) / (options_.domain_hi - options_.domain_lo), 0.0, 1.0);
+  const size_t cell = std::min(counts_.size() - 1,
+                               static_cast<size_t>(t * static_cast<double>(counts_.size())));
+  counts_[cell] += 1.0;
+  ++count_;
+}
+
+void WaveletSynopsisSelectivity::RebuildIfStale() const {
+  if (!reconstructed_.empty() &&
+      count_ - built_at_count_ < options_.rebuild_interval) {
+    return;
+  }
+  Result<wavelet::DwtCoefficients> transform =
+      wavelet::ForwardDwt(haar_, counts_, options_.grid_log2);
+  WDE_CHECK_OK(transform.status());
+  // Rank all detail coefficients by magnitude; keep the `budget` largest
+  // (the approximation coefficient — total mass — is always kept). Ties at
+  // the cutoff are broken arbitrarily but deterministically by scan order.
+  std::vector<double*> slots;
+  for (auto& level : transform->details) {
+    for (double& d : level) slots.push_back(&d);
+  }
+  if (slots.size() > options_.budget) {
+    std::nth_element(slots.begin(),
+                     slots.begin() + static_cast<long>(options_.budget),
+                     slots.end(), [](const double* a, const double* b) {
+                       return std::fabs(*a) > std::fabs(*b);
+                     });
+    for (size_t i = options_.budget; i < slots.size(); ++i) *slots[i] = 0.0;
+  }
+  retained_ = 0;
+  for (const double* d : slots) retained_ += (*d != 0.0);
+  Result<std::vector<double>> rec = wavelet::InverseDwt(haar_, *transform);
+  WDE_CHECK_OK(rec.status());
+  reconstructed_ = std::move(rec).value();
+  // Negative smoothed counts are meaningless; clip.
+  for (double& c : reconstructed_) c = std::max(c, 0.0);
+  built_at_count_ = count_;
+}
+
+double WaveletSynopsisSelectivity::EstimateRange(double a, double b) const {
+  if (count_ == 0) return 0.0;
+  if (b < a) std::swap(a, b);
+  RebuildIfStale();
+  const double width = options_.domain_hi - options_.domain_lo;
+  const double cells = static_cast<double>(reconstructed_.size());
+  const double ta = std::clamp((a - options_.domain_lo) / width, 0.0, 1.0) * cells;
+  const double tb = std::clamp((b - options_.domain_lo) / width, 0.0, 1.0) * cells;
+  double acc = 0.0;
+  const auto cell_lo = static_cast<size_t>(ta);
+  const auto cell_hi = std::min(static_cast<size_t>(tb), reconstructed_.size() - 1);
+  for (size_t i = cell_lo; i <= cell_hi; ++i) {
+    const double overlap = std::min(tb, static_cast<double>(i + 1)) -
+                           std::max(ta, static_cast<double>(i));
+    if (overlap > 0.0) acc += reconstructed_[i] * overlap;
+  }
+  return acc / static_cast<double>(count_);
+}
+
+size_t WaveletSynopsisSelectivity::RetainedCoefficients() const {
+  RebuildIfStale();
+  return retained_;
+}
+
+std::string WaveletSynopsisSelectivity::name() const {
+  return Format("haar-synopsis(B=%zu)", options_.budget);
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -1,0 +1,45 @@
+#include "stats/autocovariance.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace stats {
+
+std::vector<double> Autocovariance(std::span<const double> series, int max_lag) {
+  WDE_CHECK(!series.empty());
+  WDE_CHECK_GE(max_lag, 0);
+  WDE_CHECK_LT(static_cast<size_t>(max_lag), series.size());
+  const double m = Mean(series);
+  const double n = static_cast<double>(series.size());
+  std::vector<double> gamma(static_cast<size_t>(max_lag) + 1, 0.0);
+  for (int r = 0; r <= max_lag; ++r) {
+    double acc = 0.0;
+    for (size_t t = 0; t + static_cast<size_t>(r) < series.size(); ++t) {
+      acc += (series[t] - m) * (series[t + static_cast<size_t>(r)] - m);
+    }
+    gamma[static_cast<size_t>(r)] = acc / n;
+  }
+  return gamma;
+}
+
+std::vector<double> AutocovarianceOfTransform(std::span<const double> series,
+                                              const std::function<double(double)>& g,
+                                              int max_lag) {
+  std::vector<double> transformed(series.size());
+  for (size_t i = 0; i < series.size(); ++i) transformed[i] = g(series[i]);
+  return Autocovariance(transformed, max_lag);
+}
+
+std::vector<double> Autocorrelation(std::span<const double> series, int max_lag) {
+  std::vector<double> gamma = Autocovariance(series, max_lag);
+  const double g0 = gamma[0];
+  WDE_CHECK_GT(std::fabs(g0), 0.0, "degenerate series has zero variance");
+  for (double& g : gamma) g /= g0;
+  return gamma;
+}
+
+}  // namespace stats
+}  // namespace wde

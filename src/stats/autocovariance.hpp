@@ -1,0 +1,28 @@
+#ifndef WDE_STATS_AUTOCOVARIANCE_HPP_
+#define WDE_STATS_AUTOCOVARIANCE_HPP_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace wde {
+namespace stats {
+
+/// Empirical autocovariances gamma(r) = Cov(X_0, X_r) for r = 0..max_lag,
+/// using the biased (1/n) normalization standard in time-series analysis.
+std::vector<double> Autocovariance(std::span<const double> series, int max_lag);
+
+/// Autocovariances of the transformed series g(X_t). This is the empirical
+/// counterpart of the covariance terms bounded by Assumption (D): the decay
+/// of |Cov(g(X_0), g(X_r))| in r.
+std::vector<double> AutocovarianceOfTransform(std::span<const double> series,
+                                              const std::function<double(double)>& g,
+                                              int max_lag);
+
+/// Autocorrelations gamma(r)/gamma(0).
+std::vector<double> Autocorrelation(std::span<const double> series, int max_lag);
+
+}  // namespace stats
+}  // namespace wde
+
+#endif  // WDE_STATS_AUTOCOVARIANCE_HPP_

@@ -1,0 +1,33 @@
+#include "stats/block_bootstrap.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace stats {
+
+size_t DefaultBlockLength(size_t n) {
+  WDE_CHECK_GT(n, 0u);
+  return static_cast<size_t>(
+      std::ceil(std::pow(static_cast<double>(n), 1.0 / 3.0)));
+}
+
+std::vector<double> CircularBlockBootstrapResample(std::span<const double> data,
+                                                   size_t block_length, Rng& rng) {
+  WDE_CHECK(!data.empty());
+  WDE_CHECK_GT(block_length, 0u);
+  const size_t n = data.size();
+  std::vector<double> resample;
+  resample.reserve(n + block_length);
+  while (resample.size() < n) {
+    const size_t start = static_cast<size_t>(rng.UniformInt(n));
+    for (size_t j = 0; j < block_length && resample.size() < n; ++j) {
+      resample.push_back(data[(start + j) % n]);
+    }
+  }
+  return resample;
+}
+
+}  // namespace stats
+}  // namespace wde

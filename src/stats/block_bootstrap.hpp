@@ -1,0 +1,27 @@
+#ifndef WDE_STATS_BLOCK_BOOTSTRAP_HPP_
+#define WDE_STATS_BLOCK_BOOTSTRAP_HPP_
+
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace stats {
+
+/// Circular block bootstrap resample (Politis–Romano): draws ⌈n/b⌉ blocks of
+/// length `block_length` with uniformly random (wrap-around) start positions
+/// and concatenates them, truncated to the original length. Preserves the
+/// within-block dependence structure — the right resampling scheme for the
+/// weakly dependent series this library targets; `block_length = 1` recovers
+/// the classical iid bootstrap.
+std::vector<double> CircularBlockBootstrapResample(std::span<const double> data,
+                                                   size_t block_length, Rng& rng);
+
+/// The usual block-length rule of thumb b = ⌈n^{1/3}⌉.
+size_t DefaultBlockLength(size_t n);
+
+}  // namespace stats
+}  // namespace wde
+
+#endif  // WDE_STATS_BLOCK_BOOTSTRAP_HPP_

@@ -1,0 +1,37 @@
+#ifndef WDE_STATS_DESCRIPTIVE_HPP_
+#define WDE_STATS_DESCRIPTIVE_HPP_
+
+#include <span>
+#include <vector>
+
+namespace wde {
+namespace stats {
+
+double Mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1). Returns 0 for n < 2.
+double Variance(std::span<const double> xs);
+
+double StdDev(std::span<const double> xs);
+
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+/// Quantile conventions. `kType7` is the R default (linear interpolation of
+/// order statistics at p(n-1)+1); `kMatlab` matches MATLAB's `quantile`
+/// (midpoints, R type 5), which the paper's rule-of-thumb bandwidth uses.
+enum class QuantileMethod { kType7, kMatlab };
+
+/// p-th sample quantile, p in [0, 1]. Copies and sorts internally.
+double Quantile(std::span<const double> xs, double p,
+                QuantileMethod method = QuantileMethod::kType7);
+
+double Median(std::span<const double> xs);
+
+/// Interquartile range q3 - q1 under the given convention.
+double Iqr(std::span<const double> xs, QuantileMethod method = QuantileMethod::kMatlab);
+
+}  // namespace stats
+}  // namespace wde
+
+#endif  // WDE_STATS_DESCRIPTIVE_HPP_

@@ -1,0 +1,67 @@
+#ifndef WDE_STATS_RNG_HPP_
+#define WDE_STATS_RNG_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wde {
+namespace stats {
+
+/// Deterministic, cross-platform random number generator (xoshiro256**
+/// seeded by SplitMix64). The standard library's distribution objects are
+/// implementation-defined, so all variate generation is implemented here to
+/// make experiments exactly reproducible across compilers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64 bits.
+  uint64_t NextUint64();
+
+  /// Uniform on [0, 1) with 53-bit resolution.
+  double UniformDouble();
+
+  /// Uniform on [a, b).
+  double Uniform(double a, double b);
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via the Marsaglia polar method.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p);
+
+  /// Exponential with rate `lambda`.
+  double Exponential(double lambda);
+
+  /// Derives an independent generator for substream `index` (e.g. one per
+  /// Monte-Carlo replicate). Deterministic in (seed, index).
+  Rng Fork(uint64_t index) const;
+
+  // UniformRandomBitGenerator interface, so the engine composes with
+  // std::shuffle and friends.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return NextUint64(); }
+
+ private:
+  uint64_t state_[4];
+  uint64_t seed_;
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// n iid U[0,1) draws.
+std::vector<double> UniformSample(Rng& rng, size_t n);
+
+}  // namespace stats
+}  // namespace wde
+
+#endif  // WDE_STATS_RNG_HPP_

@@ -1,0 +1,66 @@
+#ifndef WDE_UTIL_CHECK_HPP_
+#define WDE_UTIL_CHECK_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wde {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "WDE_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace wde
+
+/// Aborts with a diagnostic if `cond` is false. Active in all build types;
+/// use for violated API contracts and internal invariants (the library does
+/// not throw exceptions).
+#define WDE_CHECK(cond, ...)                                       \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::wde::internal::CheckFailed(__FILE__, __LINE__, #cond,      \
+                                   ::wde::internal::CheckMessage(__VA_ARGS__)); \
+    }                                                              \
+  } while (0)
+
+#define WDE_CHECK_OK(status_expr)                                         \
+  do {                                                                    \
+    const ::wde::Status& _wde_st = (status_expr);                         \
+    if (!_wde_st.ok()) {                                                  \
+      ::wde::internal::CheckFailed(__FILE__, __LINE__, #status_expr,      \
+                                   _wde_st.ToString().c_str());           \
+    }                                                                     \
+  } while (0)
+
+#define WDE_CHECK_EQ(a, b, ...) WDE_CHECK((a) == (b), ##__VA_ARGS__)
+#define WDE_CHECK_NE(a, b, ...) WDE_CHECK((a) != (b), ##__VA_ARGS__)
+#define WDE_CHECK_LT(a, b, ...) WDE_CHECK((a) < (b), ##__VA_ARGS__)
+#define WDE_CHECK_LE(a, b, ...) WDE_CHECK((a) <= (b), ##__VA_ARGS__)
+#define WDE_CHECK_GT(a, b, ...) WDE_CHECK((a) > (b), ##__VA_ARGS__)
+#define WDE_CHECK_GE(a, b, ...) WDE_CHECK((a) >= (b), ##__VA_ARGS__)
+
+/// Debug-only variant; compiles away under NDEBUG.
+#ifdef NDEBUG
+#define WDE_DCHECK(cond, ...) \
+  do {                        \
+  } while (0)
+#else
+#define WDE_DCHECK(cond, ...) WDE_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+namespace wde {
+namespace internal {
+
+inline const char* CheckMessage() { return ""; }
+inline const char* CheckMessage(const char* msg) { return msg; }
+
+}  // namespace internal
+}  // namespace wde
+
+#endif  // WDE_UTIL_CHECK_HPP_

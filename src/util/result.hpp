@@ -1,0 +1,60 @@
+#ifndef WDE_UTIL_RESULT_HPP_
+#define WDE_UTIL_RESULT_HPP_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/status.hpp"
+
+namespace wde {
+
+/// Value-or-Status, in the spirit of arrow::Result. A `Result<T>` holds either
+/// a `T` (then `ok()` is true) or a non-OK `Status` describing the failure.
+/// Accessing the value of a failed result aborts via WDE_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Implicit construction from an error: `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    WDE_CHECK(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    WDE_CHECK(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    WDE_CHECK(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    WDE_CHECK(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+}  // namespace wde
+
+#endif  // WDE_UTIL_RESULT_HPP_

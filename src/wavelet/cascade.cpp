@@ -1,0 +1,91 @@
+#include "wavelet/cascade.hpp"
+
+#include <cmath>
+
+#include "numerics/matrix.hpp"
+
+namespace wde {
+namespace wavelet {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+}  // namespace
+
+Result<std::vector<double>> ScalingFunctionAtIntegers(const WaveletFilter& filter) {
+  const int len = filter.length();
+  const std::vector<double>& h = filter.h();
+  if (len == 2) {
+    // Haar: φ = 1 on [0, 1) with the right-continuous convention.
+    return std::vector<double>{1.0, 0.0};
+  }
+  // Interior integers 0..L−2 satisfy φ(m) = √2 Σ_n h_{2m−n} φ(n); φ(L−1) = 0.
+  const int dim = len - 1;
+  numerics::Matrix a(static_cast<size_t>(dim), static_cast<size_t>(dim));
+  for (int m = 0; m < dim; ++m) {
+    for (int n = 0; n < dim; ++n) {
+      const int idx = 2 * m - n;
+      if (idx >= 0 && idx < len) {
+        a.at(static_cast<size_t>(m), static_cast<size_t>(n)) = kSqrt2 * h[idx];
+      }
+    }
+  }
+  Result<std::vector<double>> eig = numerics::UnitEigenvector(a);
+  if (!eig.ok()) return eig.status();
+  std::vector<double> values = std::move(eig).value();
+  values.push_back(0.0);  // φ(L−1) = 0
+  return values;
+}
+
+Result<CascadeTables> ComputeCascadeTables(const WaveletFilter& filter, int levels) {
+  if (levels < 1 || levels > 24) {
+    return Status::InvalidArgument("cascade levels must be in [1, 24]");
+  }
+  Result<std::vector<double>> start = ScalingFunctionAtIntegers(filter);
+  if (!start.ok()) return start.status();
+
+  const int support = filter.support_length();
+  const std::vector<double>& h = filter.h();
+  const std::vector<double>& g = filter.g();
+
+  // Refine: values on grid step 2^-j -> step 2^-(j+1) via
+  // φ(i/2^{j+1}) = √2 Σ_k h_k φ(i/2^j − k) (old index i − k·2^j).
+  std::vector<double> phi = std::move(start).value();
+  for (int j = 0; j < levels; ++j) {
+    const long old_step = 1L << j;
+    const long new_size = static_cast<long>(support) * (old_step * 2) + 1;
+    std::vector<double> next(static_cast<size_t>(new_size), 0.0);
+    const long old_size = static_cast<long>(phi.size());
+    for (long i = 0; i < new_size; ++i) {
+      double acc = 0.0;
+      for (int k = 0; k < filter.length(); ++k) {
+        const long idx = i - static_cast<long>(k) * old_step;
+        if (idx >= 0 && idx < old_size) acc += h[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+      }
+      next[static_cast<size_t>(i)] = kSqrt2 * acc;
+    }
+    phi = std::move(next);
+  }
+
+  // ψ(i/2^J) = √2 Σ_k g_k φ(2i/2^J − k); the argument lies on the same grid.
+  const long scale = 1L << levels;
+  const long size = static_cast<long>(phi.size());
+  std::vector<double> psi(phi.size(), 0.0);
+  for (long i = 0; i < size; ++i) {
+    double acc = 0.0;
+    for (int k = 0; k < filter.length(); ++k) {
+      const long idx = 2 * i - static_cast<long>(k) * scale;
+      if (idx >= 0 && idx < size) acc += g[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+    }
+    psi[static_cast<size_t>(i)] = kSqrt2 * acc;
+  }
+
+  CascadeTables tables;
+  tables.levels = levels;
+  tables.phi = std::move(phi);
+  tables.psi = std::move(psi);
+  return tables;
+}
+
+}  // namespace wavelet
+}  // namespace wde

@@ -1,0 +1,36 @@
+#ifndef WDE_WAVELET_CASCADE_HPP_
+#define WDE_WAVELET_CASCADE_HPP_
+
+#include <vector>
+
+#include "util/result.hpp"
+#include "wavelet/filter.hpp"
+
+namespace wde {
+namespace wavelet {
+
+/// Values of φ and ψ on the dyadic grid x = i / 2^levels,
+/// i = 0 .. support_length * 2^levels (both functions live on [0, L−1]).
+struct CascadeTables {
+  int levels = 0;
+  std::vector<double> phi;
+  std::vector<double> psi;
+
+  /// Grid spacing 2^-levels.
+  double dx() const { return 1.0 / static_cast<double>(1 << levels); }
+};
+
+/// Runs the cascade algorithm: solves the refinement eigenproblem for the
+/// values of φ at the integers, then doubles the resolution `levels` times
+/// with the two-scale relation, and finally derives ψ from the φ table.
+/// Fails if the filter's refinement matrix lacks a unit eigenvector.
+Result<CascadeTables> ComputeCascadeTables(const WaveletFilter& filter, int levels);
+
+/// Values of φ at the integers 0..L−1 (the cascade's starting vector,
+/// normalized to Σ φ(k) = 1 by partition of unity). Exposed for tests.
+Result<std::vector<double>> ScalingFunctionAtIntegers(const WaveletFilter& filter);
+
+}  // namespace wavelet
+}  // namespace wde
+
+#endif  // WDE_WAVELET_CASCADE_HPP_

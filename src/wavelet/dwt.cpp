@@ -1,0 +1,93 @@
+#include "wavelet/dwt.hpp"
+
+#include <cmath>
+
+namespace wde {
+namespace wavelet {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// One periodized analysis step: splits `signal` (even length) into
+/// approximation and detail halves by decimated circular correlation.
+void AnalysisStep(const WaveletFilter& filter, const std::vector<double>& signal,
+                  std::vector<double>* approx, std::vector<double>* detail) {
+  const size_t n = signal.size();
+  const size_t half = n / 2;
+  const std::vector<double>& h = filter.h();
+  const std::vector<double>& g = filter.g();
+  approx->assign(half, 0.0);
+  detail->assign(half, 0.0);
+  for (size_t k = 0; k < half; ++k) {
+    double a = 0.0;
+    double d = 0.0;
+    for (int m = 0; m < filter.length(); ++m) {
+      const size_t idx = (2 * k + static_cast<size_t>(m)) % n;
+      a += h[static_cast<size_t>(m)] * signal[idx];
+      d += g[static_cast<size_t>(m)] * signal[idx];
+    }
+    (*approx)[k] = a;
+    (*detail)[k] = d;
+  }
+}
+
+/// One periodized synthesis step (adjoint of AnalysisStep).
+std::vector<double> SynthesisStep(const WaveletFilter& filter,
+                                  const std::vector<double>& approx,
+                                  const std::vector<double>& detail) {
+  const size_t half = approx.size();
+  const size_t n = half * 2;
+  const std::vector<double>& h = filter.h();
+  const std::vector<double>& g = filter.g();
+  std::vector<double> signal(n, 0.0);
+  for (size_t k = 0; k < half; ++k) {
+    for (int m = 0; m < filter.length(); ++m) {
+      const size_t idx = (2 * k + static_cast<size_t>(m)) % n;
+      signal[idx] += h[static_cast<size_t>(m)] * approx[k] +
+                     g[static_cast<size_t>(m)] * detail[k];
+    }
+  }
+  return signal;
+}
+
+}  // namespace
+
+Result<DwtCoefficients> ForwardDwt(const WaveletFilter& filter,
+                                   const std::vector<double>& signal, int levels) {
+  if (!IsPowerOfTwo(signal.size())) {
+    return Status::InvalidArgument("DWT requires a power-of-two signal length");
+  }
+  if (levels < 1 || (signal.size() >> levels) < 1) {
+    return Status::InvalidArgument("invalid number of DWT levels");
+  }
+  DwtCoefficients out;
+  std::vector<double> current = signal;
+  for (int level = 0; level < levels; ++level) {
+    std::vector<double> approx;
+    std::vector<double> detail;
+    AnalysisStep(filter, current, &approx, &detail);
+    out.details.push_back(std::move(detail));
+    current = std::move(approx);
+  }
+  out.approximation = std::move(current);
+  return out;
+}
+
+Result<std::vector<double>> InverseDwt(const WaveletFilter& filter,
+                                       const DwtCoefficients& coefficients) {
+  if (coefficients.details.empty()) {
+    return Status::InvalidArgument("no detail levels to invert");
+  }
+  std::vector<double> current = coefficients.approximation;
+  for (size_t level = coefficients.details.size(); level-- > 0;) {
+    const std::vector<double>& detail = coefficients.details[level];
+    if (detail.size() != current.size()) {
+      return Status::InvalidArgument("inconsistent DWT coefficient shapes");
+    }
+    current = SynthesisStep(filter, current, detail);
+  }
+  return current;
+}
+
+}  // namespace wavelet
+}  // namespace wde

@@ -1,0 +1,32 @@
+#ifndef WDE_WAVELET_DWT_HPP_
+#define WDE_WAVELET_DWT_HPP_
+
+#include <vector>
+
+#include "util/result.hpp"
+#include "wavelet/filter.hpp"
+
+namespace wde {
+namespace wavelet {
+
+/// Result of a multi-level periodized discrete wavelet transform of a signal
+/// of length 2^J: approximation coefficients at the coarsest level plus
+/// detail coefficients per level (finest first).
+struct DwtCoefficients {
+  std::vector<double> approximation;          // length 2^(J - levels)
+  std::vector<std::vector<double>> details;   // details[0] finest, length 2^(J-1), ...
+};
+
+/// Periodized (circular) Mallat pyramid. `signal.size()` must be a power of
+/// two and at least 2^levels.
+Result<DwtCoefficients> ForwardDwt(const WaveletFilter& filter,
+                                   const std::vector<double>& signal, int levels);
+
+/// Inverse transform; reconstructs the signal exactly (orthonormal filters).
+Result<std::vector<double>> InverseDwt(const WaveletFilter& filter,
+                                       const DwtCoefficients& coefficients);
+
+}  // namespace wavelet
+}  // namespace wde
+
+#endif  // WDE_WAVELET_DWT_HPP_

@@ -1,0 +1,79 @@
+#include "wavelet/scaled_function.hpp"
+
+#include <cmath>
+
+#include "numerics/integration.hpp"
+#include "util/check.hpp"
+
+namespace wde {
+namespace wavelet {
+
+Result<WaveletBasis> WaveletBasis::Create(const WaveletFilter& filter,
+                                          int table_levels) {
+  if (table_levels < 4 || table_levels > 20) {
+    return Status::InvalidArgument("table_levels must be in [4, 20]");
+  }
+  Result<CascadeTables> tables = ComputeCascadeTables(filter, table_levels);
+  if (!tables.ok()) return tables.status();
+  const double dx = tables->dx();
+  std::vector<double> phi_cdf_values = numerics::CumulativeTrapezoid(tables->phi, dx);
+  std::vector<double> psi_cdf_values = numerics::CumulativeTrapezoid(tables->psi, dx);
+  auto phi = std::make_shared<const numerics::UniformGridInterpolator>(
+      0.0, dx, std::move(tables->phi));
+  auto psi = std::make_shared<const numerics::UniformGridInterpolator>(
+      0.0, dx, std::move(tables->psi));
+  auto phi_cdf = std::make_shared<const numerics::UniformGridInterpolator>(
+      0.0, dx, std::move(phi_cdf_values));
+  auto psi_cdf = std::make_shared<const numerics::UniformGridInterpolator>(
+      0.0, dx, std::move(psi_cdf_values));
+  return WaveletBasis(std::make_shared<const WaveletFilter>(filter), std::move(phi),
+                      std::move(psi), std::move(phi_cdf), std::move(psi_cdf));
+}
+
+double WaveletBasis::PhiAntiderivative(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= phi_cdf_->x1()) return phi_cdf_->values().back();
+  return phi_cdf_->Evaluate(x);
+}
+
+double WaveletBasis::PsiAntiderivative(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= psi_cdf_->x1()) return psi_cdf_->values().back();
+  return psi_cdf_->Evaluate(x);
+}
+
+double WaveletBasis::PhiJk(int j, int k, double x) const {
+  WDE_DCHECK(j >= 0 && j < 31);
+  const double scale = static_cast<double>(1 << j);
+  return std::sqrt(scale) * phi_->Evaluate(scale * x - static_cast<double>(k));
+}
+
+double WaveletBasis::PsiJk(int j, int k, double x) const {
+  WDE_DCHECK(j >= 0 && j < 31);
+  const double scale = static_cast<double>(1 << j);
+  return std::sqrt(scale) * psi_->Evaluate(scale * x - static_cast<double>(k));
+}
+
+TranslationWindow WaveletBasis::LevelWindow(int j) const {
+  WDE_CHECK(j >= 0 && j < 31);
+  TranslationWindow w;
+  w.lo = -(support_length() - 1);
+  w.hi = (1 << j) - 1;
+  return w;
+}
+
+TranslationWindow WaveletBasis::PointWindow(int j, double x) const {
+  const TranslationWindow level = LevelWindow(j);
+  const double scaled = std::ldexp(x, j);  // 2^j x
+  // φ(2^j x − k) is nonzero iff 2^j x − k lies in (0, L−1), i.e.
+  // k in (2^j x − (L−1), 2^j x).
+  TranslationWindow w;
+  w.lo = static_cast<int>(std::ceil(scaled)) - support_length();
+  w.hi = static_cast<int>(std::floor(scaled));
+  w.lo = std::max(w.lo, level.lo);
+  w.hi = std::min(w.hi, level.hi);
+  return w;
+}
+
+}  // namespace wavelet
+}  // namespace wde

@@ -1,0 +1,83 @@
+#ifndef WDE_WAVELET_SCALED_FUNCTION_HPP_
+#define WDE_WAVELET_SCALED_FUNCTION_HPP_
+
+#include <memory>
+
+#include "numerics/interpolation.hpp"
+#include "util/result.hpp"
+#include "wavelet/cascade.hpp"
+#include "wavelet/filter.hpp"
+
+namespace wde {
+namespace wavelet {
+
+/// Half-open translation window [lo, hi] of indices k for which δ_{j,k}(x)
+/// can be nonzero.
+struct TranslationWindow {
+  int lo = 0;
+  int hi = -1;  // empty when hi < lo
+  int size() const { return hi >= lo ? hi - lo + 1 : 0; }
+};
+
+/// Fast evaluation of the dilated/translated basis functions
+///   φ_{j,k}(x) = 2^{j/2} φ(2^j x − k),   ψ_{j,k}(x) = 2^{j/2} ψ(2^j x − k)
+/// backed by cascade tables with linear interpolation. The table resolution
+/// (default 2^-12 per unit) matches the paper's grid-approximation scheme;
+/// `DaubechiesLagariasEvaluator` provides the exact reference in tests.
+///
+/// The basis is shared (cheaply copyable) so estimators, selectivity
+/// structures and benches can reuse one table.
+class WaveletBasis {
+ public:
+  /// Builds tables for `filter` at dyadic resolution 2^-table_levels.
+  static Result<WaveletBasis> Create(const WaveletFilter& filter,
+                                     int table_levels = 12);
+
+  const WaveletFilter& filter() const { return *filter_; }
+  int support_length() const { return filter_->support_length(); }
+
+  /// Mother function values (0 outside [0, support_length]).
+  double Phi(double x) const { return phi_->Evaluate(x); }
+  double Psi(double x) const { return psi_->Evaluate(x); }
+
+  /// Antiderivatives ∫_0^x φ and ∫_0^x ψ (flat outside the support:
+  /// 1 resp. 0 to the right). Enable exact range integrals of estimates,
+  /// which is what selectivity queries are.
+  double PhiAntiderivative(double x) const;
+  double PsiAntiderivative(double x) const;
+
+  /// Scaled/translated values.
+  double PhiJk(int j, int k, double x) const;
+  double PsiJk(int j, int k, double x) const;
+
+  /// Translations k with support intersecting [0, 1]:
+  /// k in [−(L−2), 2^j − 1] for data on the unit interval.
+  TranslationWindow LevelWindow(int j) const;
+
+  /// Translations k for which φ_{j,k}(x) (equivalently ψ_{j,k}(x)) may be
+  /// nonzero at the single point x, clamped to LevelWindow(j).
+  TranslationWindow PointWindow(int j, double x) const;
+
+ private:
+  WaveletBasis(std::shared_ptr<const WaveletFilter> filter,
+               std::shared_ptr<const numerics::UniformGridInterpolator> phi,
+               std::shared_ptr<const numerics::UniformGridInterpolator> psi,
+               std::shared_ptr<const numerics::UniformGridInterpolator> phi_cdf,
+               std::shared_ptr<const numerics::UniformGridInterpolator> psi_cdf)
+      : filter_(std::move(filter)),
+        phi_(std::move(phi)),
+        psi_(std::move(psi)),
+        phi_cdf_(std::move(phi_cdf)),
+        psi_cdf_(std::move(psi_cdf)) {}
+
+  std::shared_ptr<const WaveletFilter> filter_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> phi_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> psi_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> phi_cdf_;
+  std::shared_ptr<const numerics::UniformGridInterpolator> psi_cdf_;
+};
+
+}  // namespace wavelet
+}  // namespace wde
+
+#endif  // WDE_WAVELET_SCALED_FUNCTION_HPP_

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/bandwidth.hpp"
+#include "kernel/kde.hpp"
+#include "kernel/kernels.hpp"
+#include "numerics/integration.hpp"
+#include "numerics/special_functions.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace kernel {
+namespace {
+
+class KernelSweepTest : public testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelSweepTest, UnitMass) {
+  const Kernel k(GetParam());
+  const double mass = numerics::IntegrateFunction(
+      [&](double u) { return k.Evaluate(u); }, -k.support_radius(),
+      k.support_radius(), 4096);
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+}
+
+TEST_P(KernelSweepTest, Symmetry) {
+  const Kernel k(GetParam());
+  for (double u : {0.1, 0.33, 0.8, 0.99}) {
+    EXPECT_DOUBLE_EQ(k.Evaluate(u), k.Evaluate(-u));
+  }
+}
+
+TEST_P(KernelSweepTest, CdfEndpointsAndMidpoint) {
+  const Kernel k(GetParam());
+  EXPECT_DOUBLE_EQ(k.Cdf(-k.support_radius() - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.Cdf(k.support_radius() + 1.0), 1.0);
+  EXPECT_NEAR(k.Cdf(0.0), 0.5, 1e-6);
+}
+
+TEST_P(KernelSweepTest, SelfConvolutionIsADensity) {
+  const Kernel k(GetParam());
+  const double mass = numerics::IntegrateFunction(
+      [&](double t) { return k.SelfConvolution(t); }, -2.0 * k.support_radius(),
+      2.0 * k.support_radius(), 4096);
+  EXPECT_NEAR(mass, 1.0, 1e-4);
+  EXPECT_GT(k.Roughness(), 0.0);
+  // K*K peaks at 0 for symmetric unimodal kernels.
+  EXPECT_GE(k.SelfConvolution(0.0), k.SelfConvolution(0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelSweepTest,
+                         testing::Values(KernelType::kEpanechnikov,
+                                         KernelType::kGaussian, KernelType::kBiweight,
+                                         KernelType::kTriangular));
+
+TEST(EpanechnikovTest, ClosedFormValues) {
+  const Kernel k(KernelType::kEpanechnikov);
+  EXPECT_DOUBLE_EQ(k.Evaluate(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(k.Evaluate(0.5), 0.75 * 0.75);
+  EXPECT_DOUBLE_EQ(k.Evaluate(1.1), 0.0);
+  // CDF closed form: (2 + 3u − u³)/4.
+  for (double u : {-0.5, 0.0, 0.3, 0.9}) {
+    EXPECT_NEAR(k.Cdf(u), 0.25 * (2.0 + 3.0 * u - u * u * u), 1e-6);
+  }
+  // Roughness ∫K² = 3/5.
+  EXPECT_NEAR(k.Roughness(), 0.6, 1e-5);
+}
+
+TEST(EpanechnikovTest, SelfConvolutionClosedForm) {
+  const Kernel k(KernelType::kEpanechnikov);
+  // (K*K)(t) = (3/160)(2−|t|)³(t² + 6|t| + 4) on |t| ≤ 2.
+  for (double t : {0.0, 0.4, 1.0, 1.7}) {
+    const double a = std::fabs(t);
+    const double expected =
+        3.0 / 160.0 * std::pow(2.0 - a, 3.0) * (a * a + 6.0 * a + 4.0);
+    EXPECT_NEAR(k.SelfConvolution(t), expected, 1e-5) << "t=" << t;
+    EXPECT_NEAR(k.SelfConvolution(-t), expected, 1e-5);
+  }
+  EXPECT_NEAR(k.SelfConvolution(2.1), 0.0, 1e-12);
+}
+
+TEST(GaussianKernelTest, SelfConvolutionIsWiderGaussian) {
+  const Kernel k(KernelType::kGaussian);
+  // K*K for N(0,1) is the N(0,2) density.
+  for (double t : {0.0, 0.7, 1.9}) {
+    EXPECT_NEAR(k.SelfConvolution(t),
+                numerics::NormalPdf(t / std::sqrt(2.0)) / std::sqrt(2.0), 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------- KDE
+
+TEST(KdeTest, RejectsBadInput) {
+  const Kernel k(KernelType::kEpanechnikov);
+  EXPECT_FALSE(KernelDensityEstimator::Create(k, 0.1, {}).ok());
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_FALSE(KernelDensityEstimator::Create(k, 0.0, xs).ok());
+  EXPECT_FALSE(KernelDensityEstimator::Create(k, -1.0, xs).ok());
+}
+
+TEST(KdeTest, IntegratesToOne) {
+  stats::Rng rng(3);
+  std::vector<double> xs(500);
+  for (double& x : xs) x = rng.UniformDouble();
+  const auto kde = KernelDensityEstimator::Create(
+      Kernel(KernelType::kEpanechnikov), 0.1, xs);
+  ASSERT_TRUE(kde.ok());
+  const double mass = numerics::IntegrateFunction(
+      [&](double x) { return kde->Evaluate(x); }, -0.5, 1.5, 4096);
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+  EXPECT_NEAR(kde->IntegrateRange(-0.5, 1.5), 1.0, 1e-6);
+}
+
+TEST(KdeTest, SinglePointMass) {
+  const std::vector<double> xs{0.5};
+  const auto kde = KernelDensityEstimator::Create(
+      Kernel(KernelType::kEpanechnikov), 0.25, xs);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_NEAR(kde->Evaluate(0.5), 0.75 / 0.25, 1e-12);  // K(0)/h
+  EXPECT_DOUBLE_EQ(kde->Evaluate(0.76), 0.0);
+  EXPECT_DOUBLE_EQ(kde->Evaluate(0.24), 0.0);
+}
+
+TEST(KdeTest, RecoversGaussianDensity) {
+  stats::Rng rng(5);
+  std::vector<double> xs(8000);
+  for (double& x : xs) x = rng.Gaussian();
+  const double h = RuleOfThumbBandwidth(xs);
+  const auto kde =
+      KernelDensityEstimator::Create(Kernel(KernelType::kEpanechnikov), h, xs);
+  ASSERT_TRUE(kde.ok());
+  for (double x : {-1.0, 0.0, 1.0}) {
+    EXPECT_NEAR(kde->Evaluate(x), numerics::NormalPdf(x), 0.03) << "x=" << x;
+  }
+}
+
+TEST(KdeTest, IntegrateRangeMatchesQuadrature) {
+  stats::Rng rng(7);
+  std::vector<double> xs(300);
+  for (double& x : xs) x = rng.UniformDouble();
+  const auto kde =
+      KernelDensityEstimator::Create(Kernel(KernelType::kEpanechnikov), 0.07, xs);
+  ASSERT_TRUE(kde.ok());
+  const double direct = numerics::IntegrateFunction(
+      [&](double x) { return kde->Evaluate(x); }, 0.2, 0.7, 4096);
+  EXPECT_NEAR(kde->IntegrateRange(0.2, 0.7), direct, 1e-5);
+}
+
+TEST(KdeTest, GridEvaluationMatchesPointwise) {
+  const std::vector<double> xs{0.2, 0.5, 0.8};
+  const auto kde =
+      KernelDensityEstimator::Create(Kernel(KernelType::kEpanechnikov), 0.2, xs);
+  ASSERT_TRUE(kde.ok());
+  const std::vector<double> grid = kde->EvaluateOnGrid(0.0, 1.0, 11);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grid[i], kde->Evaluate(0.1 * static_cast<double>(i)));
+  }
+}
+
+// ---------------------------------------------------------------- bandwidth
+
+TEST(BandwidthTest, RuleOfThumbFormula) {
+  // Deterministic sample with known MATLAB quartiles.
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const double q1 = stats::Quantile(xs, 0.25, stats::QuantileMethod::kMatlab);
+  const double q3 = stats::Quantile(xs, 0.75, stats::QuantileMethod::kMatlab);
+  const double expected =
+      (q3 - q1) / (2.0 * 0.6745) * std::pow(4.0 / (3.0 * 100.0), 0.2);
+  EXPECT_NEAR(RuleOfThumbBandwidth(xs), expected, 1e-12);
+}
+
+TEST(BandwidthTest, RuleOfThumbShrinksWithN) {
+  stats::Rng rng(11);
+  std::vector<double> small(100), large(10000);
+  for (double& x : small) x = rng.Gaussian();
+  for (double& x : large) x = rng.Gaussian();
+  EXPECT_GT(RuleOfThumbBandwidth(small), RuleOfThumbBandwidth(large));
+}
+
+TEST(BandwidthTest, SilvermanCloseToRuleOfThumbOnGaussian) {
+  stats::Rng rng(13);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.Gaussian();
+  const double rot = RuleOfThumbBandwidth(xs);
+  const double silverman = SilvermanBandwidth(xs);
+  EXPECT_NEAR(silverman / rot, 0.85, 0.15);  // both ~ c·σ·n^{-1/5}
+}
+
+TEST(BandwidthTest, LscvCriterionMatchesBruteForce) {
+  stats::Rng rng(17);
+  std::vector<double> xs(60);
+  for (double& x : xs) x = rng.UniformDouble();
+  std::sort(xs.begin(), xs.end());
+  const Kernel k(KernelType::kEpanechnikov);
+  const double h = 0.08;
+  // Brute force: ∫f̂² by quadrature, leave-one-out by the double loop.
+  const auto kde = KernelDensityEstimator::Create(k, h, xs);
+  ASSERT_TRUE(kde.ok());
+  const double int_f2 = numerics::IntegrateFunction(
+      [&](double x) {
+        const double f = kde->Evaluate(x);
+        return f * f;
+      },
+      -0.5, 1.5, 8192);
+  double loo = 0.0;
+  const double n = static_cast<double>(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double fi = 0.0;
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (i == j) continue;
+      fi += k.Evaluate((xs[i] - xs[j]) / h);
+    }
+    loo += fi / ((n - 1.0) * h);
+  }
+  const double brute = int_f2 - 2.0 * loo / n;
+  EXPECT_NEAR(LeastSquaresCvCriterion(k, xs, h), brute, 5e-4);
+}
+
+TEST(BandwidthTest, LscvPicksSmallerBandwidthForBimodalData) {
+  // The rule of thumb oversmooths a sharp mixture; LSCV should undercut it.
+  stats::Rng rng(19);
+  std::vector<double> xs(1500);
+  for (double& x : xs) {
+    x = rng.Bernoulli(0.5) ? rng.Gaussian(0.3, 0.03) : rng.Gaussian(0.7, 0.03);
+  }
+  const Kernel k(KernelType::kEpanechnikov);
+  const double rot = RuleOfThumbBandwidth(xs);
+  const double lscv = LeastSquaresCvBandwidth(k, xs);
+  EXPECT_LT(lscv, 0.8 * rot);
+}
+
+TEST(BandwidthTest, LscvNearOptimalForGaussian) {
+  // For Gaussian data LSCV should land within a factor ~2 of the asymptotic
+  // optimum h_AMISE = (40√π)^{1/5} σ n^{-1/5} for the Epanechnikov kernel.
+  stats::Rng rng(23);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = rng.Gaussian();
+  const Kernel k(KernelType::kEpanechnikov);
+  const double lscv = LeastSquaresCvBandwidth(k, xs);
+  const double amise =
+      std::pow(40.0 * std::sqrt(M_PI), 0.2) * std::pow(2000.0, -0.2);
+  EXPECT_GT(lscv, amise / 2.0);
+  EXPECT_LT(lscv, amise * 2.0);
+}
+
+}  // namespace
+}  // namespace kernel
+}  // namespace wde

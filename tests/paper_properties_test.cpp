@@ -1,0 +1,228 @@
+// Property-based sweeps over the paper-level invariants: exact algebraic
+// properties of the streaming coefficient sketch, and statistical properties
+// of the adaptive estimator across all dependence cases × densities × basis
+// choices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/adaptive.hpp"
+#include "harness/cases.hpp"
+#include "processes/target_density.hpp"
+#include "stats/loss.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace {
+
+const wavelet::WaveletBasis& Sym8Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletBasis> b =
+        wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+// ------------------------------------------------ exact sketch properties
+
+TEST(SketchAlgebraTest, InsertionOrderIsIrrelevant) {
+  // The sufficient statistics are sums, so any permutation of the stream
+  // yields bit-identical coefficients — the property that makes the sketch
+  // mergeable and restart-safe.
+  stats::Rng rng(1);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = rng.UniformDouble();
+  std::vector<double> shuffled = xs;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+
+  Result<core::EmpiricalCoefficients> a = core::EmpiricalCoefficients::Create(
+      Sym8Basis(), 2, 6);
+  Result<core::EmpiricalCoefficients> b = core::EmpiricalCoefficients::Create(
+      Sym8Basis(), 2, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  a->AddAll(xs);
+  b->AddAll(shuffled);
+  for (int j = 2; j <= 6; ++j) {
+    const wavelet::TranslationWindow window = Sym8Basis().LevelWindow(j);
+    for (int k = window.lo; k <= window.hi; ++k) {
+      // Sums of the same doubles in different order agree to rounding only;
+      // demand near-exact equality.
+      EXPECT_NEAR(a->BetaHat(j, k), b->BetaHat(j, k), 1e-14);
+    }
+  }
+}
+
+TEST(SketchAlgebraTest, CoefficientsAreMixtureLinear) {
+  // β̂(A ∪ B) = (n_A β̂(A) + n_B β̂(B)) / (n_A + n_B): the sketch of a merged
+  // stream is the weighted average of the part sketches.
+  stats::Rng rng(2);
+  std::vector<double> part_a(100), part_b(300);
+  for (double& x : part_a) x = rng.UniformDouble();
+  for (double& x : part_b) x = rng.Uniform(0.2, 0.9);
+  std::vector<double> merged = part_a;
+  merged.insert(merged.end(), part_b.begin(), part_b.end());
+
+  const auto fit = [&](const std::vector<double>& data) {
+    Result<core::EmpiricalCoefficients> c =
+        core::EmpiricalCoefficients::Create(Sym8Basis(), 2, 5);
+    WDE_CHECK(c.ok());
+    c->AddAll(data);
+    return std::move(c).value();
+  };
+  const core::EmpiricalCoefficients ca = fit(part_a);
+  const core::EmpiricalCoefficients cb = fit(part_b);
+  const core::EmpiricalCoefficients cm = fit(merged);
+  for (int j = 2; j <= 5; ++j) {
+    const wavelet::TranslationWindow window = Sym8Basis().LevelWindow(j);
+    for (int k = window.lo; k <= window.hi; k += 2) {
+      const double expected = (100.0 * ca.BetaHat(j, k) + 300.0 * cb.BetaHat(j, k)) /
+                              400.0;
+      EXPECT_NEAR(cm.BetaHat(j, k), expected, 1e-13);
+    }
+  }
+}
+
+TEST(SketchAlgebraTest, ScalingCoefficientsReconstructSampleMassExactly) {
+  // Σ_k α̂_{j,k} ∫φ_{j,k} = (1/n) Σ_i Σ_k 2^{-j/2} φ(2^j X_i − k)·... with
+  // partition of unity this is exactly 1 when every translate is tracked.
+  stats::Rng rng(3);
+  Result<core::EmpiricalCoefficients> coeffs =
+      core::EmpiricalCoefficients::Create(Sym8Basis(), 3, 4);
+  ASSERT_TRUE(coeffs.ok());
+  for (int i = 0; i < 200; ++i) coeffs->Add(rng.UniformDouble());
+  const core::CoefficientLevel& scaling = coeffs->scaling_level();
+  double mass = 0.0;
+  for (int k = scaling.k_lo; k <= scaling.k_hi(); ++k) {
+    mass += coeffs->AlphaHat(k) * std::exp2(-1.5);  // 2^{-j/2}, j = 3
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+// -------------------------------------------- statistical paper invariants
+
+struct SweepCase {
+  harness::DependenceCase dependence;
+  bool bimodal;
+  core::ThresholdKind kind;
+};
+
+std::string SweepName(const testing::TestParamInfo<SweepCase>& info) {
+  std::string name = "case";
+  name += std::to_string(static_cast<int>(info.param.dependence));
+  name += info.param.bimodal ? "_bimodal_" : "_sine_";
+  name += core::ThresholdKindName(info.param.kind);
+  return name;
+}
+
+class PaperSweepTest : public testing::TestWithParam<SweepCase> {
+ protected:
+  std::shared_ptr<const processes::TargetDensity> Density() const {
+    if (GetParam().bimodal) {
+      return std::make_shared<const processes::TruncatedGaussianMixtureDensity>(
+          processes::TruncatedGaussianMixtureDensity::Bimodal());
+    }
+    return std::make_shared<const processes::SineUniformMixtureDensity>();
+  }
+};
+
+TEST_P(PaperSweepTest, EstimateHasUnitMassAndBoundedIse) {
+  auto density = Density();
+  const processes::TransformedProcess process =
+      harness::MakeCase(GetParam().dependence, density);
+  stats::Rng rng(1000 + static_cast<uint64_t>(GetParam().dependence));
+  const std::vector<double> xs = process.Sample(1024, rng);
+  core::AdaptiveOptions options;
+  options.kind = GetParam().kind;
+  Result<core::AdaptiveDensityEstimate> fit =
+      core::FitAdaptive(Sym8Basis(), xs, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->estimate.TotalMass(), 1.0, 0.08);
+  const std::vector<double> est = fit->estimate.EvaluateOnGrid(0.0, 1.0, 257);
+  const std::vector<double> truth = density->PdfOnGrid(257);
+  // Loose per-realization bound; the Monte-Carlo benches measure the means.
+  const double bound = GetParam().bimodal ? 2.5 : 0.35;
+  EXPECT_LT(stats::IntegratedSquaredError(est, truth, 1.0 / 256.0), bound);
+}
+
+TEST_P(PaperSweepTest, SelectedTopLevelWithinScannedRange) {
+  auto density = Density();
+  const processes::TransformedProcess process =
+      harness::MakeCase(GetParam().dependence, density);
+  stats::Rng rng(2000 + static_cast<uint64_t>(GetParam().dependence));
+  const std::vector<double> xs = process.Sample(512, rng);
+  core::AdaptiveOptions options;
+  options.kind = GetParam().kind;
+  Result<core::AdaptiveDensityEstimate> fit =
+      core::FitAdaptive(Sym8Basis(), xs, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->cv.j1_hat, fit->cv.j0);
+  EXPECT_LE(fit->cv.j1_hat, fit->cv.j_star);
+  EXPECT_EQ(fit->cv.j_star, 9);  // log2(512)
+}
+
+TEST_P(PaperSweepTest, RangeQueriesAreConsistentWithPointEvaluations) {
+  auto density = Density();
+  const processes::TransformedProcess process =
+      harness::MakeCase(GetParam().dependence, density);
+  stats::Rng rng(3000 + static_cast<uint64_t>(GetParam().dependence));
+  const std::vector<double> xs = process.Sample(1024, rng);
+  core::AdaptiveOptions options;
+  options.kind = GetParam().kind;
+  Result<core::AdaptiveDensityEstimate> fit =
+      core::FitAdaptive(Sym8Basis(), xs, options);
+  ASSERT_TRUE(fit.ok());
+  // Additivity and telescoping of range integrals.
+  const double whole = fit->estimate.IntegrateRange(0.0, 1.0);
+  const double left = fit->estimate.IntegrateRange(0.0, 0.37);
+  const double right = fit->estimate.IntegrateRange(0.37, 1.0);
+  EXPECT_NEAR(left + right, whole, 1e-9);
+  EXPECT_NEAR(fit->estimate.IntegrateRange(0.5, 0.5), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, PaperSweepTest,
+    testing::Values(
+        SweepCase{harness::DependenceCase::kIid, false, core::ThresholdKind::kSoft},
+        SweepCase{harness::DependenceCase::kIid, true, core::ThresholdKind::kHard},
+        SweepCase{harness::DependenceCase::kLogisticMap, false,
+                  core::ThresholdKind::kHard},
+        SweepCase{harness::DependenceCase::kLogisticMap, true,
+                  core::ThresholdKind::kSoft},
+        SweepCase{harness::DependenceCase::kNoncausalMa, false,
+                  core::ThresholdKind::kSoft},
+        SweepCase{harness::DependenceCase::kNoncausalMa, true,
+                  core::ThresholdKind::kHard}),
+    SweepName);
+
+// --------------------------------------------------- basis-choice sweep
+
+class BasisSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(BasisSweepTest, AdaptiveFitWorksAcrossSymmletOrders) {
+  Result<wavelet::WaveletBasis> basis =
+      wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(GetParam()), 11);
+  ASSERT_TRUE(basis.ok());
+  const processes::SineUniformMixtureDensity density;
+  stats::Rng rng(42);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = density.InverseCdf(rng.UniformDouble());
+  Result<core::AdaptiveDensityEstimate> fit = core::FitAdaptive(*basis, xs);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->estimate.TotalMass(), 1.0, 0.08);
+  const std::vector<double> est = fit->estimate.EvaluateOnGrid(0.0, 1.0, 257);
+  const std::vector<double> truth = density.PdfOnGrid(257);
+  EXPECT_LT(stats::IntegratedSquaredError(est, truth, 1.0 / 256.0), 0.3)
+      << "N=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SymmletOrders, BasisSweepTest,
+                         testing::Values(3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace wde
