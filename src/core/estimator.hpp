@@ -1,3 +1,13 @@
+/// \file core/estimator.hpp
+/// Entry header of the `core` module: reconstruction of the thresholded
+/// wavelet density estimate
+///   f̂ = Σ_k α̂_{j0,k} φ_{j0,k} + Σ_{j=j0}^{ĵ1} Σ_k γ_{λ̂_j}(β̂_{j,k}) ψ_{j,k}
+/// (the paper's Eq. (2.4)-style expansion with the §5.1 level defaults; see
+/// adaptive.hpp for the one-call HTCV/STCV facade). Invariants: the estimate
+/// is a *signed* measure — thresholding does not preserve positivity, so
+/// Evaluate() may go below 0 and IntegrateRange() slightly outside [0, 1];
+/// IntegrateRange is exact w.r.t. the basis antiderivative tables, making
+/// range queries consistent with pointwise evaluation.
 #ifndef WDE_CORE_ESTIMATOR_HPP_
 #define WDE_CORE_ESTIMATOR_HPP_
 

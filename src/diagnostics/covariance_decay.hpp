@@ -1,3 +1,11 @@
+/// \file diagnostics/covariance_decay.hpp
+/// Entry header of the `diagnostics` module: the empirical check of the
+/// paper's Assumption (D), which requires |Cov(g(X_0), g(X_r))| ≤ c·e^{-a r^b}
+/// for Theorem 3.1's risk bound to hold. Exponential vs power-law fits
+/// separate the good regime from the LSV regime of Proposition 5.1 (decay
+/// ~ r^{1-1/α'}), where thresholded estimators lose their guarantees.
+/// Invariant: reports are Monte-Carlo averages over deterministic RNG forks,
+/// so diagnostics reproduce exactly for a fixed seed.
 #ifndef WDE_DIAGNOSTICS_COVARIANCE_DECAY_HPP_
 #define WDE_DIAGNOSTICS_COVARIANCE_DECAY_HPP_
 

@@ -1,3 +1,10 @@
+/// \file harness/monte_carlo.hpp
+/// Entry header of the `harness` module: the replication engine behind every
+/// paper table/figure (M replicates of an experiment, e.g. Table 1's M = 500,
+/// n = 2^10 MISE runs). Invariants: replicate r receives an RNG forked
+/// deterministically from (seed, r), so results are identical for any thread
+/// count and machine; Summarize() treats an empty sample as all-zero stats
+/// rather than NaN.
 #ifndef WDE_HARNESS_MONTE_CARLO_HPP_
 #define WDE_HARNESS_MONTE_CARLO_HPP_
 

@@ -1,3 +1,10 @@
+/// \file kernel/kde.hpp
+/// Entry header of the `kernel` module: the paper's comparison estimator
+/// (§5.4, Figures 5–8) — classical KDE with the bandwidth selectors of
+/// bandwidth.hpp ("kernel 1" rule-of-thumb, "kernel 2" LSCV). Invariants:
+/// estimates are nonnegative and integrate to 1 over ℝ (unlike the signed
+/// wavelet estimate); no boundary correction is applied, faithfully to the
+/// paper; Create() rejects empty data and non-positive bandwidths.
 #ifndef WDE_KERNEL_KDE_HPP_
 #define WDE_KERNEL_KDE_HPP_
 

@@ -1,3 +1,9 @@
+/// \file numerics/integration.hpp
+/// Entry header of the `numerics` module: quadrature over sampled grids and
+/// callables. These rules back every ∫f̂, ISE/MISE (paper §5.3) and L^p risk
+/// computation in the library. Invariants: integrands are assumed finite on
+/// the closed interval; all rules are deterministic (no adaptive subdivision)
+/// so results are bit-reproducible across runs and platforms.
 #ifndef WDE_NUMERICS_INTEGRATION_HPP_
 #define WDE_NUMERICS_INTEGRATION_HPP_
 

@@ -1,3 +1,11 @@
+/// \file processes/process.hpp
+/// Entry header of the `processes` module: the RawProcess interface behind
+/// every data generator (paper §5.2 Cases 1–3, §5.5 LSV maps, and the AR/
+/// ARCH/LARCH extensions). Invariants: Path() returns a *stationary* sample
+/// (burn-in is each implementation's responsibility), MarginalCdf is the
+/// exact common CDF G of Y_t, and composing with the quantile transform
+/// X = F⁻¹(G(Y)) (transformed_process.hpp) imposes target marginal F while
+/// preserving the dependence structure.
 #ifndef WDE_PROCESSES_PROCESS_HPP_
 #define WDE_PROCESSES_PROCESS_HPP_
 

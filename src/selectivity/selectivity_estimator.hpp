@@ -1,3 +1,11 @@
+/// \file selectivity/selectivity_estimator.hpp
+/// Entry header of the `selectivity` module: the streaming interface every
+/// range-selectivity estimator implements (wavelet sketch, wavelet synopsis,
+/// KDE, equi-width/equi-depth histograms, reservoir sample) — the paper's
+/// motivating database application. Invariants: Insert() never throws or
+/// aborts on dirty data (non-finite values are dropped, out-of-domain values
+/// clamped); EstimateRange(a, b) approximates P(a ≤ X ≤ b) and is in [0, 1]
+/// up to estimator bias; implementations are not thread-safe.
 #ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 #define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 

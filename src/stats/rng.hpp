@@ -1,3 +1,11 @@
+/// \file stats/rng.hpp
+/// Entry header of the `stats` module: the deterministic RNG that all
+/// experiment randomness must flow through. Invariants: identical seeds give
+/// identical streams on every platform/compiler (xoshiro256** + SplitMix64;
+/// no std::*_distribution anywhere in the library), and Monte-Carlo
+/// replicate r always draws from an RNG forked deterministically from
+/// (seed, r) — see harness/monte_carlo.hpp — so paper tables reproduce
+/// bit-for-bit at any thread count.
 #ifndef WDE_STATS_RNG_HPP_
 #define WDE_STATS_RNG_HPP_
 

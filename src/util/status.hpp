@@ -1,3 +1,9 @@
+/// \file util/status.hpp
+/// Entry header of the `util` module: the library-wide error model.
+/// Invariants: the library never throws — fallible operations return
+/// `Status`/`Result<T>` (result.hpp), violated internal contracts abort via
+/// WDE_CHECK (check.hpp). A default-constructed Status is OK and carries no
+/// message; `ToString()` is stable and suitable for logs/tests.
 #ifndef WDE_UTIL_STATUS_HPP_
 #define WDE_UTIL_STATUS_HPP_
 

@@ -1,3 +1,10 @@
+/// \file wavelet/dwt.hpp
+/// Entry header of the `wavelet` module: the periodized Mallat pyramid used
+/// by the binned fast path (core/binned.hpp) and the synopsis builder.
+/// Invariants: filters are orthonormal, so InverseDwt(ForwardDwt(x)) == x up
+/// to rounding and coefficient energy equals signal energy (Parseval);
+/// signals must have power-of-two length ≥ 2^levels — violations return
+/// Status, never UB.
 #ifndef WDE_WAVELET_DWT_HPP_
 #define WDE_WAVELET_DWT_HPP_
 

@@ -399,7 +399,9 @@ TEST(CrossValidationTest, J1HatWithinRange) {
     } else {
       // All levels from ĵ1 up are empty, and ĵ1 is minimal.
       for (int j = cv.j1_hat; j <= cv.j_star; ++j) EXPECT_EQ(cv.Level(j).kept, 0);
-      if (cv.j1_hat > cv.j0) EXPECT_GT(cv.Level(cv.j1_hat - 1).kept, 0);
+      if (cv.j1_hat > cv.j0) {
+        EXPECT_GT(cv.Level(cv.j1_hat - 1).kept, 0);
+      }
     }
   }
 }

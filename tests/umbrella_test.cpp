@@ -1,0 +1,28 @@
+// Regression guard for the umbrella header: this translation unit includes
+// ONLY wde/wde.hpp (plus GoogleTest) so that a stale or broken include in the
+// umbrella fails the tier1 gate instead of rotting silently. (It cannot catch
+// a header that merely lost self-containment — earlier umbrella includes can
+// mask that — only the umbrella surface itself.) Keep it free of other
+// includes.
+#include "wde/wde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wde {
+namespace {
+
+TEST(UmbrellaTest, PublicTypesAreVisible) {
+  // Touch one symbol from each layer so a header that goes missing from the
+  // umbrella breaks this build, not just a downstream user's.
+  Status st;
+  EXPECT_TRUE(st.ok());
+  Result<double> r = 1.0;
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(UmbrellaTest, HeaderIsSelfContained) {
+  SUCCEED() << "wde/wde.hpp compiled as the sole library include";
+}
+
+}  // namespace
+}  // namespace wde
