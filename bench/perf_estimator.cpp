@@ -1,7 +1,11 @@
 // google-benchmark microbenches for the core estimator: streaming
 // coefficient updates, cross-validation, reconstruction and range queries —
-// the costs a query optimizer would pay.
+// the costs a query optimizer would pay. The *Scalar/*Batch pairs compare
+// per-point entry points against the span-based batch paths (bit-identical
+// by contract; tests/batch_equivalence_test.cpp).
 #include <benchmark/benchmark.h>
+
+#include <span>
 
 #include "core/adaptive.hpp"
 #include "core/binned.hpp"
@@ -36,6 +40,21 @@ void BM_CoefficientInsert(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CoefficientInsert)->Arg(6)->Arg(10)->Arg(12);
+
+void BM_CoefficientAddAll(benchmark::State& state) {
+  // The batch counterpart of BM_CoefficientInsert: same per-item work,
+  // accumulated level-by-level with hoisted table setup.
+  const int j_max = static_cast<int>(state.range(0));
+  Result<core::EmpiricalCoefficients> coeffs =
+      core::EmpiricalCoefficients::Create(Basis(), 2, j_max);
+  const std::vector<double> xs = Data(4096);
+  for (auto _ : state) {
+    coeffs->AddAll(xs);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_CoefficientAddAll)->Arg(6)->Arg(10)->Arg(12);
 
 void BM_CrossValidate(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -78,8 +97,27 @@ void BM_EvaluatePoint(benchmark::State& state) {
     if (x > 1.0) x -= 1.0;
     benchmark::DoNotOptimize(fit->estimate.Evaluate(x));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EvaluatePoint);
+
+void BM_EvaluateManyBatch(benchmark::State& state) {
+  // One reconstruction pass per level across the whole grid vs one pass per
+  // point (BM_EvaluatePoint).
+  Result<core::AdaptiveDensityEstimate> fit = core::FitAdaptive(Basis(), Data(1024));
+  const size_t points = 4096;
+  std::vector<double> xs(points), out(points);
+  for (size_t i = 0; i < points; ++i) {
+    xs[i] = static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  for (auto _ : state) {
+    fit->estimate.EvaluateMany(xs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EvaluateManyBatch);
 
 void BM_BinnedFitAndReconstruct(benchmark::State& state) {
   // The WaveLab-style fast path: bin + pyramid + threshold + inverse.
@@ -104,8 +142,31 @@ void BM_IntegrateRange(benchmark::State& state) {
     if (a > 0.7) a -= 0.7;
     benchmark::DoNotOptimize(fit->estimate.IntegrateRange(a, a + 0.2));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_IntegrateRange);
+
+void BM_IntegrateRangeManyBatch(benchmark::State& state) {
+  // Range-query counterpart: one antiderivative pass per level across all
+  // ranges vs per-range setup (BM_IntegrateRange).
+  Result<core::AdaptiveDensityEstimate> fit = core::FitAdaptive(Basis(), Data(4096));
+  const size_t n = 1024;
+  std::vector<double> a(n), b(n), out(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.000917;
+    if (x > 0.7) x -= 0.7;
+    a[i] = x;
+    b[i] = x + 0.2;
+  }
+  for (auto _ : state) {
+    fit->estimate.IntegrateRangeMany(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IntegrateRangeManyBatch);
 
 }  // namespace
 

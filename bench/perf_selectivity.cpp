@@ -2,10 +2,20 @@
 // estimators: per-insert cost, range-query latency, and refit cost — the
 // numbers that decide whether the wavelet sketch is deployable in an
 // optimizer's statistics pipeline.
+//
+// The *Scalar/*Batch pairs measure the same work through the per-point
+// virtuals vs the span-based batch entry points (which are bit-identical by
+// contract; see tests/batch_equivalence_test.cpp). The batch JSON baseline in
+// BENCH_selectivity_batch.json is produced from this binary — see
+// docs/BENCHMARKS.md for the exact command.
 #include <benchmark/benchmark.h>
+
+#include <span>
+#include <vector>
 
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
+#include "selectivity/query_workload.hpp"
 #include "selectivity/sample_selectivity.hpp"
 #include "selectivity/wavelet_selectivity.hpp"
 #include "selectivity/wavelet_synopsis.hpp"
@@ -30,15 +40,130 @@ selectivity::StreamingWaveletSelectivity MakeSketch(size_t refit_interval = 1ULL
   return *selectivity::StreamingWaveletSelectivity::Create(Basis(), options);
 }
 
-void BM_InsertWaveletSketch(benchmark::State& state) {
-  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
-  stats::Rng rng(1);
-  for (auto _ : state) {
-    sketch.Insert(rng.UniformDouble());
+const std::vector<double>& Stream(size_t n) {
+  static std::vector<double> data;
+  if (data.size() < n) {
+    stats::Rng rng(1);
+    data.resize(n);
+    for (double& x : data) x = rng.UniformDouble();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  return data;
 }
-BENCHMARK(BM_InsertWaveletSketch);
+
+std::vector<selectivity::RangeQuery> Queries(size_t count) {
+  stats::Rng rng(5);
+  return selectivity::CenteredRangeWorkload(rng, count, 0.0, 1.0, 0.02, 0.3);
+}
+
+// ------------------------------------------------- wavelet sketch: inserts
+
+void BM_WaveletSketchInsertScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double>& data = Stream(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) sketch.Insert(data[i]);
+    benchmark::DoNotOptimize(sketch.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WaveletSketchInsertScalar)->Arg(1 << 16)->Arg(1000000);
+
+void BM_WaveletSketchInsertBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double>& data = Stream(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+    state.ResumeTiming();
+    sketch.InsertBatch(std::span<const double>(data.data(), n));
+    benchmark::DoNotOptimize(sketch.count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WaveletSketchInsertBatch)->Arg(1 << 16)->Arg(1000000);
+
+// -------------------------------------------------- wavelet sketch: queries
+
+void BM_WaveletSketchQueryScalar(benchmark::State& state) {
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+  sketch.InsertBatch(Stream(1000000));
+  sketch.Refit();
+  const std::vector<selectivity::RangeQuery> queries = Queries(1024);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const selectivity::RangeQuery& q : queries) {
+      acc += sketch.EstimateRange(q.lo, q.hi);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_WaveletSketchQueryScalar);
+
+void BM_WaveletSketchQueryBatch(benchmark::State& state) {
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
+  sketch.InsertBatch(Stream(1000000));
+  sketch.Refit();
+  const std::vector<selectivity::RangeQuery> queries = Queries(1024);
+  std::vector<double> answers(queries.size());
+  for (auto _ : state) {
+    sketch.EstimateBatch(queries, answers);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_WaveletSketchQueryBatch);
+
+// ------------------------------------- wavelet sketch: full stream workload
+// The acceptance workload: ingest a 1e6-sample stream (periodic refits on)
+// and answer a query batch — scalar virtuals vs batch entry points.
+
+void BM_WaveletSketchStreamScalar(benchmark::State& state) {
+  const size_t n = 1000000;
+  const std::vector<double>& data = Stream(n);
+  const std::vector<selectivity::RangeQuery> queries = Queries(1024);
+  for (auto _ : state) {
+    state.PauseTiming();
+    selectivity::StreamingWaveletSelectivity sketch = MakeSketch(1 << 18);
+    state.ResumeTiming();
+    for (size_t i = 0; i < n; ++i) sketch.Insert(data[i]);
+    double acc = 0.0;
+    for (const selectivity::RangeQuery& q : queries) {
+      acc += sketch.EstimateRange(q.lo, q.hi);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n + queries.size()));
+}
+BENCHMARK(BM_WaveletSketchStreamScalar);
+
+void BM_WaveletSketchStreamBatch(benchmark::State& state) {
+  const size_t n = 1000000;
+  const std::vector<double>& data = Stream(n);
+  const std::vector<selectivity::RangeQuery> queries = Queries(1024);
+  std::vector<double> answers(queries.size());
+  for (auto _ : state) {
+    state.PauseTiming();
+    selectivity::StreamingWaveletSelectivity sketch = MakeSketch(1 << 18);
+    state.ResumeTiming();
+    sketch.InsertBatch(std::span<const double>(data.data(), n));
+    sketch.EstimateBatch(queries, answers);
+    benchmark::DoNotOptimize(answers.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n + queries.size()));
+}
+BENCHMARK(BM_WaveletSketchStreamBatch);
+
+// ------------------------------------------------------ baseline estimators
 
 void BM_InsertEquiWidth(benchmark::State& state) {
   selectivity::EquiWidthHistogram hist(0.0, 1.0, 64);
@@ -71,12 +196,6 @@ void QueryLoop(benchmark::State& state, Estimator& estimator) {
     benchmark::DoNotOptimize(estimator.EstimateRange(a, a + 0.15));
   }
 }
-
-void BM_QueryWaveletSketch(benchmark::State& state) {
-  selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
-  QueryLoop(state, sketch);
-}
-BENCHMARK(BM_QueryWaveletSketch);
 
 void BM_QueryEquiWidth(benchmark::State& state) {
   selectivity::EquiWidthHistogram hist(0.0, 1.0, 64);
@@ -118,8 +237,7 @@ BENCHMARK(BM_QueryHaarSynopsis);
 void BM_WaveletRefit(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   selectivity::StreamingWaveletSelectivity sketch = MakeSketch();
-  stats::Rng rng(7);
-  for (size_t i = 0; i < n; ++i) sketch.Insert(rng.UniformDouble());
+  sketch.InsertBatch(std::span<const double>(Stream(n).data(), n));
   for (auto _ : state) {
     sketch.Refit();
   }

@@ -1,7 +1,9 @@
 // google-benchmark microbenches for the wavelet substrate: filter
 // derivation, cascade table construction, point evaluation (table vs
-// Daubechies-Lagarias), and DWT round trips.
+// Daubechies-Lagarias), batch vs scalar table walks, and DWT round trips.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "stats/rng.hpp"
 #include "wavelet/cascade.hpp"
@@ -52,6 +54,49 @@ void BM_TablePointEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_TablePointEvaluation);
 
+void BM_TableEvaluateManyBatch(benchmark::State& state) {
+  // Batch counterpart of BM_TablePointEvaluation; sorted inputs walk the
+  // dyadic table cache-coherently.
+  const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  const size_t n = 4096;
+  std::vector<double> xs(n), out(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.37;
+    if (x > 14.0) x -= 14.0;
+    xs[i] = x;
+  }
+  std::sort(xs.begin(), xs.end());
+  for (auto _ : state) {
+    basis.EvaluateMany(wavelet::MotherFunction::kPsi, xs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TableEvaluateManyBatch);
+
+void BM_AntiderivativeManyBatch(benchmark::State& state) {
+  const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  const size_t n = 4096;
+  std::vector<double> xs(n), out(n);
+  double x = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 0.37;
+    if (x > 16.0) x -= 17.0;
+    xs[i] = x;
+  }
+  for (auto _ : state) {
+    basis.AntiderivativeMany(wavelet::MotherFunction::kPhi, xs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AntiderivativeManyBatch);
+
 void BM_DaubechiesLagariasPointEvaluation(benchmark::State& state) {
   const wavelet::DaubechiesLagariasEvaluator dl(*wavelet::WaveletFilter::Symmlet(8));
   double x = 0.0;
@@ -76,8 +121,30 @@ void BM_ScaledBasisEvaluation(benchmark::State& state) {
     for (int k = window.lo; k <= window.hi; ++k) acc += basis.PsiJk(j, k, x);
     benchmark::DoNotOptimize(acc);
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ScaledBasisEvaluation)->Arg(3)->Arg(8);
+
+void BM_ScaledBasisEvaluationHoisted(benchmark::State& state) {
+  // Same per-point work as BM_ScaledBasisEvaluation through the hoisted
+  // level evaluator — the 2^{j/2}/table setup paid once, not per call. This
+  // is the inner loop of the batched coefficient accumulator.
+  const wavelet::WaveletBasis basis =
+      *wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+  const int j = static_cast<int>(state.range(0));
+  const wavelet::ScaledLevelEvaluator eval = basis.PsiLevel(j);
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.000917;
+    if (x > 1.0) x -= 1.0;
+    const wavelet::TranslationWindow window = eval.PointWindow(x);
+    double acc = 0.0;
+    for (int k = window.lo; k <= window.hi; ++k) acc += eval.Value(k, x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScaledBasisEvaluationHoisted)->Arg(3)->Arg(8);
 
 void BM_DwtRoundTrip(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

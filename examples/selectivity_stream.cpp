@@ -59,13 +59,14 @@ int main() {
   stats::Rng rng(7);
   const size_t kStreamLength = 16384;
   const std::vector<double> values = stream.Sample(kStreamLength, rng);
-  for (double v : values) {
-    sketch->Insert(v);
-    equi_width.Insert(v);
-    equi_depth.Insert(v);
-    reservoir.Insert(v);
-    synopsis->Insert(v);
-  }
+  // Rows arrive in batches in a real optimizer's statistics pipeline; the
+  // batch entry point amortizes the per-sample table setup (and for the
+  // baselines falls back to the scalar loop).
+  sketch->InsertBatch(values);
+  equi_width.InsertBatch(values);
+  equi_depth.InsertBatch(values);
+  reservoir.InsertBatch(values);
+  synopsis->InsertBatch(values);
   std::printf("ingested %zu dependent stream values (logistic-map driven)\n\n",
               kStreamLength);
 

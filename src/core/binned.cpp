@@ -8,6 +8,30 @@
 namespace wde {
 namespace core {
 
+namespace {
+
+/// Bins `data` into `counts` (cells spanning [lo, lo + width]); returns an
+/// error without touching `counts` if any value falls outside.
+Status BinInto(std::span<const double> data, double lo, double width,
+               std::vector<double>* counts) {
+  const size_t cells = counts->size();
+  for (double x : data) {
+    const double t = (x - lo) / width;
+    if (t < 0.0 || t > 1.0) {
+      return Status::OutOfRange(Format("observation %.6g outside [%.6g, %.6g]",
+                                       x, lo, lo + width));
+    }
+  }
+  for (double x : data) {
+    const double t = (x - lo) / width;
+    const size_t cell = std::min(cells - 1, static_cast<size_t>(t * cells));
+    (*counts)[cell] += 1.0;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<BinnedWaveletFit> BinnedWaveletFit::Fit(const wavelet::WaveletFilter& filter,
                                                std::span<const double> data, int j0,
                                                int finest_level, double lo,
@@ -22,28 +46,38 @@ Result<BinnedWaveletFit> BinnedWaveletFit::Fit(const wavelet::WaveletFilter& fil
   const size_t cells = 1ULL << finest_level;
   const double width = hi - lo;
   std::vector<double> counts(cells, 0.0);
-  for (double x : data) {
-    const double t = (x - lo) / width;
-    if (t < 0.0 || t > 1.0) {
-      return Status::OutOfRange(Format("observation %.6g outside [%.6g, %.6g]",
-                                       x, lo, hi));
-    }
-    const size_t cell = std::min(cells - 1, static_cast<size_t>(t * cells));
-    counts[cell] += 1.0;
-  }
-  const double scale =
-      std::exp2(0.5 * static_cast<double>(finest_level)) / static_cast<double>(data.size());
-  for (double& c : counts) c *= scale;
+  Status binned = BinInto(data, lo, width, &counts);
+  if (!binned.ok()) return binned;
+  return BinnedWaveletFit(filter, std::move(counts), j0, finest_level, lo, width,
+                          data.size());
+}
 
+Status BinnedWaveletFit::AddBatch(std::span<const double> data) {
+  Status binned = BinInto(data, lo_, width_, &counts_);
+  if (!binned.ok()) return binned;
+  count_ += data.size();
+  return Status::OK();
+}
+
+void BinnedWaveletFit::EnsurePyramid() const {
+  if (pyramid_at_count_ == count_) return;
+  // Scaled counts s_k = 2^{J/2}·count_k/n are the finest-level scaling
+  // coefficients; bin counts are exact integers, so recomputing from the raw
+  // counts gives the same coefficients as a one-shot fit of the whole stream.
+  const double scale = std::exp2(0.5 * static_cast<double>(finest_level_)) /
+                       static_cast<double>(count_);
+  std::vector<double> scaled(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) scaled[i] = counts_[i] * scale;
   Result<wavelet::DwtCoefficients> pyramid =
-      wavelet::ForwardDwt(filter, counts, finest_level - j0);
-  if (!pyramid.ok()) return pyramid.status();
-  return BinnedWaveletFit(filter, std::move(pyramid).value(), j0, finest_level, lo,
-                          width, data.size());
+      wavelet::ForwardDwt(filter_, scaled, finest_level_ - j0_);
+  WDE_CHECK_OK(pyramid.status());
+  pyramid_ = std::move(pyramid).value();
+  pyramid_at_count_ = count_;
 }
 
 double BinnedWaveletFit::BetaHat(int j, int k) const {
   WDE_CHECK(j >= j0_ && j < finest_level_, "detail level out of range");
+  EnsurePyramid();
   // pyramid_.details[0] is the finest level (finest_level_ - 1).
   const size_t index = static_cast<size_t>(finest_level_ - 1 - j);
   const std::vector<double>& level = pyramid_.details[index];
@@ -53,6 +87,7 @@ double BinnedWaveletFit::BetaHat(int j, int k) const {
 }
 
 double BinnedWaveletFit::AlphaHat(int k) const {
+  EnsurePyramid();
   WDE_CHECK(k >= 0 && static_cast<size_t>(k) < pyramid_.approximation.size(),
             "translation out of range");
   return pyramid_.approximation[static_cast<size_t>(k)];
@@ -60,6 +95,7 @@ double BinnedWaveletFit::AlphaHat(int k) const {
 
 Result<std::vector<double>> BinnedWaveletFit::EstimateOnGrid(
     const ThresholdSchedule& schedule, ThresholdKind kind) const {
+  EnsurePyramid();
   wavelet::DwtCoefficients thresholded = pyramid_;
   for (size_t index = 0; index < thresholded.details.size(); ++index) {
     const int j = finest_level_ - 1 - static_cast<int>(index);

@@ -25,6 +25,11 @@ namespace core {
 /// The binned path carries no per-coefficient pair sums, so it supports
 /// fixed threshold schedules (e.g. `TheoreticalSchedule`) but not the
 /// HTCV/STCV criteria; use `WaveletDensityFit` for cross-validation.
+///
+/// The bin counts accumulate incrementally (`AddBatch`); the pyramid is
+/// recomputed lazily from the raw counts when coefficients or grid estimates
+/// are next read, so batched streaming appends cost O(batch) plus one
+/// O(2^J·L) transform per read of a stale fit.
 class BinnedWaveletFit {
  public:
   /// Bins `data` (values inside [lo, hi]; outside is an error) into 2^J
@@ -33,6 +38,12 @@ class BinnedWaveletFit {
                                       std::span<const double> data, int j0,
                                       int finest_level, double lo = 0.0,
                                       double hi = 1.0);
+
+  /// Bins additional observations into the existing grid. Fit(a ++ b) and
+  /// Fit(a) followed by AddBatch(b) produce bit-identical coefficients (bin
+  /// counts are exact integer sums). Values outside [lo, hi] are an error
+  /// and leave the fit unchanged.
+  Status AddBatch(std::span<const double> data);
 
   int j0() const { return j0_; }
   int finest_level() const { return finest_level_; }
@@ -53,23 +64,28 @@ class BinnedWaveletFit {
   std::vector<double> GridCenters() const;
 
  private:
-  BinnedWaveletFit(wavelet::WaveletFilter filter, wavelet::DwtCoefficients pyramid,
+  BinnedWaveletFit(wavelet::WaveletFilter filter, std::vector<double> counts,
                    int j0, int finest_level, double lo, double width, size_t count)
       : filter_(std::move(filter)),
-        pyramid_(std::move(pyramid)),
+        counts_(std::move(counts)),
         j0_(j0),
         finest_level_(finest_level),
         lo_(lo),
         width_(width),
         count_(count) {}
 
+  /// Recomputes pyramid_ from counts_ if stale.
+  void EnsurePyramid() const;
+
   wavelet::WaveletFilter filter_;
-  wavelet::DwtCoefficients pyramid_;  // approximation = level j0
+  std::vector<double> counts_;  // raw per-cell counts, exact integers
   int j0_;
   int finest_level_;
   double lo_;
   double width_;
   size_t count_;
+  mutable wavelet::DwtCoefficients pyramid_;  // approximation = level j0
+  mutable size_t pyramid_at_count_ = 0;
 };
 
 }  // namespace core

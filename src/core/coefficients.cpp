@@ -68,8 +68,29 @@ void EmpiricalCoefficients::Add(double x) {
   ++count_;
 }
 
+void EmpiricalCoefficients::AccumulateLevel(CoefficientLevel* level,
+                                            std::span<const double> xs) {
+  // The point window is always inside the level window (PointWindow clamps),
+  // and the level arrays cover the whole level window, so no Contains() check
+  // is needed here. Accumulation order per (k) slot matches the scalar path:
+  // samples in stream order.
+  const wavelet::ScaledLevelEvaluator eval =
+      level->is_scaling ? basis_.PhiLevel(level->j) : basis_.PsiLevel(level->j);
+  double* s1 = level->s1.data();
+  double* s2 = level->s2.data();
+  const int k_lo = level->k_lo;
+  for (double x : xs) {
+    eval.AccumulateValueAndSquare(x, k_lo, s1, s2);
+  }
+}
+
 void EmpiricalCoefficients::AddAll(std::span<const double> xs) {
-  for (double x : xs) Add(x);
+  for (double x : xs) {
+    WDE_CHECK(x >= 0.0 && x <= 1.0, "observation outside the unit interval");
+  }
+  AccumulateLevel(&scaling_, xs);
+  for (CoefficientLevel& level : details_) AccumulateLevel(&level, xs);
+  count_ += xs.size();
 }
 
 const CoefficientLevel& EmpiricalCoefficients::detail_level(int j) const {

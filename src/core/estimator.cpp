@@ -35,15 +35,64 @@ double WaveletEstimate::Evaluate(double x) const {
   return acc / width_;
 }
 
+void WaveletEstimate::EvaluateMany(std::span<const double> xs,
+                                   std::span<double> out) const {
+  WDE_CHECK_EQ(xs.size(), out.size(), "EvaluateMany spans must match");
+  const size_t n = xs.size();
+  std::vector<double> ts(n);
+  for (size_t i = 0; i < n; ++i) ts[i] = (xs[i] - lo_) / width_;
+  for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+  {
+    const wavelet::ScaledLevelEvaluator eval = basis_.PhiLevel(j0_);
+    const double* alpha = alpha_.data();
+    const int n_alpha = static_cast<int>(alpha_.size());
+    const int k_lo = scaling_k_lo_;
+    for (size_t i = 0; i < n; ++i) {
+      const double t = ts[i];
+      if (t < 0.0 || t > 1.0) continue;
+      const wavelet::TranslationWindow window = eval.PointWindow(t);
+      for (int k = window.lo; k <= window.hi; ++k) {
+        const int idx = k - k_lo;
+        if (idx < 0 || idx >= n_alpha) continue;
+        out[i] += alpha[idx] * eval.Value(k, t);
+      }
+    }
+  }
+  for (const DetailLevel& level : details_) {
+    if (level.kept == 0) continue;
+    const wavelet::ScaledLevelEvaluator eval = basis_.PsiLevel(level.j);
+    const double* theta = level.theta.data();
+    const int n_theta = static_cast<int>(level.theta.size());
+    const int k_lo = level.k_lo;
+    for (size_t i = 0; i < n; ++i) {
+      const double t = ts[i];
+      if (t < 0.0 || t > 1.0) continue;
+      const wavelet::TranslationWindow window = eval.PointWindow(t);
+      for (int k = window.lo; k <= window.hi; ++k) {
+        const int idx = k - k_lo;
+        if (idx < 0 || idx >= n_theta) continue;
+        const double coeff = theta[idx];
+        if (coeff == 0.0) continue;
+        out[i] += coeff * eval.Value(k, t);
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double t = ts[i];
+    if (t < 0.0 || t > 1.0) continue;
+    out[i] = out[i] / width_;
+  }
+}
+
 std::vector<double> WaveletEstimate::EvaluateOnGrid(double lo, double hi,
                                                     size_t points) const {
   WDE_CHECK_GE(points, 2u);
   WDE_CHECK_LT(lo, hi);
-  std::vector<double> out(points);
+  std::vector<double> xs(points);
   const double dx = (hi - lo) / static_cast<double>(points - 1);
-  for (size_t i = 0; i < points; ++i) {
-    out[i] = Evaluate(lo + dx * static_cast<double>(i));
-  }
+  for (size_t i = 0; i < points; ++i) xs[i] = lo + dx * static_cast<double>(i);
+  std::vector<double> out(points);
+  EvaluateMany(xs, out);
   return out;
 }
 
@@ -93,6 +142,67 @@ double WaveletEstimate::IntegrateRange(double a, double b) const {
     }
   }
   return acc;
+}
+
+void WaveletEstimate::IntegrateRangeMany(std::span<const double> a,
+                                         std::span<const double> b,
+                                         std::span<double> out) const {
+  WDE_CHECK(a.size() == b.size() && a.size() == out.size(),
+            "IntegrateRangeMany spans must match");
+  const size_t n = a.size();
+  std::vector<double> ta(n), tb(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = a[i];
+    double y = b[i];
+    if (y < x) std::swap(x, y);
+    ta[i] = std::clamp((x - lo_) / width_, 0.0, 1.0);
+    tb[i] = std::clamp((y - lo_) / width_, 0.0, 1.0);
+  }
+  for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+  const int support = basis_.support_length();
+  {
+    const wavelet::ScaledLevelEvaluator eval = basis_.PhiLevel(j0_);
+    const double scale = std::ldexp(1.0, j0_);
+    const double factor = std::exp2(-0.5 * static_cast<double>(j0_));
+    const double* alpha = alpha_.data();
+    const int k_lo = scaling_k_lo_;
+    const int k_hi = k_lo + static_cast<int>(alpha_.size()) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (tb[i] <= ta[i]) continue;
+      const int k_first =
+          std::max(k_lo, static_cast<int>(std::ceil(scale * ta[i])) - support);
+      const int k_last = std::min(k_hi, static_cast<int>(std::floor(scale * tb[i])));
+      for (int k = k_first; k <= k_last; ++k) {
+        const double coeff = alpha[k - k_lo];
+        if (coeff == 0.0) continue;
+        out[i] += coeff * ((eval.AntiderivativeAt(k, tb[i]) -
+                            eval.AntiderivativeAt(k, ta[i])) *
+                           factor);
+      }
+    }
+  }
+  for (const DetailLevel& level : details_) {
+    if (level.kept == 0) continue;
+    const wavelet::ScaledLevelEvaluator eval = basis_.PsiLevel(level.j);
+    const double scale = std::ldexp(1.0, level.j);
+    const double factor = std::exp2(-0.5 * static_cast<double>(level.j));
+    const double* theta = level.theta.data();
+    const int k_lo = level.k_lo;
+    const int k_hi = k_lo + static_cast<int>(level.theta.size()) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (tb[i] <= ta[i]) continue;
+      const int k_first =
+          std::max(k_lo, static_cast<int>(std::ceil(scale * ta[i])) - support);
+      const int k_last = std::min(k_hi, static_cast<int>(std::floor(scale * tb[i])));
+      for (int k = k_first; k <= k_last; ++k) {
+        const double coeff = theta[k - k_lo];
+        if (coeff == 0.0) continue;
+        out[i] += coeff * ((eval.AntiderivativeAt(k, tb[i]) -
+                            eval.AntiderivativeAt(k, ta[i])) *
+                           factor);
+      }
+    }
+  }
 }
 
 double WaveletEstimate::TotalMass() const {
@@ -149,8 +259,8 @@ Result<WaveletDensityFit> WaveletDensityFit::Fit(const wavelet::WaveletBasis& ba
           Format("observation %.6g outside domain [%.6g, %.6g]", x,
                  options.domain_lo, options.domain_hi));
     }
-    fit->Add(x);
   }
+  fit->AddBatch(data);
   return fit;
 }
 
@@ -170,6 +280,16 @@ void WaveletDensityFit::Add(double x) {
   const double t = (x - lo_) / width_;
   WDE_CHECK(t >= 0.0 && t <= 1.0, "observation outside the fit domain");
   coefficients_.Add(t);
+}
+
+void WaveletDensityFit::AddBatch(std::span<const double> xs) {
+  std::vector<double> ts(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double t = (xs[i] - lo_) / width_;
+    WDE_CHECK(t >= 0.0 && t <= 1.0, "observation outside the fit domain");
+    ts[i] = t;
+  }
+  coefficients_.AddAll(ts);
 }
 
 WaveletEstimate WaveletDensityFit::Estimate(const ThresholdSchedule& schedule,

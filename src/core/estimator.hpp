@@ -36,12 +36,25 @@ class WaveletEstimate {
   };
 
   double Evaluate(double x) const;
+
+  /// Batch evaluation: out[i] = Evaluate(xs[i]), bit-identical to the scalar
+  /// call, but reconstructed one pass per level (hoisted 2^j/2^{j/2}/table
+  /// setup) instead of one pass per point.
+  void EvaluateMany(std::span<const double> xs, std::span<double> out) const;
+
+  /// Built on EvaluateMany; one level pass over the whole grid.
   std::vector<double> EvaluateOnGrid(double lo, double hi, size_t points) const;
 
   /// Exact ∫_a^b f̂ via the basis antiderivative tables (what a selectivity
   /// query is). The estimate is a signed measure — thresholding does not
   /// preserve positivity — so values may fall slightly outside [0, 1].
   double IntegrateRange(double a, double b) const;
+
+  /// Batch range integration: out[i] = IntegrateRange(a[i], b[i]),
+  /// bit-identical to the scalar call, one pass per level across all ranges.
+  /// The batch query path of the selectivity layer.
+  void IntegrateRangeMany(std::span<const double> a, std::span<const double> b,
+                          std::span<double> out) const;
 
   /// Total mass ∫ f̂ over the domain.
   double TotalMass() const;
@@ -101,6 +114,10 @@ class WaveletDensityFit {
 
   /// Adds one observation (must lie inside the domain; checked).
   void Add(double x);
+
+  /// Batch insert: equivalent to Add(x) per element in order (bit-identical
+  /// coefficient sums), routed through the batched accumulator.
+  void AddBatch(std::span<const double> xs);
 
   size_t count() const { return coefficients_.count(); }
   const EmpiricalCoefficients& coefficients() const { return coefficients_; }

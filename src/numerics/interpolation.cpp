@@ -18,13 +18,16 @@ double UniformGridInterpolator::x1() const {
   return x0_ + dx_ * static_cast<double>(values_.size() - 1);
 }
 
-double UniformGridInterpolator::Evaluate(double x) const {
-  const double t = (x - x0_) / dx_;
-  if (t < 0.0 || t > static_cast<double>(values_.size() - 1)) return 0.0;
-  const auto idx = static_cast<size_t>(t);
-  if (idx + 1 >= values_.size()) return values_.back();
-  const double frac = t - static_cast<double>(idx);
-  return values_[idx] * (1.0 - frac) + values_[idx + 1] * frac;
+void UniformGridInterpolator::EvaluateMany(std::span<const double> xs,
+                                           std::span<double> out) const {
+  WDE_CHECK_EQ(xs.size(), out.size(), "EvaluateMany spans must match");
+  const double x0 = x0_;
+  const double dx = dx_;
+  const double* values = values_.data();
+  const size_t n = values_.size();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = EvaluateOn(x0, dx, values, n, xs[i]);
+  }
 }
 
 }  // namespace numerics

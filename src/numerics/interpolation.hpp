@@ -1,6 +1,8 @@
 #ifndef WDE_NUMERICS_INTERPOLATION_HPP_
 #define WDE_NUMERICS_INTERPOLATION_HPP_
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 namespace wde {
@@ -20,7 +22,26 @@ class UniformGridInterpolator {
   /// Right end of the grid span.
   double x1() const;
 
-  double Evaluate(double x) const;
+  double Evaluate(double x) const {
+    return EvaluateOn(x0_, dx_, values_.data(), values_.size(), x);
+  }
+
+  /// Raw-array core of Evaluate. Batch loops hoist the member loads by
+  /// keeping (x0, dx, values, n) in locals and calling this per point; the
+  /// arithmetic is the scalar path's, so results are bit-identical.
+  static double EvaluateOn(double x0, double dx, const double* values, size_t n,
+                           double x) {
+    const double t = (x - x0) / dx;
+    if (t < 0.0 || t > static_cast<double>(n - 1)) return 0.0;
+    const auto idx = static_cast<size_t>(t);
+    if (idx + 1 >= n) return values[n - 1];
+    const double frac = t - static_cast<double>(idx);
+    return values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+  }
+
+  /// out[i] = Evaluate(xs[i]) with the grid parameters hoisted out of the
+  /// loop; bit-identical to calling Evaluate per point.
+  void EvaluateMany(std::span<const double> xs, std::span<double> out) const;
 
  private:
   double x0_;

@@ -13,6 +13,15 @@ void KdeSelectivity::Insert(double x) {
   values_.push_back(std::clamp(x, options_.domain_lo, options_.domain_hi));
 }
 
+void KdeSelectivity::InsertBatch(std::span<const double> xs) {
+  // No exact-fit reserve: amortized vector growth beats a
+  // reallocate-per-chunk pattern under repeated batch ingestion.
+  for (double x : xs) {
+    if (!std::isfinite(x)) continue;
+    values_.push_back(std::clamp(x, options_.domain_lo, options_.domain_hi));
+  }
+}
+
 void KdeSelectivity::RefitIfStale() const {
   if (values_.size() < 4) return;
   if (kde_.has_value() && values_.size() - fitted_at_count_ < options_.refit_interval) {
@@ -40,6 +49,25 @@ double KdeSelectivity::EstimateRange(double a, double b) const {
     return static_cast<double>(hits) / static_cast<double>(values_.size());
   }
   return std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
+}
+
+void KdeSelectivity::EstimateBatch(std::span<const RangeQuery> queries,
+                                   std::span<double> out) const {
+  WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
+  if (queries.empty()) return;  // scalar loop would not touch the fit at all
+  RefitIfStale();  // no inserts between queries: staleness is checked once
+  if (!kde_.has_value()) {
+    // Tiny-sample fallback, matching the scalar path per query.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = EstimateRange(queries[i].lo, queries[i].hi);
+    }
+    return;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double a = queries[i].lo;
+    double b = queries[i].hi;
+    out[i] = std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
+  }
 }
 
 }  // namespace selectivity

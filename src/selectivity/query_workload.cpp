@@ -42,9 +42,12 @@ SelectivityAccuracy EvaluateAccuracy(
   SelectivityAccuracy acc;
   acc.queries = queries.size();
   if (queries.empty()) return acc;
+  std::vector<double> estimates(queries.size());
+  estimator.EstimateBatch(queries, estimates);
   double sq_sum = 0.0;
-  for (const RangeQuery& q : queries) {
-    const double est = estimator.EstimateRange(q.lo, q.hi);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const RangeQuery& q = queries[i];
+    const double est = estimates[i];
     const double ref = truth(q);
     const double abs_err = std::fabs(est - ref);
     acc.mean_abs_error += abs_err;

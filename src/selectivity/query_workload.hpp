@@ -11,12 +11,6 @@
 namespace wde {
 namespace selectivity {
 
-/// A closed range predicate [lo, hi].
-struct RangeQuery {
-  double lo = 0.0;
-  double hi = 0.0;
-};
-
 /// Generates `count` queries with both endpoints uniform over the domain
 /// (sorted per query).
 std::vector<RangeQuery> UniformRangeWorkload(stats::Rng& rng, size_t count,
@@ -32,6 +26,7 @@ std::vector<RangeQuery> CenteredRangeWorkload(stats::Rng& rng, size_t count,
 /// Accuracy aggregates of an estimator against a ground-truth selectivity
 /// oracle. The q-error is max(est, truth)/min(est, truth) with both floored
 /// at `qerror_floor` (the DB-standard multiplicative error measure).
+/// Scoring runs through the estimator's batch query path (EstimateBatch).
 struct SelectivityAccuracy {
   double mean_abs_error = 0.0;
   double rmse = 0.0;

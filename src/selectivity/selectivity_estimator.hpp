@@ -5,15 +5,28 @@
 /// motivating database application. Invariants: Insert() never throws or
 /// aborts on dirty data (non-finite values are dropped, out-of-domain values
 /// clamped); EstimateRange(a, b) approximates P(a ≤ X ≤ b) and is in [0, 1]
-/// up to estimator bias; implementations are not thread-safe.
+/// up to estimator bias; implementations are not thread-safe. The scalar
+/// virtuals (Insert/EstimateRange) are the extension point; the batch entry
+/// points (InsertBatch/EstimateBatch) default to looping them and may be
+/// overridden with genuinely batched implementations that must stay
+/// bit-identical to the scalar loop (enforced by batch_equivalence_test).
 #ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 #define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 
 #include <cstddef>
+#include <span>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace wde {
 namespace selectivity {
+
+/// A closed range predicate [lo, hi].
+struct RangeQuery {
+  double lo = 0.0;
+  double hi = 0.0;
+};
 
 /// A streaming estimator of range-predicate selectivity over a single numeric
 /// attribute: after observing values x_1..x_n, EstimateRange(a, b)
@@ -31,9 +44,27 @@ class SelectivityEstimator {
   /// tolerate dirty input rather than abort.
   virtual void Insert(double x) = 0;
 
+  /// Ingests a batch. Semantically identical to calling Insert(x) for each
+  /// element in order (and bit-identical in the estimator's observable
+  /// answers); overrides amortize per-sample dispatch and table setup.
+  virtual void InsertBatch(std::span<const double> xs) {
+    for (double x : xs) Insert(x);
+  }
+
   /// Estimated selectivity of [a, b]; implementations return values in
   /// [0, 1] up to estimator bias (wavelet estimates may slightly overshoot).
   virtual double EstimateRange(double a, double b) const = 0;
+
+  /// Answers a query batch: out[i] = EstimateRange(queries[i].lo,
+  /// queries[i].hi), bit-identical to the scalar loop; overrides amortize
+  /// staleness checks and per-level reconstruction setup across queries.
+  virtual void EstimateBatch(std::span<const RangeQuery> queries,
+                             std::span<double> out) const {
+    WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = EstimateRange(queries[i].lo, queries[i].hi);
+    }
+  }
 
   virtual size_t count() const = 0;
   virtual std::string name() const = 0;

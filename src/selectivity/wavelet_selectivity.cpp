@@ -25,6 +25,29 @@ void StreamingWaveletSelectivity::Insert(double x) {
   if (fit_.count() - fitted_at_count_ >= options_.refit_interval) RefitIfStale();
 }
 
+void StreamingWaveletSelectivity::InsertBatch(std::span<const double> xs) {
+  insert_scratch_.clear();
+  insert_scratch_.reserve(xs.size());
+  for (double x : xs) {
+    if (!std::isfinite(x)) continue;  // drop dirty input, as Insert does
+    insert_scratch_.push_back(std::clamp(x, options_.domain_lo, options_.domain_hi));
+  }
+  // Feed the accumulator in chunks that end exactly where the scalar loop
+  // would have refit, so the cached estimate goes through the same sequence
+  // of (refit point, coefficient state) pairs as per-point insertion.
+  std::span<const double> rest(insert_scratch_);
+  while (!rest.empty()) {
+    const size_t since_refit = fit_.count() - fitted_at_count_;
+    const size_t until_refit =
+        since_refit >= options_.refit_interval ? 1
+                                               : options_.refit_interval - since_refit;
+    const size_t chunk = std::min(until_refit, rest.size());
+    fit_.AddBatch(rest.first(chunk));
+    rest = rest.subspan(chunk);
+    if (fit_.count() - fitted_at_count_ >= options_.refit_interval) RefitIfStale();
+  }
+}
+
 void StreamingWaveletSelectivity::Refit() const {
   if (fit_.count() < 2) return;
   cv_ = core::CrossValidate(fit_.coefficients(), options_.kind);
@@ -46,6 +69,28 @@ double StreamingWaveletSelectivity::EstimateRange(double a, double b) const {
   // Clamp to [0, 1]: the thresholded expansion is a near-density but not a
   // guaranteed one.
   return std::clamp(estimate_->IntegrateRange(a, b), 0.0, 1.0);
+}
+
+void StreamingWaveletSelectivity::EstimateBatch(std::span<const RangeQuery> queries,
+                                                std::span<double> out) const {
+  WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
+  if (queries.empty()) return;  // scalar loop would not refit at all
+  if (fit_.count() < 2) {
+    for (double& o : out) o = 0.0;
+    return;
+  }
+  RefitIfStale();  // no inserts between queries: staleness is checked once
+  if (!estimate_.has_value()) {
+    for (double& o : out) o = 0.0;
+    return;
+  }
+  std::vector<double> a(queries.size()), b(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    a[i] = queries[i].lo;
+    b[i] = queries[i].hi;
+  }
+  estimate_->IntegrateRangeMany(a, b, out);
+  for (double& o : out) o = std::clamp(o, 0.0, 1.0);
 }
 
 double StreamingWaveletSelectivity::EstimateDensity(double x) const {

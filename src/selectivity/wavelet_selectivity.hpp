@@ -2,6 +2,7 @@
 #define WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_
 
 #include <optional>
+#include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/estimator.hpp"
@@ -36,7 +37,22 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
       const wavelet::WaveletBasis& basis, const Options& options);
 
   void Insert(double x) override;
+
+  /// Genuinely batched insert: cleans the batch (drop non-finite, clamp),
+  /// then feeds the coefficient accumulator level-by-level with hoisted
+  /// table setup instead of per-sample. The periodic-refit cadence is
+  /// replayed at the same stream positions as the scalar loop, so observable
+  /// behavior is bit-identical.
+  void InsertBatch(std::span<const double> xs) override;
+
   double EstimateRange(double a, double b) const override;
+
+  /// Genuinely batched queries: one staleness check, then one pass per
+  /// reconstruction level across all ranges (exact basis antiderivatives).
+  /// Bit-identical to the scalar loop.
+  void EstimateBatch(std::span<const RangeQuery> queries,
+                     std::span<double> out) const override;
+
   size_t count() const override { return fit_.count(); }
   std::string name() const override;
 
@@ -57,6 +73,7 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
 
   Options options_;
   core::WaveletDensityFit fit_;
+  std::vector<double> insert_scratch_;  // cleaned batch, reused across calls
   mutable std::optional<core::WaveletEstimate> estimate_;
   mutable std::optional<core::CrossValidationResult> cv_;
   mutable size_t fitted_at_count_ = 0;

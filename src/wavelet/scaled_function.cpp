@@ -8,6 +8,49 @@
 namespace wde {
 namespace wavelet {
 
+namespace {
+
+/// Exactly invertible grid steps: 1/dx is representable and multiplication
+/// by it reproduces division bit-for-bit. Holds for the cascade tables
+/// (dx = 2^-levels); enforced so the hoisted fast path can never silently
+/// diverge from the scalar interpolator.
+bool IsPowerOfTwo(double dx) {
+  int exponent = 0;
+  return std::frexp(dx, &exponent) == 0.5;
+}
+
+}  // namespace
+
+ScaledLevelEvaluator::ScaledLevelEvaluator(
+    int j, int support,
+    std::shared_ptr<const numerics::UniformGridInterpolator> table,
+    std::shared_ptr<const numerics::UniformGridInterpolator> cdf)
+    : j_(j),
+      support_(support),
+      level_lo_(-(support - 1)),
+      level_hi_((1 << j) - 1),
+      scale_(static_cast<double>(1 << j)),
+      sqrt_scale_(std::sqrt(scale_)),
+      table_x0_(table->x0()),
+      table_inv_dx_(1.0 / table->dx()),
+      table_t_max_(static_cast<double>(table->values().size() - 1)),
+      table_values_(table->values().data()),
+      table_n_(table->values().size()),
+      cdf_x0_(cdf->x0()),
+      cdf_inv_dx_(1.0 / cdf->dx()),
+      cdf_t_max_(static_cast<double>(cdf->values().size() - 1)),
+      cdf_values_(cdf->values().data()),
+      cdf_n_(cdf->values().size()),
+      cdf_x1_(cdf->x1()),
+      cdf_last_(cdf->values().back()),
+      table_(std::move(table)),
+      cdf_(std::move(cdf)) {
+  WDE_CHECK(IsPowerOfTwo(table_->dx()) && IsPowerOfTwo(cdf_->dx()),
+            "hoisted level evaluation requires power-of-two grid steps");
+  WDE_CHECK(table_->x0() == 0.0 && cdf_->x0() == 0.0,
+            "hoisted level evaluation requires zero-based grids");
+}
+
 Result<WaveletBasis> WaveletBasis::Create(const WaveletFilter& filter,
                                           int table_levels) {
   if (table_levels < 4 || table_levels > 20) {
@@ -30,6 +73,11 @@ Result<WaveletBasis> WaveletBasis::Create(const WaveletFilter& filter,
                       std::move(psi), std::move(phi_cdf), std::move(psi_cdf));
 }
 
+void WaveletBasis::EvaluateMany(MotherFunction f, std::span<const double> xs,
+                                std::span<double> out) const {
+  (f == MotherFunction::kPhi ? phi_ : psi_)->EvaluateMany(xs, out);
+}
+
 double WaveletBasis::PhiAntiderivative(double x) const {
   if (x <= 0.0) return 0.0;
   if (x >= phi_cdf_->x1()) return phi_cdf_->values().back();
@@ -42,6 +90,29 @@ double WaveletBasis::PsiAntiderivative(double x) const {
   return psi_cdf_->Evaluate(x);
 }
 
+void WaveletBasis::AntiderivativeMany(MotherFunction f, std::span<const double> xs,
+                                      std::span<double> out) const {
+  WDE_CHECK_EQ(xs.size(), out.size(), "AntiderivativeMany spans must match");
+  const numerics::UniformGridInterpolator& cdf =
+      f == MotherFunction::kPhi ? *phi_cdf_ : *psi_cdf_;
+  const double x0 = cdf.x0();
+  const double dx = cdf.dx();
+  const double* values = cdf.values().data();
+  const size_t n = cdf.values().size();
+  const double x1 = cdf.x1();
+  const double last = cdf.values().back();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    if (x <= 0.0) {
+      out[i] = 0.0;
+    } else if (x >= x1) {
+      out[i] = last;
+    } else {
+      out[i] = numerics::UniformGridInterpolator::EvaluateOn(x0, dx, values, n, x);
+    }
+  }
+}
+
 double WaveletBasis::PhiJk(int j, int k, double x) const {
   WDE_DCHECK(j >= 0 && j < 31);
   const double scale = static_cast<double>(1 << j);
@@ -52,6 +123,16 @@ double WaveletBasis::PsiJk(int j, int k, double x) const {
   WDE_DCHECK(j >= 0 && j < 31);
   const double scale = static_cast<double>(1 << j);
   return std::sqrt(scale) * psi_->Evaluate(scale * x - static_cast<double>(k));
+}
+
+ScaledLevelEvaluator WaveletBasis::PhiLevel(int j) const {
+  WDE_CHECK(j >= 0 && j < 31);
+  return ScaledLevelEvaluator(j, support_length(), phi_, phi_cdf_);
+}
+
+ScaledLevelEvaluator WaveletBasis::PsiLevel(int j) const {
+  WDE_CHECK(j >= 0 && j < 31);
+  return ScaledLevelEvaluator(j, support_length(), psi_, psi_cdf_);
 }
 
 TranslationWindow WaveletBasis::LevelWindow(int j) const {

@@ -1,0 +1,350 @@
+// Property tests for the batch-first hot paths: every batch entry point
+// (EvaluateMany / AntiderivativeMany / AddAll / AddBatch / InsertBatch /
+// EstimateBatch and the hoisted per-level evaluators) must produce results
+// BIT-IDENTICAL to the scalar loop it replaces, across all estimators and
+// random domains. These tests are the contract that lets the scalar virtuals
+// stay the extension point while the batch paths carry production traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/binned.hpp"
+#include "core/coefficients.hpp"
+#include "core/cross_validation.hpp"
+#include "core/estimator.hpp"
+#include "selectivity/histogram.hpp"
+#include "selectivity/kde_selectivity.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace {
+
+const wavelet::WaveletBasis& Sym8Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletBasis> b =
+        wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+const wavelet::WaveletBasis& Daub4Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletBasis> b =
+        wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Daubechies(4), 10);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+// Points spread over (and beyond) the mother support / unit interval,
+// including the exact edges where the scalar paths branch.
+std::vector<double> ProbePoints(stats::Rng& rng, size_t n, double lo, double hi) {
+  std::vector<double> xs;
+  xs.reserve(n + 4);
+  for (size_t i = 0; i < n; ++i) xs.push_back(rng.Uniform(lo, hi));
+  xs.push_back(lo);
+  xs.push_back(hi);
+  xs.push_back(0.0);
+  xs.push_back(1.0);
+  return xs;
+}
+
+// ------------------------------------------------------- numerics / wavelet
+
+TEST(BatchEquivalenceTest, InterpolatorEvaluateMany) {
+  stats::Rng rng(101);
+  std::vector<double> values(257);
+  for (double& v : values) v = rng.Gaussian();
+  const numerics::UniformGridInterpolator interp(-1.5, 0.03125, values);
+  const std::vector<double> xs = ProbePoints(rng, 500, -3.0, 9.0);
+  std::vector<double> batch(xs.size());
+  interp.EvaluateMany(xs, batch);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batch[i], interp.Evaluate(xs[i])) << "x=" << xs[i];
+  }
+}
+
+TEST(BatchEquivalenceTest, MotherEvaluateManyAndAntiderivativeMany) {
+  stats::Rng rng(103);
+  for (const wavelet::WaveletBasis* basis : {&Sym8Basis(), &Daub4Basis()}) {
+    const double support = static_cast<double>(basis->support_length());
+    const std::vector<double> xs = ProbePoints(rng, 400, -2.0, support + 2.0);
+    std::vector<double> batch(xs.size());
+    basis->EvaluateMany(wavelet::MotherFunction::kPhi, xs, batch);
+    for (size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(batch[i], basis->Phi(xs[i]));
+    basis->EvaluateMany(wavelet::MotherFunction::kPsi, xs, batch);
+    for (size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(batch[i], basis->Psi(xs[i]));
+    basis->AntiderivativeMany(wavelet::MotherFunction::kPhi, xs, batch);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], basis->PhiAntiderivative(xs[i]));
+    }
+    basis->AntiderivativeMany(wavelet::MotherFunction::kPsi, xs, batch);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(batch[i], basis->PsiAntiderivative(xs[i]));
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, ScaledLevelEvaluatorMatchesScalarEntryPoints) {
+  stats::Rng rng(107);
+  const wavelet::WaveletBasis& basis = Sym8Basis();
+  for (int j : {0, 2, 5, 9}) {
+    const wavelet::ScaledLevelEvaluator phi = basis.PhiLevel(j);
+    const wavelet::ScaledLevelEvaluator psi = basis.PsiLevel(j);
+    const double scale = std::ldexp(1.0, j);
+    for (int rep = 0; rep < 200; ++rep) {
+      const double x = rng.Uniform(-0.25, 1.25);
+      const wavelet::TranslationWindow expected = basis.PointWindow(j, x);
+      const wavelet::TranslationWindow got = phi.PointWindow(x);
+      EXPECT_EQ(got.lo, expected.lo);
+      EXPECT_EQ(got.hi, expected.hi);
+      for (int k = expected.lo; k <= expected.hi; ++k) {
+        EXPECT_EQ(phi.Value(k, x), basis.PhiJk(j, k, x));
+        EXPECT_EQ(psi.Value(k, x), basis.PsiJk(j, k, x));
+        EXPECT_EQ(phi.AntiderivativeAt(k, x),
+                  basis.PhiAntiderivative(scale * x - k));
+        EXPECT_EQ(psi.AntiderivativeAt(k, x),
+                  basis.PsiAntiderivative(scale * x - k));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- core
+
+TEST(BatchEquivalenceTest, CoefficientAddAllMatchesScalarAddBitwise) {
+  stats::Rng rng(109);
+  std::vector<double> xs(3000);
+  for (double& x : xs) x = rng.UniformDouble();
+  Result<core::EmpiricalCoefficients> scalar =
+      core::EmpiricalCoefficients::Create(Sym8Basis(), 2, 8);
+  Result<core::EmpiricalCoefficients> batch =
+      core::EmpiricalCoefficients::Create(Sym8Basis(), 2, 8);
+  ASSERT_TRUE(scalar.ok() && batch.ok());
+  for (double x : xs) scalar->Add(x);
+  batch->AddAll(xs);
+  ASSERT_EQ(scalar->count(), batch->count());
+  const auto expect_level_eq = [](const core::CoefficientLevel& a,
+                                  const core::CoefficientLevel& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.s1[static_cast<size_t>(i)], b.s1[static_cast<size_t>(i)])
+          << "s1 at level " << a.j << " index " << i;
+      EXPECT_EQ(a.s2[static_cast<size_t>(i)], b.s2[static_cast<size_t>(i)])
+          << "s2 at level " << a.j << " index " << i;
+    }
+  };
+  expect_level_eq(scalar->scaling_level(), batch->scaling_level());
+  for (int j = 2; j <= 8; ++j) {
+    expect_level_eq(scalar->detail_level(j), batch->detail_level(j));
+  }
+}
+
+TEST(BatchEquivalenceTest, EstimateEvaluateManyMatchesScalarBitwise) {
+  stats::Rng rng(113);
+  std::vector<double> data(2048);
+  for (double& x : data) x = rng.Uniform(-3.0, 5.0);
+  core::FitOptions options;
+  options.domain_lo = -3.0;
+  options.domain_hi = 5.0;
+  Result<core::WaveletDensityFit> fit =
+      core::WaveletDensityFit::Fit(Sym8Basis(), data, options);
+  ASSERT_TRUE(fit.ok());
+  const core::CrossValidationResult cv =
+      core::CrossValidate(fit->coefficients(), core::ThresholdKind::kSoft);
+  const core::WaveletEstimate estimate =
+      fit->Estimate(cv.Schedule(), core::ThresholdKind::kSoft);
+
+  const std::vector<double> xs = ProbePoints(rng, 800, -4.0, 6.0);
+  std::vector<double> batch(xs.size());
+  estimate.EvaluateMany(xs, batch);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batch[i], estimate.Evaluate(xs[i])) << "x=" << xs[i];
+  }
+  const std::vector<double> grid = estimate.EvaluateOnGrid(-3.0, 5.0, 257);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const double x = -3.0 + 8.0 * static_cast<double>(i) / 256.0;
+    EXPECT_EQ(grid[i], estimate.Evaluate(-3.0 + (8.0 / 256.0) * static_cast<double>(i)))
+        << "grid x=" << x;
+  }
+}
+
+TEST(BatchEquivalenceTest, IntegrateRangeManyMatchesScalarBitwise) {
+  stats::Rng rng(127);
+  std::vector<double> data(2048);
+  for (double& x : data) x = rng.UniformDouble();
+  Result<core::WaveletDensityFit> fit =
+      core::WaveletDensityFit::Fit(Sym8Basis(), data);
+  ASSERT_TRUE(fit.ok());
+  const core::CrossValidationResult cv =
+      core::CrossValidate(fit->coefficients(), core::ThresholdKind::kHard);
+  const core::WaveletEstimate estimate =
+      fit->Estimate(cv.Schedule(), core::ThresholdKind::kHard);
+
+  const size_t n = 500;
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-0.2, 1.2);
+    b[i] = rng.Uniform(-0.2, 1.2);  // unsorted: some reversed, some empty
+  }
+  a[0] = 0.3;
+  b[0] = 0.3;  // degenerate range
+  a[1] = 0.9;
+  b[1] = 0.1;  // reversed
+  a[2] = -5.0;
+  b[2] = 7.0;  // fully clamped
+  std::vector<double> batch(n);
+  estimate.IntegrateRangeMany(a, b, batch);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batch[i], estimate.IntegrateRange(a[i], b[i]))
+        << "[" << a[i] << ", " << b[i] << "]";
+  }
+}
+
+TEST(BatchEquivalenceTest, BinnedAddBatchMatchesOneShotFitBitwise) {
+  stats::Rng rng(131);
+  std::vector<double> xs(4096);
+  for (double& x : xs) x = rng.UniformDouble();
+  const wavelet::WaveletFilter filter = *wavelet::WaveletFilter::Symmlet(8);
+  Result<core::BinnedWaveletFit> oneshot =
+      core::BinnedWaveletFit::Fit(filter, xs, 2, 9);
+  ASSERT_TRUE(oneshot.ok());
+  const std::span<const double> all(xs);
+  Result<core::BinnedWaveletFit> incremental =
+      core::BinnedWaveletFit::Fit(filter, all.first(1000), 2, 9);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->AddBatch(all.subspan(1000, 96)).ok());
+  ASSERT_TRUE(incremental->AddBatch(all.subspan(1096)).ok());
+  ASSERT_EQ(oneshot->count(), incremental->count());
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(oneshot->AlphaHat(k), incremental->AlphaHat(k));
+  for (int j = 2; j < 9; ++j) {
+    for (int k = 0; k < (1 << j); ++k) {
+      EXPECT_EQ(oneshot->BetaHat(j, k), incremental->BetaHat(j, k))
+          << "j=" << j << " k=" << k;
+    }
+  }
+  // Out-of-range batches are rejected atomically.
+  const std::vector<double> bad{0.5, 1.5};
+  EXPECT_FALSE(incremental->AddBatch(bad).ok());
+  EXPECT_EQ(incremental->count(), xs.size());
+  EXPECT_EQ(oneshot->BetaHat(5, 7), incremental->BetaHat(5, 7));
+}
+
+// ------------------------------------------------------------- selectivity
+
+// Drives one estimator pair through an identical dirty stream — scalar
+// inserts on `scalar`, batched inserts on `batch` — with queries interleaved
+// between chunks, and requires bit-identical answers throughout.
+void ExpectStreamEquivalence(selectivity::SelectivityEstimator* scalar,
+                             selectivity::SelectivityEstimator* batch,
+                             uint64_t seed) {
+  stats::Rng data_rng(seed);
+  stats::Rng query_rng(seed + 1);
+  const std::vector<size_t> chunk_sizes{1, 137, 256, 1000, 3, 0, 777, 2048};
+  for (size_t chunk : chunk_sizes) {
+    std::vector<double> values(chunk);
+    for (double& v : values) {
+      const double u = data_rng.UniformDouble();
+      if (u < 0.01) {
+        v = std::nan("");
+      } else if (u < 0.02) {
+        v = std::numeric_limits<double>::infinity();
+      } else if (u < 0.04) {
+        v = data_rng.Uniform(-2.0, 3.0);  // out of domain: clamped
+      } else {
+        v = data_rng.UniformDouble();
+      }
+    }
+    for (double v : values) scalar->Insert(v);
+    batch->InsertBatch(values);
+    ASSERT_EQ(scalar->count(), batch->count()) << scalar->name();
+
+    const std::vector<selectivity::RangeQuery> queries =
+        selectivity::UniformRangeWorkload(query_rng, 50, -0.1, 1.1);
+    std::vector<double> batch_answers(queries.size());
+    batch->EstimateBatch(queries, batch_answers);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(batch_answers[i],
+                scalar->EstimateRange(queries[i].lo, queries[i].hi))
+          << scalar->name() << " [" << queries[i].lo << ", " << queries[i].hi
+          << "] after " << scalar->count() << " inserts";
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, WaveletSketchInsertBatchAndEstimateBatch) {
+  selectivity::StreamingWaveletSelectivity::Options options;
+  options.j0 = 2;
+  options.j_max = 8;
+  options.refit_interval = 100;  // force many mid-batch refits
+  Result<selectivity::StreamingWaveletSelectivity> scalar =
+      selectivity::StreamingWaveletSelectivity::Create(Sym8Basis(), options);
+  Result<selectivity::StreamingWaveletSelectivity> batch =
+      selectivity::StreamingWaveletSelectivity::Create(Sym8Basis(), options);
+  ASSERT_TRUE(scalar.ok() && batch.ok());
+  ExpectStreamEquivalence(&scalar.value(), &batch.value(), 1001);
+}
+
+TEST(BatchEquivalenceTest, KdeSelectivityBatchOverrides) {
+  selectivity::KdeSelectivity::Options options;
+  options.refit_interval = 100;
+  selectivity::KdeSelectivity scalar(options);
+  selectivity::KdeSelectivity batch(options);
+  ExpectStreamEquivalence(&scalar, &batch, 2002);
+}
+
+TEST(BatchEquivalenceTest, DefaultBatchImplementations) {
+  // Estimators relying on the interface's default batch loops must satisfy
+  // the same equivalence contract.
+  selectivity::EquiWidthHistogram ew_scalar(0.0, 1.0, 64);
+  selectivity::EquiWidthHistogram ew_batch(0.0, 1.0, 64);
+  ExpectStreamEquivalence(&ew_scalar, &ew_batch, 3003);
+
+  selectivity::EquiDepthHistogram ed_scalar(0.0, 1.0, 16);
+  selectivity::EquiDepthHistogram ed_batch(0.0, 1.0, 16);
+  ExpectStreamEquivalence(&ed_scalar, &ed_batch, 4004);
+
+  selectivity::ReservoirSampleSelectivity res_scalar(256, 7);
+  selectivity::ReservoirSampleSelectivity res_batch(256, 7);
+  ExpectStreamEquivalence(&res_scalar, &res_batch, 5005);
+
+  Result<selectivity::WaveletSynopsisSelectivity> syn_scalar =
+      selectivity::WaveletSynopsisSelectivity::Create({});
+  Result<selectivity::WaveletSynopsisSelectivity> syn_batch =
+      selectivity::WaveletSynopsisSelectivity::Create({});
+  ASSERT_TRUE(syn_scalar.ok() && syn_batch.ok());
+  ExpectStreamEquivalence(&syn_scalar.value(), &syn_batch.value(), 6006);
+}
+
+TEST(BatchEquivalenceTest, WorkloadScoringUsesBatchPathConsistently) {
+  // EvaluateAccuracy now routes through EstimateBatch; its aggregates must
+  // match a hand-rolled scalar evaluation exactly.
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 32);
+  stats::Rng rng(7007);
+  for (int i = 0; i < 5000; ++i) hist.Insert(rng.UniformDouble());
+  const std::vector<selectivity::RangeQuery> queries =
+      selectivity::CenteredRangeWorkload(rng, 200, 0.0, 1.0, 0.05, 0.3);
+  const auto truth = [](const selectivity::RangeQuery& q) { return q.hi - q.lo; };
+  const selectivity::SelectivityAccuracy acc =
+      selectivity::EvaluateAccuracy(hist, queries, truth);
+  double mean_abs = 0.0;
+  for (const selectivity::RangeQuery& q : queries) {
+    mean_abs += std::fabs(hist.EstimateRange(q.lo, q.hi) - truth(q));
+  }
+  mean_abs /= static_cast<double>(queries.size());
+  EXPECT_EQ(acc.mean_abs_error, mean_abs);
+}
+
+}  // namespace
+}  // namespace wde

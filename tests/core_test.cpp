@@ -310,6 +310,69 @@ TEST(EstimatorTest, QuantileInvertsEstimateCdf) {
   EXPECT_DOUBLE_EQ(estimate.Quantile(1.0), 1.0);
 }
 
+TEST(EstimatorTest, QuantileEndpointsAreExactOnShiftedDomain) {
+  // u = 0 and u = 1 must return the domain endpoints bit-exactly (not the
+  // midpoint of a bisection bracket), including on non-unit domains.
+  stats::Rng rng(139);
+  std::vector<double> xs(1024);
+  for (double& x : xs) x = rng.Uniform(-3.0, 5.0);
+  FitOptions options;
+  options.domain_lo = -3.0;
+  options.domain_hi = 5.0;
+  Result<WaveletDensityFit> fit = WaveletDensityFit::Fit(Sym8Basis(), xs, options);
+  ASSERT_TRUE(fit.ok());
+  const WaveletEstimate estimate = fit->LinearEstimate(5);
+  EXPECT_EQ(estimate.Quantile(0.0), -3.0);
+  EXPECT_EQ(estimate.Quantile(1.0), 5.0);
+}
+
+TEST(EstimatorTest, QuantileOnHeavilyThresholdedSignedEstimate) {
+  // Regression: a large soft threshold kills (or shrinks) every detail
+  // coefficient, leaving the coarse scaling projection of a sharply bimodal
+  // density — a *signed* estimate whose running integral is locally
+  // non-monotone. Quantile must still return usable values: inside the
+  // domain, non-decreasing in u, exact at the endpoints, and consistent with
+  // the (normalized) CDF at the bisection root.
+  const processes::TruncatedGaussianMixtureDensity density =
+      processes::TruncatedGaussianMixtureDensity::Bimodal();
+  stats::Rng rng(149);
+  std::vector<double> xs(2048);
+  for (double& x : xs) x = density.InverseCdf(rng.UniformDouble());
+  FitOptions options;
+  options.j0 = 2;
+  options.j_max = 8;
+  Result<WaveletDensityFit> fit = WaveletDensityFit::Fit(Sym8Basis(), xs, options);
+  ASSERT_TRUE(fit.ok());
+  ThresholdSchedule schedule;
+  schedule.j0 = 2;
+  schedule.lambda.assign(7, ThresholdSchedule::kKillLevel);  // kill every detail
+  const WaveletEstimate estimate = fit->Estimate(schedule, ThresholdKind::kSoft);
+  for (int j = 2; j <= 8; ++j) EXPECT_EQ(estimate.ThresholdedFraction(j), 1.0);
+
+  // The coarse projection of a bimodal density with Symmlet-8 undershoots:
+  // the estimate is genuinely signed (this is what makes the CDF
+  // non-monotone between the modes).
+  double min_value = std::numeric_limits<double>::infinity();
+  for (double v : estimate.EvaluateOnGrid(0.0, 1.0, 513)) {
+    min_value = std::min(min_value, v);
+  }
+  ASSERT_LT(min_value, 0.0);
+
+  EXPECT_EQ(estimate.Quantile(0.0), 0.0);
+  EXPECT_EQ(estimate.Quantile(1.0), 1.0);
+  const double mass = estimate.TotalMass();
+  ASSERT_GT(mass, 0.0);
+  double previous = 0.0;
+  for (double u : {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95}) {
+    const double q = estimate.Quantile(u);
+    EXPECT_GE(q, 0.0) << "u=" << u;
+    EXPECT_LE(q, 1.0) << "u=" << u;
+    EXPECT_GE(q, previous) << "u=" << u;  // monotone in u
+    EXPECT_NEAR(estimate.IntegrateRange(0.0, q) / mass, u, 1e-6) << "u=" << u;
+    previous = q;
+  }
+}
+
 TEST(EstimatorTest, ThresholdedFractionReflectsSchedule) {
   const std::vector<double> xs = UniformData(512, 67);
   Result<WaveletDensityFit> fit = WaveletDensityFit::Fit(Sym8Basis(), xs);
