@@ -53,9 +53,35 @@ Result<BinnedWaveletFit> BinnedWaveletFit::Fit(const wavelet::WaveletFilter& fil
 }
 
 Status BinnedWaveletFit::AddBatch(std::span<const double> data) {
+  if (data.empty()) return Status::OK();
   Status binned = BinInto(data, lo_, width_, &counts_);
   if (!binned.ok()) return binned;
   count_ += data.size();
+  return Status::OK();
+}
+
+Status BinnedWaveletFit::Merge(const BinnedWaveletFit& other) {
+  if (&other == this) {
+    return Status::InvalidArgument("cannot merge a fit into itself");
+  }
+  if (filter_.name() != other.filter_.name() || filter_.h() != other.filter_.h()) {
+    return Status::FailedPrecondition(
+        Format("wavelet filter mismatch: %s vs %s", filter_.name().c_str(),
+               other.filter_.name().c_str()));
+  }
+  if (j0_ != other.j0_ || finest_level_ != other.finest_level_) {
+    return Status::FailedPrecondition(
+        Format("level range mismatch: [%d, %d) vs [%d, %d)", j0_, finest_level_,
+               other.j0_, other.finest_level_));
+  }
+  if (lo_ != other.lo_ || width_ != other.width_) {
+    return Status::FailedPrecondition("binning domain mismatch");
+  }
+  if (other.count_ == 0) return Status::OK();  // exact no-op
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  // The count change marks the cached pyramid stale; EnsurePyramid rebuilds
+  // from the merged integer counts at the next coefficient read.
   return Status::OK();
 }
 

@@ -42,8 +42,17 @@ class BinnedWaveletFit {
   /// Bins additional observations into the existing grid. Fit(a ++ b) and
   /// Fit(a) followed by AddBatch(b) produce bit-identical coefficients (bin
   /// counts are exact integer sums). Values outside [lo, hi] are an error
-  /// and leave the fit unchanged.
+  /// and leave the fit unchanged. An empty span is an explicit no-op.
   Status AddBatch(std::span<const double> data);
+
+  /// Folds another fit's bin counts into this one (cell-wise addition).
+  /// Counts are exact integers, so merging fits over disjoint sub-streams is
+  /// bit-identical to one fit of the concatenated stream — the strongest
+  /// form of the mergeability contract. The cached pyramid is invalidated
+  /// and lazily recomputed from the merged counts at the next read. Fails
+  /// (leaving this fit untouched) when the filter, level range or domain
+  /// differ.
+  Status Merge(const BinnedWaveletFit& other);
 
   int j0() const { return j0_; }
   int finest_level() const { return finest_level_; }

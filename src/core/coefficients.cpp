@@ -85,12 +85,51 @@ void EmpiricalCoefficients::AccumulateLevel(CoefficientLevel* level,
 }
 
 void EmpiricalCoefficients::AddAll(std::span<const double> xs) {
+  if (xs.empty()) return;  // skip the per-level evaluator setup entirely
   for (double x : xs) {
     WDE_CHECK(x >= 0.0 && x <= 1.0, "observation outside the unit interval");
   }
   AccumulateLevel(&scaling_, xs);
   for (CoefficientLevel& level : details_) AccumulateLevel(&level, xs);
   count_ += xs.size();
+}
+
+Status EmpiricalCoefficients::Merge(const EmpiricalCoefficients& other) {
+  if (&other == this) {
+    return Status::InvalidArgument("cannot merge an accumulator into itself");
+  }
+  if (j0_ != other.j0_ || j_max_ != other.j_max_) {
+    return Status::FailedPrecondition(
+        Format("level range mismatch: [%d, %d] vs [%d, %d]", j0_, j_max_,
+               other.j0_, other.j_max_));
+  }
+  // Same filter ⇒ same basis functions ⇒ the sums estimate the same
+  // coefficients. Compared by value: two bases built from equal filters have
+  // identical level windows, which the element-wise add below relies on.
+  // (Table resolution is not encoded in the sums; accumulators built at
+  // different resolutions are the caller's error and cannot be detected.)
+  const wavelet::WaveletFilter& f = basis_.filter();
+  const wavelet::WaveletFilter& g = other.basis_.filter();
+  if (f.name() != g.name() || f.h() != g.h()) {
+    return Status::FailedPrecondition(
+        Format("wavelet filter mismatch: %s vs %s", f.name().c_str(),
+               g.name().c_str()));
+  }
+  if (other.count_ == 0) return Status::OK();  // exact (bitwise) no-op
+  const auto merge_level = [](CoefficientLevel* into, const CoefficientLevel& from) {
+    WDE_CHECK_EQ(into->k_lo, from.k_lo, "merge: level window origin mismatch");
+    WDE_CHECK_EQ(into->size(), from.size(), "merge: level window size mismatch");
+    for (size_t i = 0; i < into->s1.size(); ++i) {
+      into->s1[i] += from.s1[i];
+      into->s2[i] += from.s2[i];
+    }
+  };
+  merge_level(&scaling_, other.scaling_);
+  for (size_t i = 0; i < details_.size(); ++i) {
+    merge_level(&details_[i], other.details_[i]);
+  }
+  count_ += other.count_;
+  return Status::OK();
 }
 
 const CoefficientLevel& EmpiricalCoefficients::detail_level(int j) const {

@@ -47,8 +47,20 @@ class EmpiricalCoefficients {
   /// running sums come out bit-identical — but runs one pass per level with
   /// the scale/translate/table setup hoisted out of the sample loop, instead
   /// of one pass per sample. This is the streaming hot path; see
-  /// `perf_estimator` for the scalar-vs-batch throughput numbers.
+  /// `perf_estimator` for the scalar-vs-batch throughput numbers. An empty
+  /// span is an explicit no-op.
   void AddAll(std::span<const double> xs);
+
+  /// Folds another accumulator into this one: element-wise S1/S2 sums and
+  /// count addition. Because (S1, S2, n) are additive sufficient statistics,
+  /// Merge of accumulators over disjoint sub-streams equals one accumulator
+  /// over the concatenated stream up to floating-point summation order
+  /// (each slot adds a per-shard subtotal instead of per-sample terms), so
+  /// coefficient estimates agree to ~1e-12 relative — the mergeability
+  /// contract the sharded selectivity engine is built on. Fails (leaving
+  /// this accumulator untouched) when the wavelet filter or the [j0, j_max]
+  /// level range differ; merging an empty accumulator is an exact no-op.
+  Status Merge(const EmpiricalCoefficients& other);
 
   size_t count() const { return count_; }
   int j0() const { return j0_; }

@@ -282,7 +282,17 @@ void WaveletDensityFit::Add(double x) {
   coefficients_.Add(t);
 }
 
+Status WaveletDensityFit::Merge(const WaveletDensityFit& other) {
+  if (lo_ != other.lo_ || width_ != other.width_) {
+    return Status::FailedPrecondition(
+        Format("fit domain mismatch: [%.6g, %.6g] vs [%.6g, %.6g]", lo_,
+               lo_ + width_, other.lo_, other.lo_ + other.width_));
+  }
+  return coefficients_.Merge(other.coefficients_);
+}
+
 void WaveletDensityFit::AddBatch(std::span<const double> xs) {
+  if (xs.empty()) return;
   std::vector<double> ts(xs.size());
   for (size_t i = 0; i < xs.size(); ++i) {
     const double t = (xs[i] - lo_) / width_;

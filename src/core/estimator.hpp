@@ -116,8 +116,18 @@ class WaveletDensityFit {
   void Add(double x);
 
   /// Batch insert: equivalent to Add(x) per element in order (bit-identical
-  /// coefficient sums), routed through the batched accumulator.
+  /// coefficient sums), routed through the batched accumulator. An empty
+  /// span is an explicit no-op.
   void AddBatch(std::span<const double> xs);
+
+  /// Folds another fit's coefficient sums into this one (see
+  /// `EmpiricalCoefficients::Merge`). After a successful merge, `Estimate`
+  /// reconstructs from the combined sums — the rebuild-from-merged path the
+  /// sharded selectivity engine queries through — and matches a fit of the
+  /// concatenated stream to ~1e-12 relative (summation order differs).
+  /// Fails, leaving this fit untouched, when the domain, filter or level
+  /// range differ.
+  Status Merge(const WaveletDensityFit& other);
 
   size_t count() const { return coefficients_.count(); }
   const EmpiricalCoefficients& coefficients() const { return coefficients_; }

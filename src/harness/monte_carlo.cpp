@@ -1,8 +1,6 @@
 #include "harness/monte_carlo.hpp"
 
-#include <atomic>
-#include <thread>
-
+#include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "util/check.hpp"
 
@@ -21,22 +19,11 @@ SummaryStats Summarize(std::span<const double> values) {
 }
 
 void ParallelFor(int count, int threads, const std::function<void(int)>& body) {
-  WDE_CHECK_GE(count, 0);
-  if (count == 0) return;
-  if (threads <= 1 || count == 1) {
-    for (int i = 0; i < count; ++i) body(i);
-    return;
-  }
-  std::atomic<int> next{0};
-  const int workers = std::min(threads, count);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&]() {
-      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) body(i);
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  // Delegates to the process-wide shared executor instead of spawning (and
+  // joining) a fresh thread set per call; `threads` caps the parallel width.
+  // Replicate results stay identical for any thread count because each index
+  // writes only its own slot (see the RNG-forking contract above).
+  parallel::ThreadPool::Shared().ParallelFor(count, threads, body);
 }
 
 std::vector<double> RunReplicates(int replicates, uint64_t seed, int threads,

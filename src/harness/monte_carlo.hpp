@@ -45,9 +45,12 @@ std::vector<std::vector<double>> CollectCurves(
     int replicates, uint64_t seed, int threads, size_t dim,
     const std::function<std::vector<double>(stats::Rng&, int)>& body);
 
-/// Chunked parallel-for over [0, count) with `threads` workers (serial when
-/// threads <= 1). The body must be safe to run concurrently for distinct
-/// indices.
+/// Chunked parallel-for over [0, count) with at most `threads` concurrent
+/// workers (serial when threads <= 1), executed on the process-wide
+/// parallel::ThreadPool::Shared() executor — so the effective width is also
+/// capped by that pool's size (hardware concurrency), unlike the old
+/// spawn-per-call implementation which honored any `threads` value. The body
+/// must be safe to run concurrently for distinct indices.
 void ParallelFor(int count, int threads, const std::function<void(int)>& body);
 
 }  // namespace harness

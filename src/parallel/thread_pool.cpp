@@ -1,0 +1,144 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace parallel {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 0);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Outstanding tasks after stop are dropped only if nobody waits on them;
+  // ParallelFor callers always block until their bodies complete, so the
+  // queue can only hold already-finished helper stubs here.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WDE_CHECK(!stop_, "Submit on a stopping ThreadPool");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor region. Helpers and the caller claim
+/// indices from `next`; the caller returns once `done` reaches `count`. The
+/// body lives in the state (not borrowed from the caller's frame) because a
+/// queued helper stub can be popped after the region already completed.
+/// `active` counts helpers currently inside the claim loop: the caller's
+/// exception path waits on it, because bodies typically capture the caller's
+/// frame by reference and helpers must leave the body before it unwinds.
+struct ForState {
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::atomic<int> active{0};  // helpers inside DrainIndices
+  int count = 0;
+  std::function<void(int)> body;
+  std::mutex mu;
+  std::condition_variable all_done;
+};
+
+void DrainIndices(const std::shared_ptr<ForState>& state) {
+  for (int i = state->next.fetch_add(1); i < state->count;
+       i = state->next.fetch_add(1)) {
+    state->body(i);
+    if (state->done.fetch_add(1) + 1 == state->count) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int count, int max_workers,
+                             const std::function<void(int)>& body) {
+  WDE_CHECK_GE(count, 0);
+  if (count == 0) return;
+  const int helpers = std::min({max_workers - 1, thread_count(), count - 1});
+  if (helpers <= 0) {
+    for (int i = 0; i < count; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->body = body;
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state]() {
+      state->active.fetch_add(1);
+      DrainIndices(state);
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->active.fetch_sub(1);
+      state->all_done.notify_all();
+    });
+  }
+  // The library itself never throws, but a body still can (std::bad_alloc,
+  // user callbacks). A body that throws on a *helper* terminates the process
+  // (exception escaping a pool thread), same as the old spawn-per-call
+  // implementation; a body that throws on the caller must not let the
+  // caller's frame — typically captured by reference in `body` — unwind
+  // while helpers are still executing bodies, so stop further claims and
+  // wait for helpers to leave the loop before rethrowing.
+  try {
+    DrainIndices(state);
+  } catch (...) {
+    state->next.store(count);
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(lock,
+                         [&state]() { return state->active.load() == 0; });
+    throw;
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&state]() {
+    return state->done.load() == state->count;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // hardware_concurrency() may legitimately return 0 (unknown); a zero-worker
+  // shared pool would silently serialize every parallel path, so keep at
+  // least one worker.
+  static ThreadPool pool(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace parallel
+}  // namespace wde

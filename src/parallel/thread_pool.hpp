@@ -1,0 +1,77 @@
+/// \file parallel/thread_pool.hpp
+/// Entry header of the `parallel` module: the shared execution substrate for
+/// every parallel code path in the library (Monte-Carlo replication, sharded
+/// selectivity ingest, bench drivers). One persistent `ThreadPool` replaces
+/// the thread-spawn-per-call pattern, so repeated parallel regions pay thread
+/// creation once per process instead of once per call. Invariants: the
+/// calling thread always participates in `ParallelFor`, so forward progress
+/// never depends on a worker being free (zero-worker pools degrade to serial,
+/// and nested ParallelFor calls cannot deadlock); work distribution affects
+/// scheduling only — any computation whose per-index bodies write disjoint
+/// state is bit-identical for every pool size and `max_workers` value.
+#ifndef WDE_PARALLEL_THREAD_POOL_HPP_
+#define WDE_PARALLEL_THREAD_POOL_HPP_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wde {
+namespace parallel {
+
+/// A fixed-size pool of worker threads draining a FIFO work queue
+/// (std::thread + mutex/condition_variable; no spinning). Construction
+/// spawns the workers; destruction drains outstanding tasks and joins.
+///
+/// Submitting from multiple threads is safe. The pool never runs a task on
+/// a thread that is destroying the pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped at 0; a zero-worker pool is valid and
+  /// makes Submit run inline and ParallelFor serial).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide shared executor, sized to the hardware concurrency.
+  /// Harness replication, sharded selectivity ingest and bench drivers all
+  /// default to this instance so the process runs one set of workers total.
+  static ThreadPool& Shared();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Runs inline when the pool has no workers.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, count) and blocks until all are done.
+  /// At most `max_workers` threads execute bodies concurrently (the caller
+  /// counts as one); max_workers <= 1 runs serially on the caller. Indices
+  /// are claimed from a shared atomic counter, so the assignment of index to
+  /// thread is scheduling-dependent — bodies must write disjoint state, and
+  /// any such computation is bit-identical for every thread count.
+  void ParallelFor(int count, int max_workers, const std::function<void(int)>& body);
+
+  /// ParallelFor with the pool's full width.
+  void ParallelFor(int count, const std::function<void(int)>& body) {
+    ParallelFor(count, thread_count() + 1, body);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace parallel
+}  // namespace wde
+
+#endif  // WDE_PARALLEL_THREAD_POOL_HPP_

@@ -26,9 +26,8 @@ void EquiWidthHistogram::Insert(double x) {
   ++count_;
 }
 
-double EquiWidthHistogram::EstimateRange(double a, double b) const {
+double EquiWidthHistogram::EstimateRangeImpl(double a, double b) const {
   if (count_ == 0) return 0.0;
-  if (b < a) std::swap(a, b);
   const double hi = lo_ + width_ * static_cast<double>(counts_.size());
   a = std::clamp(a, lo_, hi);
   b = std::clamp(b, lo_, hi);
@@ -45,6 +44,31 @@ double EquiWidthHistogram::EstimateRange(double a, double b) const {
 
 std::string EquiWidthHistogram::name() const {
   return Format("equi-width(%d)", buckets());
+}
+
+std::unique_ptr<SelectivityEstimator> EquiWidthHistogram::CloneEmpty() const {
+  // Copy-then-reset keeps lo_/width_ bitwise identical to this instance
+  // (re-deriving hi from lo + width * buckets could round differently and
+  // make the clone spuriously merge-incompatible).
+  auto clone = std::make_unique<EquiWidthHistogram>(*this);
+  std::fill(clone->counts_.begin(), clone->counts_.end(), 0.0);
+  clone->count_ = 0;
+  return clone;
+}
+
+Status EquiWidthHistogram::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const EquiWidthHistogram&>(other);
+  if (lo_ != rhs.lo_ || width_ != rhs.width_ ||
+      counts_.size() != rhs.counts_.size()) {
+    return Status::FailedPrecondition("MergeFrom: " + name() +
+                                      " domain/bucket mismatch with " +
+                                      rhs.name());
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += rhs.counts_[i];
+  count_ += rhs.count_;
+  return Status::OK();
 }
 
 EquiDepthHistogram::EquiDepthHistogram(double lo, double hi, int buckets)
@@ -99,15 +123,33 @@ double EquiDepthHistogram::CdfAt(double x) const {
   return mass_per_bucket * (static_cast<double>(bucket) + within);
 }
 
-double EquiDepthHistogram::EstimateRange(double a, double b) const {
+double EquiDepthHistogram::EstimateRangeImpl(double a, double b) const {
   if (values_.empty()) return 0.0;
-  if (b < a) std::swap(a, b);
   RebuildIfStale();
   return CdfAt(b) - CdfAt(a);
 }
 
 std::string EquiDepthHistogram::name() const {
   return Format("equi-depth(%d)", buckets_);
+}
+
+std::unique_ptr<SelectivityEstimator> EquiDepthHistogram::CloneEmpty() const {
+  return std::make_unique<EquiDepthHistogram>(lo_, hi_, buckets_);
+}
+
+Status EquiDepthHistogram::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const EquiDepthHistogram&>(other);
+  if (lo_ != rhs.lo_ || hi_ != rhs.hi_ || buckets_ != rhs.buckets_) {
+    return Status::FailedPrecondition("MergeFrom: " + name() +
+                                      " domain/bucket mismatch with " +
+                                      rhs.name());
+  }
+  values_.insert(values_.end(), rhs.values_.begin(), rhs.values_.end());
+  boundaries_.clear();  // stale; rebuilt (sorted) at the next query
+  built_at_count_ = 0;
+  return Status::OK();
 }
 
 }  // namespace selectivity

@@ -11,16 +11,28 @@ namespace selectivity {
 /// Classic equi-width histogram over a fixed domain with the
 /// continuous-uniform assumption inside buckets — the standard optimizer
 /// baseline the wavelet estimator competes with.
+///
+/// Mergeable: bucket counts are exact integer sums, so merging replicas over
+/// disjoint sub-streams is bit-identical to one histogram over the
+/// concatenated stream.
 class EquiWidthHistogram : public SelectivityEstimator {
  public:
   EquiWidthHistogram(double lo, double hi, int buckets);
 
   void Insert(double x) override;
-  double EstimateRange(double a, double b) const override;
   size_t count() const override { return count_; }
   std::string name() const override;
 
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  /// Adds `other`'s bucket counts element-wise; requires identical domain
+  /// and bucket count.
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
+
   int buckets() const { return static_cast<int>(counts_.size()); }
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
 
  private:
   double lo_;
@@ -33,14 +45,25 @@ class EquiWidthHistogram : public SelectivityEstimator {
 /// equal mass per bucket, linear interpolation inside buckets. Rebuilt lazily
 /// from the retained values when stale (rebuild cost shows up in the perf
 /// benches, as it would in ANALYZE).
+///
+/// Mergeable: the retained sample buffers concatenate, and the lazy rebuild
+/// sorts, so merged replicas answer exactly like the sequential histogram.
 class EquiDepthHistogram : public SelectivityEstimator {
  public:
   EquiDepthHistogram(double lo, double hi, int buckets);
 
   void Insert(double x) override;
-  double EstimateRange(double a, double b) const override;
   size_t count() const override { return values_.size(); }
   std::string name() const override;
+
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  /// Appends `other`'s retained values and invalidates the boundary cache;
+  /// requires identical domain and bucket count.
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
 
  private:
   void RebuildIfStale() const;

@@ -14,6 +14,7 @@ void KdeSelectivity::Insert(double x) {
 }
 
 void KdeSelectivity::InsertBatch(std::span<const double> xs) {
+  if (xs.empty()) return;
   // No exact-fit reserve: amortized vector growth beats a
   // reallocate-per-chunk pattern under repeated batch ingestion.
   for (double x : xs) {
@@ -36,12 +37,11 @@ void KdeSelectivity::RefitIfStale() const {
   }
 }
 
-double KdeSelectivity::EstimateRange(double a, double b) const {
+double KdeSelectivity::EstimateRangeImpl(double a, double b) const {
   RefitIfStale();
   if (!kde_.has_value()) {
     // Tiny-sample fallback: exact fraction of buffered values.
     if (values_.empty()) return 0.0;
-    if (b < a) std::swap(a, b);
     size_t hits = 0;
     for (double x : values_) {
       if (x >= a && x <= b) ++hits;
@@ -51,22 +51,40 @@ double KdeSelectivity::EstimateRange(double a, double b) const {
   return std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
 }
 
-void KdeSelectivity::EstimateBatch(std::span<const RangeQuery> queries,
-                                   std::span<double> out) const {
-  WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
-  if (queries.empty()) return;  // scalar loop would not touch the fit at all
+std::unique_ptr<SelectivityEstimator> KdeSelectivity::CloneEmpty() const {
+  return std::make_unique<KdeSelectivity>(options_);
+}
+
+Status KdeSelectivity::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const KdeSelectivity&>(other);
+  // refit_interval paces only the owner's staleness and is deliberately not
+  // checked (same rationale as the wavelet sketch's MergeFrom).
+  if (options_.domain_lo != rhs.options_.domain_lo ||
+      options_.domain_hi != rhs.options_.domain_hi) {
+    return Status::FailedPrecondition("MergeFrom: kde options mismatch");
+  }
+  values_.insert(values_.end(), rhs.values_.begin(), rhs.values_.end());
+  kde_.reset();  // refit from the merged buffer at the next query
+  fitted_at_count_ = 0;
+  return Status::OK();
+}
+
+void KdeSelectivity::EstimateBatchImpl(std::span<const RangeQuery> queries,
+                                       std::span<double> out) const {
+  // The public wrapper guarantees matched spans, a non-empty batch and
+  // normalized queries.
   RefitIfStale();  // no inserts between queries: staleness is checked once
   if (!kde_.has_value()) {
     // Tiny-sample fallback, matching the scalar path per query.
     for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = EstimateRange(queries[i].lo, queries[i].hi);
+      out[i] = EstimateRangeImpl(queries[i].lo, queries[i].hi);
     }
     return;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    double a = queries[i].lo;
-    double b = queries[i].hi;
-    out[i] = std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
+    out[i] = std::clamp(kde_->IntegrateRange(queries[i].lo, queries[i].hi), 0.0, 1.0);
   }
 }
 

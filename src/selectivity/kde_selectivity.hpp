@@ -14,6 +14,13 @@ namespace selectivity {
 /// wavelet sketch it is NOT bounded-memory), rebuilds an Epanechnikov KDE
 /// with the rule-of-thumb bandwidth when stale, and answers ranges from the
 /// kernel CDF.
+///
+/// Mergeable: the sample buffers concatenate in merge order and the KDE
+/// refits from the merged buffer. Merges that append in stream order
+/// reproduce the sequential buffer element-for-element (bit-identical
+/// answers); out-of-order merges — e.g. under the sharded wrapper's
+/// round-robin partition — differ only in the order-sensitive rule-of-thumb
+/// bandwidth sums (~1e-12 relative).
 class KdeSelectivity : public SelectivityEstimator {
  public:
   struct Options {
@@ -30,15 +37,22 @@ class KdeSelectivity : public SelectivityEstimator {
   /// contents to the scalar loop.
   void InsertBatch(std::span<const double> xs) override;
 
-  double EstimateRange(double a, double b) const override;
+  size_t count() const override { return values_.size(); }
+  std::string name() const override { return "kde-rot"; }
+
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  /// Appends `other`'s buffered values and invalidates the fitted KDE;
+  /// requires identical options.
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
 
   /// Batched queries: one staleness check/refit, then kernel-CDF range
   /// integrals straight off the fitted KDE. Bit-identical to the scalar loop.
-  void EstimateBatch(std::span<const RangeQuery> queries,
-                     std::span<double> out) const override;
-
-  size_t count() const override { return values_.size(); }
-  std::string name() const override { return "kde-rot"; }
+  void EstimateBatchImpl(std::span<const RangeQuery> queries,
+                         std::span<double> out) const override;
 
  private:
   void RefitIfStale() const;

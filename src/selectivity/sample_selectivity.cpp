@@ -26,9 +26,8 @@ void ReservoirSampleSelectivity::Insert(double x) {
   if (slot < capacity_) reservoir_[static_cast<size_t>(slot)] = x;
 }
 
-double ReservoirSampleSelectivity::EstimateRange(double a, double b) const {
+double ReservoirSampleSelectivity::EstimateRangeImpl(double a, double b) const {
   if (reservoir_.empty()) return 0.0;
-  if (b < a) std::swap(a, b);
   size_t hits = 0;
   for (double x : reservoir_) {
     if (x >= a && x <= b) ++hits;

@@ -11,16 +11,24 @@ namespace selectivity {
 
 /// Bernard-Vitter reservoir sampling baseline: keeps a fixed-size uniform
 /// sample of the stream and answers range queries by the sample fraction.
+///
+/// Deliberately NOT mergeable (CloneEmpty returns nullptr): combining two
+/// reservoirs into a uniform sample of the union requires drawing fresh
+/// randomness proportional to the stream sizes, which would break the
+/// sharded engine's fixed-K determinism contract — so the estimator reports
+/// unsupported rather than merge with bias.
 class ReservoirSampleSelectivity : public SelectivityEstimator {
  public:
   ReservoirSampleSelectivity(size_t capacity, uint64_t seed = 42);
 
   void Insert(double x) override;
-  double EstimateRange(double a, double b) const override;
   size_t count() const override { return seen_; }
   std::string name() const override;
 
   const std::vector<double>& reservoir() const { return reservoir_; }
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
 
  private:
   size_t capacity_;

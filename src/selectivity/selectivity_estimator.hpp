@@ -5,19 +5,30 @@
 /// motivating database application. Invariants: Insert() never throws or
 /// aborts on dirty data (non-finite values are dropped, out-of-domain values
 /// clamped); EstimateRange(a, b) approximates P(a ≤ X ≤ b) and is in [0, 1]
-/// up to estimator bias; implementations are not thread-safe. The scalar
-/// virtuals (Insert/EstimateRange) are the extension point; the batch entry
-/// points (InsertBatch/EstimateBatch) default to looping them and may be
+/// up to estimator bias; inverted ranges (a > b) are normalized by swapping
+/// at the interface (EstimateRange and EstimateBatch are non-virtual
+/// wrappers), so every implementation sees a ≤ b; implementations are not
+/// thread-safe (wrap in ShardedSelectivityEstimator or externally). The
+/// scalar virtuals (Insert/EstimateRangeImpl) are the extension point; the
+/// batch extension points (InsertBatch/EstimateBatchImpl) default to looping
+/// them (with empty spans as explicit no-ops at the public entry) and may be
 /// overridden with genuinely batched implementations that must stay
 /// bit-identical to the scalar loop (enforced by batch_equivalence_test).
+/// Estimators whose state is additive
+/// additionally implement the mergeability contract (CloneEmpty/MergeFrom),
+/// which the sharded parallel ingest engine builds on.
 #ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 #define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
+#include "util/result.hpp"
 
 namespace wde {
 namespace selectivity {
@@ -34,7 +45,9 @@ struct RangeQuery {
 /// expects `WHERE a <= col AND col <= b` to select.
 ///
 /// Implementations are single-writer/single-reader and not thread-safe;
-/// wrap externally if shared.
+/// wrap externally if shared. `ShardedSelectivityEstimator` is the provided
+/// wrapper that partitions ingest across replicas on a thread pool and
+/// answers queries from merged state.
 class SelectivityEstimator {
  public:
   virtual ~SelectivityEstimator() = default;
@@ -46,29 +59,138 @@ class SelectivityEstimator {
 
   /// Ingests a batch. Semantically identical to calling Insert(x) for each
   /// element in order (and bit-identical in the estimator's observable
-  /// answers); overrides amortize per-sample dispatch and table setup.
+  /// answers); overrides amortize per-sample dispatch and table setup. An
+  /// empty span (including a zero-length span over null data) is a no-op;
+  /// overrides must preserve that fast path.
   virtual void InsertBatch(std::span<const double> xs) {
+    if (xs.empty()) return;
     for (double x : xs) Insert(x);
   }
 
   /// Estimated selectivity of [a, b]; implementations return values in
   /// [0, 1] up to estimator bias (wavelet estimates may slightly overshoot).
-  virtual double EstimateRange(double a, double b) const = 0;
+  /// An inverted range (a > b) denotes the same predicate as [b, a] and is
+  /// normalized here — one swap at the interface, uniform across every
+  /// implementation — so EstimateRangeImpl always sees a <= b.
+  double EstimateRange(double a, double b) const {
+    if (b < a) std::swap(a, b);
+    return EstimateRangeImpl(a, b);
+  }
 
   /// Answers a query batch: out[i] = EstimateRange(queries[i].lo,
-  /// queries[i].hi), bit-identical to the scalar loop; overrides amortize
-  /// staleness checks and per-level reconstruction setup across queries.
-  virtual void EstimateBatch(std::span<const RangeQuery> queries,
-                             std::span<double> out) const {
+  /// queries[i].hi), bit-identical to the scalar loop. Non-virtual, like
+  /// EstimateRange: the empty-span no-op and the inverted-range
+  /// normalization live here (one scan; queries are copied only when some
+  /// range actually is inverted), so EstimateBatchImpl always sees a
+  /// non-empty batch of lo <= hi queries and implementations cannot drift
+  /// on either edge case.
+  void EstimateBatch(std::span<const RangeQuery> queries,
+                     std::span<double> out) const {
     WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
-    for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = EstimateRange(queries[i].lo, queries[i].hi);
+    if (queries.empty()) return;
+    bool any_inverted = false;
+    for (const RangeQuery& q : queries) {
+      if (q.hi < q.lo) {
+        any_inverted = true;
+        break;
+      }
     }
+    if (!any_inverted) {
+      EstimateBatchImpl(queries, out);
+      return;
+    }
+    std::vector<RangeQuery> normalized(queries.begin(), queries.end());
+    for (RangeQuery& q : normalized) {
+      if (q.hi < q.lo) std::swap(q.lo, q.hi);
+    }
+    EstimateBatchImpl(normalized, out);
   }
 
   virtual size_t count() const = 0;
   virtual std::string name() const = 0;
+
+  // ------------------------------------------------------------ mergeability
+  //
+  // Estimators whose internal state is additive (coefficient running sums,
+  // bin counts, sample buffers) support partition-then-combine: build one
+  // replica per shard with CloneEmpty(), ingest disjoint sub-streams, then
+  // fold the replicas together with MergeFrom(). The contract: merging
+  // replicas over disjoint sub-streams answers queries like one estimator
+  // over the concatenated stream — exactly for integer-count state
+  // (histograms, synopsis grids), to ~1e-12 relative for floating-point sums
+  // (the wavelet sketch). Estimators without an additive representation
+  // (e.g. the reservoir sample, whose unbiased merge needs fresh randomness)
+  // report unsupported: CloneEmpty() returns nullptr and MergeFrom() fails.
+
+  /// True when this estimator supports CloneEmpty()/MergeFrom().
+  bool mergeable() const { return merge_type_tag() != nullptr; }
+
+  /// A fresh estimator of the same concrete type and configuration with no
+  /// data, or nullptr when the estimator does not support merging.
+  virtual std::unique_ptr<SelectivityEstimator> CloneEmpty() const {
+    return nullptr;
+  }
+
+  /// Folds `other`'s state into this estimator. Fails (leaving this
+  /// estimator untouched) when merging is unsupported, when `other` is a
+  /// different concrete type, or when the configurations are incompatible
+  /// (different domain, resolution, level range, ...).
+  virtual Status MergeFrom(const SelectivityEstimator& other) {
+    (void)other;
+    return Status::FailedPrecondition(name() + " does not support MergeFrom");
+  }
+
+  /// Identity of the concrete type for MergeFrom compatibility checks
+  /// without an RTTI requirement: mergeable estimators return the address of
+  /// a class-local static (see WDE_SELECTIVITY_MERGE_TAG), so equal tags
+  /// guarantee a static_cast in MergeFrom is sound. nullptr means merging is
+  /// unsupported. Public because an implementation must read it through a
+  /// base-class reference.
+  virtual const void* merge_type_tag() const { return nullptr; }
+
+ protected:
+  /// Shared MergeFrom preamble: rejects self-merge (for buffer-append state
+  /// it would self-insert — UB on reallocation — and for count state it
+  /// would silently double) and peers of a different concrete type (tag
+  /// mismatch). After an OK return, `other` is a distinct instance of this
+  /// concrete type and may be static_cast to it.
+  Status CheckMergePeer(const SelectivityEstimator& other) const {
+    if (&other == this) {
+      return Status::InvalidArgument("cannot merge an estimator into itself");
+    }
+    if (merge_type_tag() == nullptr ||
+        other.merge_type_tag() != merge_type_tag()) {
+      return Status::FailedPrecondition("MergeFrom: " + name() + " vs " +
+                                        other.name());
+    }
+    return Status::OK();
+  }
+
+  /// The scalar query extension point. Called with a <= b (the public
+  /// EstimateRange wrapper normalizes inverted ranges).
+  virtual double EstimateRangeImpl(double a, double b) const = 0;
+
+  /// The batch query extension point: called with matched spans, at least
+  /// one query, and every query normalized to lo <= hi. The default loops
+  /// the scalar extension point; overrides amortize staleness checks and
+  /// per-level reconstruction setup across queries and must stay
+  /// bit-identical to the scalar loop.
+  virtual void EstimateBatchImpl(std::span<const RangeQuery> queries,
+                                 std::span<double> out) const {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out[i] = EstimateRangeImpl(queries[i].lo, queries[i].hi);
+    }
+  }
 };
+
+/// Defines the per-class merge tag used by mergeable estimators: a static
+/// member function whose local static's address identifies the concrete type.
+#define WDE_SELECTIVITY_MERGE_TAG()                \
+  static const void* MergeTag() {                  \
+    static const int tag = 0;                      \
+    return &tag;                                   \
+  }                                                \
+  const void* merge_type_tag() const override { return MergeTag(); }
 
 }  // namespace selectivity
 }  // namespace wde

@@ -1,0 +1,149 @@
+#include "selectivity/sharded_selectivity.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace selectivity {
+
+Result<ShardedSelectivityEstimator> ShardedSelectivityEstimator::Create(
+    const SelectivityEstimator& prototype, const Options& options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shards must be positive");
+  }
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (options.merge_refresh_interval == 0) {
+    return Status::InvalidArgument("merge_refresh_interval must be positive");
+  }
+  if (!prototype.mergeable()) {
+    return Status::FailedPrecondition(
+        prototype.name() + " does not support CloneEmpty/MergeFrom and cannot be sharded");
+  }
+  std::unique_ptr<SelectivityEstimator> keeper = prototype.CloneEmpty();
+  WDE_CHECK(keeper != nullptr, "mergeable estimator returned a null clone");
+  std::vector<std::unique_ptr<SelectivityEstimator>> replicas;
+  replicas.reserve(options.shards);
+  for (size_t s = 0; s < options.shards; ++s) {
+    replicas.push_back(prototype.CloneEmpty());
+    WDE_CHECK(replicas.back() != nullptr, "mergeable estimator returned a null clone");
+  }
+  return ShardedSelectivityEstimator(options, std::move(keeper),
+                                     std::move(replicas));
+}
+
+void ShardedSelectivityEstimator::Insert(double x) {
+  ++pending_since_merge_;
+  const size_t shard = (position_ / options_.block_size) % replicas_.size();
+  replicas_[shard]->Insert(x);
+  ++position_;
+}
+
+void ShardedSelectivityEstimator::InsertBatch(std::span<const double> xs) {
+  if (xs.empty()) return;
+  pending_since_merge_ += xs.size();
+  const size_t K = replicas_.size();
+  if (K == 1) {
+    replicas_[0]->InsertBatch(xs);
+    position_ += xs.size();
+    return;
+  }
+  // Cut the batch at block boundaries and assign each run to its owning
+  // shard, purely from (position, block_size, K). Every run lands in shard
+  // order inside its per-shard list, so each shard replays its sub-stream in
+  // stream order no matter which thread executes it.
+  struct Chunk {
+    size_t offset;
+    size_t len;
+  };
+  const size_t B = options_.block_size;
+  std::vector<std::vector<Chunk>> chunks(K);
+  size_t offset = 0;
+  size_t pos = position_;
+  while (offset < xs.size()) {
+    const size_t shard = (pos / B) % K;
+    const size_t run = std::min(B - (pos % B), xs.size() - offset);
+    chunks[shard].push_back(Chunk{offset, run});
+    offset += run;
+    pos += run;
+  }
+  position_ = pos;
+  // One task per shard: tasks touch disjoint replicas, so scheduling cannot
+  // affect any replica's state — the fixed-K determinism contract.
+  pool().ParallelFor(static_cast<int>(K), [&](int s) {
+    for (const Chunk& c : chunks[static_cast<size_t>(s)]) {
+      replicas_[static_cast<size_t>(s)]->InsertBatch(xs.subspan(c.offset, c.len));
+    }
+  });
+}
+
+SelectivityEstimator& ShardedSelectivityEstimator::Merged() const {
+  if (merged_ == nullptr || pending_since_merge_ >= options_.merge_refresh_interval) {
+    merged_ = prototype_->CloneEmpty();
+    WDE_CHECK(merged_ != nullptr, "mergeable estimator returned a null clone");
+    for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+      // Replicas are clones of one prototype, so the merge cannot be
+      // incompatible; a failure here is a broken MergeFrom implementation.
+      WDE_CHECK_OK(merged_->MergeFrom(*replica));
+    }
+    pending_since_merge_ = 0;
+  }
+  return *merged_;
+}
+
+double ShardedSelectivityEstimator::EstimateRangeImpl(double a, double b) const {
+  return Merged().EstimateRange(a, b);
+}
+
+void ShardedSelectivityEstimator::EstimateBatchImpl(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  Merged().EstimateBatch(queries, out);
+}
+
+size_t ShardedSelectivityEstimator::count() const {
+  size_t total = 0;
+  for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+    total += replica->count();
+  }
+  return total;
+}
+
+std::string ShardedSelectivityEstimator::name() const {
+  return Format("sharded(%zux%s)", replicas_.size(), prototype_->name().c_str());
+}
+
+std::unique_ptr<SelectivityEstimator> ShardedSelectivityEstimator::CloneEmpty()
+    const {
+  Result<ShardedSelectivityEstimator> clone = Create(*prototype_, options_);
+  WDE_CHECK(clone.ok(), "options were valid at construction");
+  return std::make_unique<ShardedSelectivityEstimator>(std::move(clone).value());
+}
+
+Status ShardedSelectivityEstimator::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const ShardedSelectivityEstimator&>(other);
+  if (replicas_.size() != rhs.replicas_.size() ||
+      options_.block_size != rhs.options_.block_size) {
+    return Status::FailedPrecondition("MergeFrom: shard layout mismatch");
+  }
+  // Probe replica compatibility once before mutating anything (replicas are
+  // homogeneous clones on both sides, so one probe covers all shards); the
+  // shard-wise merges below then cannot fail halfway. Probing against rhs's
+  // empty prototype keeps this configuration-only — no shard data is copied.
+  std::unique_ptr<SelectivityEstimator> probe = prototype_->CloneEmpty();
+  Status compatible = probe->MergeFrom(*rhs.prototype_);
+  if (!compatible.ok()) return compatible;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    WDE_CHECK_OK(replicas_[s]->MergeFrom(*rhs.replicas_[s]));
+  }
+  position_ += rhs.position_;
+  merged_.reset();  // force a rebuild regardless of the refresh cadence
+  return Status::OK();
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -1,0 +1,128 @@
+#ifndef WDE_SELECTIVITY_SHARDED_SELECTIVITY_HPP_
+#define WDE_SELECTIVITY_SHARDED_SELECTIVITY_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+#include "util/result.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// Sharded parallel ingest over any mergeable SelectivityEstimator: K replica
+/// estimators (built with the prototype's CloneEmpty) each own a deterministic
+/// slice of the stream, batch inserts fan out across the replicas on a
+/// ThreadPool, and queries are answered from a lazily rebuilt merged view
+/// (CloneEmpty + MergeFrom over all shards, invalidated by inserts).
+///
+/// Partitioning rule: stream position p (the running count of values offered,
+/// including dropped non-finite ones) maps to shard (p / block_size) mod K —
+/// contiguous blocks, round-robin across shards. The rule is a pure function
+/// of (K, block_size, stream position), NOT of the thread count or schedule,
+/// and each shard replica is touched by exactly one task per batch, so for a
+/// fixed K the entire estimator state — and every query answer — is
+/// bit-identical across runs, thread counts and pool sizes. Merging replicas
+/// reorders floating-point accumulation relative to the sequential estimator,
+/// so merged answers match a sequential estimator over the same stream
+/// exactly for integer-count state and to ~1e-12 relative for running-sum
+/// state (see the interface's mergeability contract).
+///
+/// Like every estimator, the wrapper is single-writer/single-reader; the
+/// parallelism is internal to InsertBatch.
+class ShardedSelectivityEstimator : public SelectivityEstimator {
+ public:
+  struct Options {
+    /// Number of shard replicas K (>= 1).
+    size_t shards = 4;
+    /// Contiguous stream positions per block (>= 1). Larger blocks amortize
+    /// per-chunk dispatch; smaller blocks balance skewed batch sizes.
+    size_t block_size = 4096;
+    /// Executor for the per-shard ingest tasks; nullptr uses
+    /// parallel::ThreadPool::Shared(). The pool choice affects scheduling
+    /// only, never results.
+    parallel::ThreadPool* pool = nullptr;
+    /// The merged query view is rebuilt once at least this many values
+    /// (>= 1) arrived since it was last built. The default 1 rebuilds
+    /// whenever any insert intervened — always-fresh answers, but a
+    /// CloneEmpty + K MergeFrom rebuild per insert/query alternation. For
+    /// interleaved workloads set this to the prototype's refit cadence:
+    /// queries then answer from a view at most merge_refresh_interval - 1
+    /// values stale, exactly like the sequential sketch between refits.
+    /// Staleness depends only on stream positions, so determinism is
+    /// unaffected.
+    size_t merge_refresh_interval = 1;
+  };
+
+  /// Builds K empty replicas of `prototype` (which contributes configuration
+  /// only, not data). Fails if the prototype does not support merging or the
+  /// options are degenerate.
+  ///
+  /// Replicas are exact clones, so a prototype with periodic refits (e.g.
+  /// the wavelet sketch's refit_interval) runs those refits inside every
+  /// shard even though queries read only the merged view. For pure sharded
+  /// ingest, disable the prototype's refit cadence (huge refit_interval) —
+  /// the merged view refits on demand after each rebuild regardless — and
+  /// pace answer freshness with merge_refresh_interval instead.
+  static Result<ShardedSelectivityEstimator> Create(
+      const SelectivityEstimator& prototype, const Options& options);
+
+  /// Routes one value to the shard owning the current stream position.
+  void Insert(double x) override;
+
+  /// Splits the batch at block boundaries, hands each shard its chunks in
+  /// stream order, and runs the K shard-ingest tasks on the pool. Empty
+  /// spans are a no-op.
+  void InsertBatch(std::span<const double> xs) override;
+
+  /// Sum of the shard counts (values retained, not positions offered).
+  size_t count() const override;
+  std::string name() const override;
+
+  /// Sharded estimators merge shard-wise with a sharded estimator of the
+  /// same K/block size and compatible replicas — the distributed-node merge
+  /// path.
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
+
+  size_t shards() const { return replicas_.size(); }
+  const SelectivityEstimator& shard(size_t i) const { return *replicas_[i]; }
+  /// The merged estimator queries are answered from (rebuilds if stale).
+  const SelectivityEstimator& MergedView() const { return Merged(); }
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
+
+  /// Answers the whole batch from the merged view (one merge, then the
+  /// merged estimator's own batched query path).
+  void EstimateBatchImpl(std::span<const RangeQuery> queries,
+                         std::span<double> out) const override;
+
+ private:
+  ShardedSelectivityEstimator(const Options& options,
+                              std::unique_ptr<SelectivityEstimator> prototype,
+                              std::vector<std::unique_ptr<SelectivityEstimator>> replicas)
+      : options_(options),
+        prototype_(std::move(prototype)),
+        replicas_(std::move(replicas)) {}
+
+  parallel::ThreadPool& pool() const {
+    return options_.pool != nullptr ? *options_.pool
+                                    : parallel::ThreadPool::Shared();
+  }
+  SelectivityEstimator& Merged() const;
+
+  Options options_;
+  std::unique_ptr<SelectivityEstimator> prototype_;  // empty; config keeper
+  std::vector<std::unique_ptr<SelectivityEstimator>> replicas_;
+  size_t position_ = 0;  // stream positions offered so far
+  mutable std::unique_ptr<SelectivityEstimator> merged_;
+  mutable size_t pending_since_merge_ = 0;  // values since merged_ was built
+};
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_SHARDED_SELECTIVITY_HPP_

@@ -26,6 +26,7 @@ void StreamingWaveletSelectivity::Insert(double x) {
 }
 
 void StreamingWaveletSelectivity::InsertBatch(std::span<const double> xs) {
+  if (xs.empty()) return;
   insert_scratch_.clear();
   insert_scratch_.reserve(xs.size());
   for (double x : xs) {
@@ -62,7 +63,7 @@ void StreamingWaveletSelectivity::RefitIfStale() const {
   }
 }
 
-double StreamingWaveletSelectivity::EstimateRange(double a, double b) const {
+double StreamingWaveletSelectivity::EstimateRangeImpl(double a, double b) const {
   if (fit_.count() < 2) return 0.0;
   RefitIfStale();
   if (!estimate_.has_value()) return 0.0;
@@ -71,10 +72,43 @@ double StreamingWaveletSelectivity::EstimateRange(double a, double b) const {
   return std::clamp(estimate_->IntegrateRange(a, b), 0.0, 1.0);
 }
 
-void StreamingWaveletSelectivity::EstimateBatch(std::span<const RangeQuery> queries,
-                                                std::span<double> out) const {
-  WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
-  if (queries.empty()) return;  // scalar loop would not refit at all
+std::unique_ptr<SelectivityEstimator> StreamingWaveletSelectivity::CloneEmpty()
+    const {
+  Result<StreamingWaveletSelectivity> clone =
+      Create(fit_.coefficients().basis(), options_);
+  WDE_CHECK(clone.ok(), "options were valid at construction");
+  return std::make_unique<StreamingWaveletSelectivity>(std::move(clone).value());
+}
+
+Status StreamingWaveletSelectivity::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const StreamingWaveletSelectivity&>(other);
+  // Domain and threshold kind must agree (they shape what the merged sums
+  // mean and how this sketch reconstructs from them); the coefficient merge
+  // below checks the basis and level range. refit_interval is deliberately
+  // NOT checked: it only paces this sketch's own staleness, so replicas may
+  // run with refits disabled (huge interval) and still merge into a
+  // normally-paced target — the recommended sharded-ingest configuration.
+  if (options_.domain_lo != rhs.options_.domain_lo ||
+      options_.domain_hi != rhs.options_.domain_hi ||
+      options_.kind != rhs.options_.kind) {
+    return Status::FailedPrecondition("MergeFrom: sketch options mismatch");
+  }
+  Status merged = fit_.Merge(rhs.fit_);
+  if (!merged.ok()) return merged;
+  // The cached estimate no longer reflects the sums; rebuild lazily from the
+  // merged coefficients at the next query.
+  estimate_.reset();
+  cv_.reset();
+  fitted_at_count_ = 0;
+  return Status::OK();
+}
+
+void StreamingWaveletSelectivity::EstimateBatchImpl(
+    std::span<const RangeQuery> queries, std::span<double> out) const {
+  // The public wrapper guarantees matched spans, a non-empty batch (so the
+  // refit below mirrors the scalar path) and normalized queries.
   if (fit_.count() < 2) {
     for (double& o : out) o = 0.0;
     return;

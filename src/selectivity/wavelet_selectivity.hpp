@@ -45,16 +45,18 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
   /// behavior is bit-identical.
   void InsertBatch(std::span<const double> xs) override;
 
-  double EstimateRange(double a, double b) const override;
-
-  /// Genuinely batched queries: one staleness check, then one pass per
-  /// reconstruction level across all ranges (exact basis antiderivatives).
-  /// Bit-identical to the scalar loop.
-  void EstimateBatch(std::span<const RangeQuery> queries,
-                     std::span<double> out) const override;
-
   size_t count() const override { return fit_.count(); }
   std::string name() const override;
+
+  /// Mergeable: the sketch state is the (S1, S2, n) running sums, which are
+  /// additive — see `EmpiricalCoefficients::Merge`. A merged sketch refits
+  /// from the combined sums at the next query and matches the sequential
+  /// sketch (refit at the same count) to ~1e-12 relative.
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  /// Folds `other`'s coefficient sums into this sketch and invalidates the
+  /// cached estimate; requires identical options and a compatible basis.
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
 
   /// Forces a refit (CV + reconstruction) now; normally lazy.
   void Refit() const;
@@ -64,6 +66,15 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
 
   /// The most recent cross-validation result, if any refit has happened.
   const std::optional<core::CrossValidationResult>& last_cv() const { return cv_; }
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
+
+  /// Genuinely batched queries: one staleness check, then one pass per
+  /// reconstruction level across all ranges (exact basis antiderivatives).
+  /// Bit-identical to the scalar loop.
+  void EstimateBatchImpl(std::span<const RangeQuery> queries,
+                         std::span<double> out) const override;
 
  private:
   StreamingWaveletSelectivity(core::WaveletDensityFit fit, const Options& options)

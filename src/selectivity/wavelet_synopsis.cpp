@@ -71,9 +71,36 @@ void WaveletSynopsisSelectivity::RebuildIfStale() const {
   built_at_count_ = count_;
 }
 
-double WaveletSynopsisSelectivity::EstimateRange(double a, double b) const {
+std::unique_ptr<SelectivityEstimator> WaveletSynopsisSelectivity::CloneEmpty()
+    const {
+  return std::unique_ptr<SelectivityEstimator>(
+      new WaveletSynopsisSelectivity(options_));
+}
+
+Status WaveletSynopsisSelectivity::MergeFrom(const SelectivityEstimator& other) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const WaveletSynopsisSelectivity&>(other);
+  // rebuild_interval paces only the owner's staleness and is deliberately
+  // not checked (same rationale as the wavelet sketch's MergeFrom). The
+  // budget shapes this synopsis's own compression of the merged grid, so it
+  // must agree for the merged answers to mean what the caller configured.
+  if (options_.domain_lo != rhs.options_.domain_lo ||
+      options_.domain_hi != rhs.options_.domain_hi ||
+      options_.grid_log2 != rhs.options_.grid_log2 ||
+      options_.budget != rhs.options_.budget) {
+    return Status::FailedPrecondition("MergeFrom: synopsis options mismatch");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += rhs.counts_[i];
+  count_ += rhs.count_;
+  reconstructed_.clear();  // force a rebuild from the merged grid
+  built_at_count_ = 0;
+  retained_ = 0;
+  return Status::OK();
+}
+
+double WaveletSynopsisSelectivity::EstimateRangeImpl(double a, double b) const {
   if (count_ == 0) return 0.0;
-  if (b < a) std::swap(a, b);
   RebuildIfStale();
   const double width = options_.domain_hi - options_.domain_lo;
   const double cells = static_cast<double>(reconstructed_.size());

@@ -22,6 +22,10 @@ namespace selectivity {
 ///
 /// Maintains the count grid incrementally; the compressed transform is
 /// rebuilt lazily when stale.
+///
+/// Mergeable: the frequency grid is exact integer cell counts, so merging
+/// replicas over disjoint sub-streams is bit-identical to one synopsis over
+/// the concatenated stream (the top-B compression reruns on the merged grid).
 class WaveletSynopsisSelectivity : public SelectivityEstimator {
  public:
   struct Options {
@@ -35,12 +39,20 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   static Result<WaveletSynopsisSelectivity> Create(const Options& options);
 
   void Insert(double x) override;
-  double EstimateRange(double a, double b) const override;
   size_t count() const override { return count_; }
   std::string name() const override;
 
+  std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
+  /// Adds `other`'s cell counts element-wise and invalidates the compressed
+  /// transform; requires identical options.
+  Status MergeFrom(const SelectivityEstimator& other) override;
+  WDE_SELECTIVITY_MERGE_TAG()
+
   /// Number of non-zero retained coefficients after the last rebuild.
   size_t RetainedCoefficients() const;
+
+ protected:
+  double EstimateRangeImpl(double a, double b) const override;
 
  private:
   explicit WaveletSynopsisSelectivity(const Options& options);

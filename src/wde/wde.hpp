@@ -6,6 +6,7 @@
 /// the dependency graph first:
 ///
 ///   util        — Status/Result error model, WDE_CHECK, string helpers
+///   parallel    — the shared ThreadPool executor behind every parallel path
 ///   numerics    — integration, interpolation, linear algebra, optimisation
 ///   stats       — RNG, descriptive stats, empirical CDF, losses, bootstrap
 ///   wavelet     — Daubechies filters, cascade/Daubechies–Lagarias point
@@ -15,7 +16,8 @@
 ///   core        — wavelet coefficient estimation, thresholding, the adaptive
 ///                 density estimator, confidence bands
 ///   selectivity — wavelet/KDE/histogram/sample selectivity estimators over
-///                 range-query workloads
+///                 range-query workloads, plus the sharded parallel ingest
+///                 wrapper over any mergeable estimator
 ///   diagnostics — mixing/covariance-decay diagnostics
 ///   harness     — Monte-Carlo replication harness and experiment configs
 ///
@@ -31,6 +33,9 @@
 #include "util/result.hpp"
 #include "util/status.hpp"
 #include "util/string_util.hpp"
+
+// parallel — depends on util.
+#include "parallel/thread_pool.hpp"
 
 // numerics — depends on util.
 #include "numerics/integration.hpp"
@@ -90,6 +95,7 @@
 #include "selectivity/query_workload.hpp"
 #include "selectivity/sample_selectivity.hpp"
 #include "selectivity/selectivity_estimator.hpp"
+#include "selectivity/sharded_selectivity.hpp"
 #include "selectivity/wavelet_selectivity.hpp"
 #include "selectivity/wavelet_synopsis.hpp"
 

@@ -19,6 +19,7 @@
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"
 #include "selectivity/sample_selectivity.hpp"
+#include "selectivity/sharded_selectivity.hpp"
 #include "selectivity/wavelet_selectivity.hpp"
 #include "selectivity/wavelet_synopsis.hpp"
 #include "stats/rng.hpp"
@@ -325,6 +326,29 @@ TEST(BatchEquivalenceTest, DefaultBatchImplementations) {
       selectivity::WaveletSynopsisSelectivity::Create({});
   ASSERT_TRUE(syn_scalar.ok() && syn_batch.ok());
   ExpectStreamEquivalence(&syn_scalar.value(), &syn_batch.value(), 6006);
+}
+
+TEST(BatchEquivalenceTest, ShardedWrapperInsertBatchAndEstimateBatch) {
+  // The sharded engine routes scalar inserts and batch inserts through the
+  // same position-based partition, so the wrapper satisfies the bitwise
+  // equivalence contract like any other estimator.
+  const auto make = []() {
+    selectivity::StreamingWaveletSelectivity::Options sketch_options;
+    sketch_options.j0 = 2;
+    sketch_options.j_max = 7;
+    sketch_options.refit_interval = 500;
+    Result<selectivity::StreamingWaveletSelectivity> prototype =
+        selectivity::StreamingWaveletSelectivity::Create(Sym8Basis(),
+                                                         sketch_options);
+    WDE_CHECK(prototype.ok());
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 3;
+    options.block_size = 193;
+    return *selectivity::ShardedSelectivityEstimator::Create(*prototype, options);
+  };
+  selectivity::ShardedSelectivityEstimator scalar = make();
+  selectivity::ShardedSelectivityEstimator batch = make();
+  ExpectStreamEquivalence(&scalar, &batch, 8008);
 }
 
 TEST(BatchEquivalenceTest, WorkloadScoringUsesBatchPathConsistently) {

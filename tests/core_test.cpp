@@ -5,6 +5,7 @@
 
 #include "core/adaptive.hpp"
 #include "core/besov.hpp"
+#include "core/binned.hpp"
 #include "core/coefficients.hpp"
 #include "core/cross_validation.hpp"
 #include "core/estimator.hpp"
@@ -127,6 +128,29 @@ TEST(CoefficientsTest, OutOfWindowCoefficientsAreZero) {
   coeffs->Add(0.5);
   EXPECT_EQ(coeffs->BetaHat(3, 1000), 0.0);
   EXPECT_EQ(coeffs->AlphaHat(-500), 0.0);
+}
+
+TEST(CoefficientsTest, EmptySpansAreNoOps) {
+  Result<EmpiricalCoefficients> coeffs = EmpiricalCoefficients::Create(Sym8Basis(), 2, 5);
+  ASSERT_TRUE(coeffs.ok());
+  coeffs->AddAll({});
+  coeffs->AddAll(std::span<const double>(static_cast<const double*>(nullptr), 0));
+  EXPECT_EQ(coeffs->count(), 0u);
+  coeffs->Add(0.5);
+  const double before = coeffs->AlphaHat(1);
+  coeffs->AddAll({});
+  EXPECT_EQ(coeffs->count(), 1u);
+  EXPECT_EQ(coeffs->AlphaHat(1), before);
+
+  const wavelet::WaveletFilter filter = *wavelet::WaveletFilter::Symmlet(8);
+  const std::vector<double> seed{0.25, 0.5, 0.75};
+  Result<BinnedWaveletFit> binned = BinnedWaveletFit::Fit(filter, seed, 2, 6);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_TRUE(binned->AddBatch({}).ok());
+  EXPECT_TRUE(
+      binned->AddBatch(std::span<const double>(static_cast<const double*>(nullptr), 0))
+          .ok());
+  EXPECT_EQ(binned->count(), seed.size());
 }
 
 TEST(CoefficientsDeathTest, RejectsOutOfRangeObservation) {
