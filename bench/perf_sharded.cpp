@@ -112,37 +112,8 @@ struct Row {
   bool bit_identical_across_pool_widths = true;
 };
 
-size_t FlagOrDefault(int argc, char** argv, const char* flag, size_t fallback) {
-  const std::string prefix = std::string("--") + flag + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return static_cast<size_t>(std::strtoull(argv[i] + prefix.size(), nullptr, 10));
-    }
-  }
-  return fallback;
-}
-
-bool BoolFlag(int argc, char** argv, const char* flag) {
-  const std::string name = std::string("--") + flag;
-  for (int i = 1; i < argc; ++i) {
-    if (name == argv[i]) return true;
-  }
-  return false;
-}
-
-std::string StringFlagOrDefault(int argc, char** argv, const char* flag,
-                                const std::string& fallback) {
-  const std::string prefix = std::string("--") + flag + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
-
 std::vector<size_t> ShardListFlag(int argc, char** argv) {
-  const std::string spec = StringFlagOrDefault(argc, argv, "shards", "1,2,4,8");
+  const std::string spec = ArgString(argc, argv, "shards", "1,2,4,8");
   std::vector<size_t> shards;
   size_t pos = 0;
   while (pos < spec.size()) {
@@ -163,11 +134,11 @@ std::vector<size_t> ShardListFlag(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const size_t n = FlagOrDefault(argc, argv, "n", 1000000);
-  const size_t query_count = FlagOrDefault(argc, argv, "queries", 1024);
-  const size_t repeats = std::max<size_t>(1, FlagOrDefault(argc, argv, "repeats", 3));
+  const size_t n = ArgSize(argc, argv, "n", 1000000);
+  const size_t query_count = ArgSize(argc, argv, "queries", 1024);
+  const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 3));
   const std::string out_path =
-      StringFlagOrDefault(argc, argv, "out", "BENCH_shard_scaling.json");
+      ArgString(argc, argv, "out", "BENCH_shard_scaling.json");
   const std::vector<size_t> shard_counts = ShardListFlag(argc, argv);
   // n/4 keeps periodic refits in the workload while landing the final refit
   // exactly at n, so sequential and merged answers reconstruct from the same
@@ -281,7 +252,7 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
-  if (BoolFlag(argc, argv, "check")) {
+  if (ArgBool(argc, argv, "check")) {
     int violations = 0;
     for (const Row& row : rows) {
       if (row.max_abs_error > 1e-12) {

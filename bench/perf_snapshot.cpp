@@ -1,0 +1,209 @@
+// Snapshot-subsystem bench: per registered estimator, ingest a stream, then
+// measure snapshot size and save/load throughput through the registry's
+// whole-snapshot path (in-memory sinks/sources — the wire format, not the
+// disk, is under test). Produces the committed BENCH_snapshot.json artifact
+// (see docs/BENCHMARKS.md) with a per-row round-trip verdict: answers of the
+// restored estimator must be bit-identical to the saved one on a range
+// workload.
+//
+// No google-benchmark dependency: plain steady_clock timing, best of
+// --repeats runs, so the binary builds everywhere and CI can always produce
+// the artifact.
+//
+// Usage: perf_snapshot [--n=200000] [--queries=256] [--repeats=5]
+//                      [--out=BENCH_snapshot.json] [--check]
+//
+// --check: exit 1 if any estimator fails to round-trip bit-identically —
+// the fidelity contract at bench scale, not just test sizes.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/histogram.hpp"
+#include "selectivity/kde_selectivity.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/sharded_selectivity.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "stats/rng.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace {
+
+using namespace wde;
+
+const wavelet::WaveletBasis& Sym8Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletBasis> b =
+        wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+/// One ingest-ready instance per registered estimator, at production-ish
+/// configurations (the sketch at the perf_sharded level budget).
+std::vector<std::unique_ptr<selectivity::SelectivityEstimator>> MakeEstimators() {
+  std::vector<std::unique_ptr<selectivity::SelectivityEstimator>> estimators;
+  estimators.push_back(
+      std::make_unique<selectivity::EquiWidthHistogram>(0.0, 1.0, 64));
+  estimators.push_back(
+      std::make_unique<selectivity::EquiDepthHistogram>(0.0, 1.0, 32));
+  estimators.push_back(
+      std::make_unique<selectivity::ReservoirSampleSelectivity>(4096, 17));
+  estimators.push_back(
+      std::make_unique<selectivity::KdeSelectivity>(selectivity::KdeSelectivity::Options{}));
+  {
+    selectivity::WaveletSynopsisSelectivity::Options options;
+    options.grid_log2 = 10;
+    options.budget = 64;
+    estimators.push_back(std::make_unique<selectivity::WaveletSynopsisSelectivity>(
+        *selectivity::WaveletSynopsisSelectivity::Create(options)));
+  }
+  {
+    selectivity::StreamingWaveletSelectivity::Options options;
+    options.j0 = 2;
+    options.j_max = 11;
+    options.refit_interval = 65536;
+    estimators.push_back(std::make_unique<selectivity::StreamingWaveletSelectivity>(
+        *selectivity::StreamingWaveletSelectivity::Create(Sym8Basis(), options)));
+  }
+  {
+    selectivity::EquiWidthHistogram prototype(0.0, 1.0, 64);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 4;
+    estimators.push_back(std::make_unique<selectivity::ShardedSelectivityEstimator>(
+        *selectivity::ShardedSelectivityEstimator::Create(prototype, options)));
+  }
+  return estimators;
+}
+
+struct Row {
+  std::string tag;
+  std::string name;
+  size_t snapshot_bytes = 0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+  bool roundtrip_bit_identical = false;
+};
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = ArgSize(argc, argv, "n", 200000);
+  const size_t query_count = ArgSize(argc, argv, "queries", 256);
+  const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 5));
+  const std::string out_path =
+      ArgString(argc, argv, "out", "BENCH_snapshot.json");
+
+  stats::Rng data_rng(1);
+  std::vector<double> stream(n);
+  for (double& x : stream) x = data_rng.UniformDouble();
+  stats::Rng query_rng(5);
+  const std::vector<selectivity::RangeQuery> queries =
+      selectivity::CenteredRangeWorkload(query_rng, query_count, 0.0, 1.0, 0.02, 0.3);
+
+  std::vector<Row> rows;
+  for (auto& estimator : MakeEstimators()) {
+    estimator->InsertBatch(stream);
+    std::vector<double> before(queries.size());
+    estimator->EstimateBatch(queries, before);  // realistic: fitted cache exists
+
+    Row row;
+    row.tag = estimator->snapshot_type_tag();
+    row.name = estimator->name();
+
+    std::vector<uint8_t> bytes;
+    for (size_t r = 0; r < repeats; ++r) {
+      io::VectorSink sink;
+      const auto start = std::chrono::steady_clock::now();
+      WDE_CHECK_OK(selectivity::SaveEstimatorSnapshot(*estimator, sink));
+      const auto end = std::chrono::steady_clock::now();
+      const double seconds = Seconds(start, end);
+      if (r == 0 || seconds < row.save_seconds) row.save_seconds = seconds;
+      bytes = sink.TakeBytes();
+    }
+    row.snapshot_bytes = bytes.size();
+
+    std::unique_ptr<selectivity::SelectivityEstimator> restored;
+    for (size_t r = 0; r < repeats; ++r) {
+      io::SpanSource source(bytes);
+      const auto start = std::chrono::steady_clock::now();
+      Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+          selectivity::LoadEstimatorSnapshot(source);
+      const auto end = std::chrono::steady_clock::now();
+      WDE_CHECK(loaded.ok(), loaded.status().ToString().c_str());
+      const double seconds = Seconds(start, end);
+      if (r == 0 || seconds < row.load_seconds) row.load_seconds = seconds;
+      restored = std::move(loaded).value();
+    }
+
+    std::vector<double> after(queries.size());
+    restored->EstimateBatch(queries, after);
+    row.roundtrip_bit_identical =
+        restored->count() == estimator->count() && after == before;
+    rows.push_back(row);
+    std::printf(
+        "%-28s %9zu bytes  save %8.3f MB/s  load %8.3f MB/s  roundtrip %s\n",
+        row.name.c_str(), row.snapshot_bytes,
+        static_cast<double>(row.snapshot_bytes) / 1e6 / row.save_seconds,
+        static_cast<double>(row.snapshot_bytes) / 1e6 / row.load_seconds,
+        row.roundtrip_bit_identical ? "bit-identical" : "MISMATCH");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  WDE_CHECK(out != nullptr, "cannot open --out path for writing");
+  std::fprintf(out, "{\n  \"bench\": \"perf_snapshot\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"n\": %zu, \"queries\": %zu, \"repeats\": %zu},\n",
+               n, query_count, repeats);
+  std::fprintf(out, "  \"host\": {\"hardware_concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"tag\": \"%s\", \"estimator\": \"%s\", "
+                 "\"snapshot_bytes\": %zu, \"save_seconds\": %.6e, "
+                 "\"save_mb_per_s\": %.1f, \"load_seconds\": %.6e, "
+                 "\"load_mb_per_s\": %.1f, \"roundtrip_bit_identical\": %s}%s\n",
+                 row.tag.c_str(), row.name.c_str(), row.snapshot_bytes,
+                 row.save_seconds,
+                 static_cast<double>(row.snapshot_bytes) / 1e6 / row.save_seconds,
+                 row.load_seconds,
+                 static_cast<double>(row.snapshot_bytes) / 1e6 / row.load_seconds,
+                 row.roundtrip_bit_identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (ArgBool(argc, argv, "check")) {
+    int violations = 0;
+    for (const Row& row : rows) {
+      if (!row.roundtrip_bit_identical) {
+        std::fprintf(stderr, "CHECK FAILED: %s did not round-trip bit-identically\n",
+                     row.name.c_str());
+        ++violations;
+      }
+    }
+    if (violations > 0) return 1;
+    std::printf("round-trip fidelity checks passed\n");
+  }
+  return 0;
+}

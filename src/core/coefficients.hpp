@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "io/serialize.hpp"
 #include "util/result.hpp"
 #include "wavelet/scaled_function.hpp"
 
@@ -62,6 +63,20 @@ class EmpiricalCoefficients {
   /// level range differ; merging an empty accumulator is an exact no-op.
   Status Merge(const EmpiricalCoefficients& other);
 
+  /// Writes the complete accumulator state — the basis identity (filter name
+  /// + table resolution), the level range, and every level's S1/S2 running
+  /// sums — as the io module's endianness-explicit primitives. The sums
+  /// travel as IEEE bit patterns, so Serialize→Deserialize round trips are
+  /// bit-exact and a restored accumulator is merge-compatible with (and
+  /// answers identically to) the original.
+  Status Serialize(io::Sink& sink) const;
+
+  /// Restores an accumulator written by Serialize: rebuilds the basis from
+  /// its identity, re-derives the level windows, and validates the stored
+  /// level geometry against them — corrupt or truncated input yields a
+  /// non-OK Result, never UB.
+  static Result<EmpiricalCoefficients> Deserialize(io::Source& source);
+
   size_t count() const { return count_; }
   int j0() const { return j0_; }
   int j_max() const { return j_max_; }
@@ -101,6 +116,14 @@ int DefaultPrimaryLevel(size_t n, int vanishing_moments);
 
 /// The cross-validation top level j* = log2(n) (§5.1), i.e. floor(log2 n).
 int DefaultTopLevel(size_t n);
+
+/// Writes the identity of a basis — filter name + cascade table resolution —
+/// so a reader can rebuild bit-identical tables (within one platform; see
+/// wavelet::WaveletFilter::FromName). Shared by every core serializer.
+Status SerializeBasisId(const wavelet::WaveletBasis& basis, io::Sink& sink);
+
+/// Rebuilds a basis from its serialized identity.
+Result<wavelet::WaveletBasis> DeserializeBasisId(io::Source& source);
 
 }  // namespace core
 }  // namespace wde

@@ -235,6 +235,71 @@ double WaveletEstimate::ThresholdedFraction(int j) const {
   return 1.0;
 }
 
+Status WaveletEstimate::Serialize(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, width_));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, j0_));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, scaling_k_lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDoubleVector(sink, alpha_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, details_.size()));
+  for (const DetailLevel& level : details_) {
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.j));
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.k_lo));
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.kept));
+    WDE_RETURN_IF_ERROR(io::WriteDoubleVector(sink, level.theta));
+  }
+  return Status::OK();
+}
+
+Result<WaveletEstimate> WaveletEstimate::Deserialize(
+    const wavelet::WaveletBasis& basis, io::Source& source) {
+  WaveletEstimate estimate(basis);
+  WDE_ASSIGN_OR_RETURN(estimate.lo_, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(estimate.width_, io::ReadDouble(source));
+  if (!std::isfinite(estimate.lo_) || !(estimate.width_ > 0.0) ||
+      !std::isfinite(estimate.width_)) {
+    return Status::InvalidArgument("corrupt estimate domain");
+  }
+  WDE_ASSIGN_OR_RETURN(estimate.j0_, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(estimate.scaling_k_lo_, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(estimate.alpha_, io::ReadDoubleVector(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t n_details, io::ReadU64(source));
+  if (estimate.j0_ < 0 || estimate.j0_ > 26 || n_details > 32) {
+    return Status::InvalidArgument("corrupt estimate level structure");
+  }
+  estimate.details_.reserve(static_cast<size_t>(n_details));
+  for (uint64_t i = 0; i < n_details; ++i) {
+    DetailLevel level;
+    WDE_ASSIGN_OR_RETURN(level.j, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.k_lo, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.kept, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.theta, io::ReadDoubleVector(source));
+    if (level.j < 0 || level.j > 26 || level.kept < 0 ||
+        static_cast<size_t>(level.kept) > level.theta.size()) {
+      return Status::InvalidArgument("corrupt estimate detail level");
+    }
+    estimate.details_.push_back(std::move(level));
+  }
+  return estimate;
+}
+
+Status WaveletDensityFit::Serialize(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, width_));
+  return coefficients_.Serialize(sink);
+}
+
+Result<WaveletDensityFit> WaveletDensityFit::Deserialize(io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(const double lo, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(const double width, io::ReadDouble(source));
+  if (!std::isfinite(lo) || !(width > 0.0) || !std::isfinite(width)) {
+    return Status::InvalidArgument("corrupt fit domain");
+  }
+  Result<EmpiricalCoefficients> coeffs = EmpiricalCoefficients::Deserialize(source);
+  if (!coeffs.ok()) return coeffs.status();
+  return WaveletDensityFit(std::move(coeffs).value(), lo, width);
+}
+
 Result<WaveletDensityFit> WaveletDensityFit::Fit(const wavelet::WaveletBasis& basis,
                                                  std::span<const double> data,
                                                  const FitOptions& options) {

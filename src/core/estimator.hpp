@@ -65,6 +65,18 @@ class WaveletEstimate {
   /// is the bisection root of the (approximately increasing) CDF.
   double Quantile(double u) const;
 
+  /// Writes the reconstructed expansion (domain, α coefficients, thresholded
+  /// detail levels) WITHOUT the basis — the owner serializes the basis
+  /// identity once and passes the rebuilt basis to Deserialize. Round trips
+  /// are bit-exact, so a restored estimate answers Evaluate/IntegrateRange
+  /// bit-identically.
+  Status Serialize(io::Sink& sink) const;
+
+  /// Restores an estimate written by Serialize over `basis`. Corrupt input
+  /// yields a non-OK Result.
+  static Result<WaveletEstimate> Deserialize(const wavelet::WaveletBasis& basis,
+                                             io::Source& source);
+
   double domain_lo() const { return lo_; }
   double domain_hi() const { return lo_ + width_; }
   int j0() const { return j0_; }
@@ -128,6 +140,14 @@ class WaveletDensityFit {
   /// Fails, leaving this fit untouched, when the domain, filter or level
   /// range differ.
   Status Merge(const WaveletDensityFit& other);
+
+  /// Writes the fit domain plus the full coefficient accumulator (see
+  /// EmpiricalCoefficients::Serialize); round trips are bit-exact.
+  Status Serialize(io::Sink& sink) const;
+
+  /// Restores a fit written by Serialize, rebuilding the basis from its
+  /// serialized identity.
+  static Result<WaveletDensityFit> Deserialize(io::Source& source);
 
   size_t count() const { return coefficients_.count(); }
   const EmpiricalCoefficients& coefficients() const { return coefficients_; }

@@ -1,0 +1,96 @@
+#include "io/chunk.hpp"
+
+#include <array>
+
+#include "util/string_util.hpp"
+
+namespace wde {
+namespace io {
+
+namespace {
+
+constexpr std::array<uint8_t, 8> kMagic = {'W', 'D', 'E', 'S', 'N', 'A', 'P', '1'};
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteSnapshotHeader(Sink& sink) {
+  WDE_RETURN_IF_ERROR(sink.Append(kMagic.data(), kMagic.size()));
+  return WriteU32(sink, kSnapshotFormatVersion);
+}
+
+Result<uint32_t> ReadSnapshotHeader(Source& source) {
+  std::array<uint8_t, 8> magic{};
+  WDE_RETURN_IF_ERROR(source.Read(magic.data(), magic.size()));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a WDE snapshot (bad magic)");
+  }
+  WDE_ASSIGN_OR_RETURN(const uint32_t version, ReadU32(source));
+  if (version == 0 || version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        Format("unsupported snapshot format version %u (this build reads <= %u)",
+               static_cast<unsigned>(version),
+               static_cast<unsigned>(kSnapshotFormatVersion)));
+  }
+  return version;
+}
+
+Status WriteChunk(Sink& sink, uint32_t tag, std::span<const uint8_t> payload) {
+  WDE_RETURN_IF_ERROR(WriteU32(sink, tag));
+  WDE_RETURN_IF_ERROR(WriteU64(sink, payload.size()));
+  WDE_RETURN_IF_ERROR(sink.Append(payload.data(), payload.size()));
+  return WriteU32(sink, Crc32(payload));
+}
+
+Result<Chunk> ReadChunk(Source& source) {
+  Chunk chunk;
+  WDE_ASSIGN_OR_RETURN(chunk.tag, ReadU32(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t size, ReadU64(source));
+  // The CRC trailer also still has to fit: catches truncation and hostile
+  // sizes before any allocation.
+  if (size > source.remaining() || source.remaining() - size < 4) {
+    return Status::OutOfRange(
+        Format("corrupt chunk size %llu exceeds remaining %zu bytes",
+               static_cast<unsigned long long>(size), source.remaining()));
+  }
+  chunk.payload.resize(static_cast<size_t>(size));
+  WDE_RETURN_IF_ERROR(source.Read(chunk.payload.data(), chunk.payload.size()));
+  WDE_ASSIGN_OR_RETURN(const uint32_t crc, ReadU32(source));
+  if (crc != Crc32(chunk.payload)) {
+    return Status::InvalidArgument(
+        Format("chunk 0x%08x failed CRC validation", chunk.tag));
+  }
+  return chunk;
+}
+
+Result<std::vector<uint8_t>> ReadChunkExpecting(Source& source, uint32_t tag) {
+  WDE_ASSIGN_OR_RETURN(Chunk chunk, ReadChunk(source));
+  if (chunk.tag != tag) {
+    return Status::InvalidArgument(Format("expected chunk 0x%08x, found 0x%08x",
+                                          tag, chunk.tag));
+  }
+  return std::move(chunk.payload);
+}
+
+}  // namespace io
+}  // namespace wde

@@ -1,0 +1,200 @@
+#include "selectivity/estimator_registry.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "io/chunk.hpp"
+#include "selectivity/histogram.hpp"
+#include "selectivity/kde_selectivity.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/sharded_selectivity.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace selectivity {
+
+namespace {
+
+/// Shells are placeholders whose configuration LoadState overwrites, so they
+/// are built as small as each constructor allows. The wavelet shell's basis
+/// is replaced by the one the snapshot identifies; coarse tables keep its
+/// construction cheap.
+void RegisterBuiltins(EstimatorRegistry& registry) {
+  const auto register_or_die = [&registry](const char* tag,
+                                           EstimatorRegistry::Factory factory) {
+    WDE_CHECK_OK(registry.Register(tag, std::move(factory)));
+  };
+  register_or_die("equi-width", [] {
+    return std::make_unique<EquiWidthHistogram>(0.0, 1.0, 1);
+  });
+  register_or_die("equi-depth", [] {
+    return std::make_unique<EquiDepthHistogram>(0.0, 1.0, 1);
+  });
+  register_or_die("reservoir", [] {
+    return std::make_unique<ReservoirSampleSelectivity>(1);
+  });
+  register_or_die("kde-rot", [] {
+    return std::make_unique<KdeSelectivity>(KdeSelectivity::Options{});
+  });
+  register_or_die("haar-synopsis",
+                  []() -> std::unique_ptr<SelectivityEstimator> {
+                    WaveletSynopsisSelectivity::Options options;
+                    options.grid_log2 = 2;
+                    Result<WaveletSynopsisSelectivity> shell =
+                        WaveletSynopsisSelectivity::Create(options);
+                    WDE_CHECK(shell.ok(), "synopsis shell options are valid");
+                    return std::make_unique<WaveletSynopsisSelectivity>(
+                        std::move(shell).value());
+                  });
+  register_or_die("wavelet-cv", []() -> std::unique_ptr<SelectivityEstimator> {
+    Result<wavelet::WaveletBasis> basis =
+        wavelet::WaveletBasis::Create(wavelet::WaveletFilter::Haar(), 4);
+    WDE_CHECK(basis.ok(), "Haar shell basis is valid");
+    StreamingWaveletSelectivity::Options options;
+    options.j0 = 0;
+    options.j_max = 0;
+    Result<StreamingWaveletSelectivity> shell =
+        StreamingWaveletSelectivity::Create(*basis, options);
+    WDE_CHECK(shell.ok(), "wavelet shell options are valid");
+    return std::make_unique<StreamingWaveletSelectivity>(std::move(shell).value());
+  });
+  register_or_die("sharded", []() -> std::unique_ptr<SelectivityEstimator> {
+    const EquiWidthHistogram prototype(0.0, 1.0, 1);
+    ShardedSelectivityEstimator::Options options;
+    options.shards = 1;
+    Result<ShardedSelectivityEstimator> shell =
+        ShardedSelectivityEstimator::Create(prototype, options);
+    WDE_CHECK(shell.ok(), "sharded shell options are valid");
+    return std::make_unique<ShardedSelectivityEstimator>(std::move(shell).value());
+  });
+}
+
+}  // namespace
+
+EstimatorRegistry& EstimatorRegistry::Global() {
+  static EstimatorRegistry* registry = [] {
+    auto* r = new EstimatorRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status EstimatorRegistry::Register(const std::string& tag, Factory factory) {
+  if (tag.empty()) return Status::InvalidArgument("empty snapshot tag");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("null factory for snapshot tag '" + tag + "'");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = factories_.emplace(tag, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("snapshot tag '" + tag +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+bool EstimatorRegistry::Contains(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(tag) != 0;
+}
+
+std::vector<std::string> EstimatorRegistry::Tags() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> tags;
+  tags.reserve(factories_.size());
+  for (const auto& [tag, factory] : factories_) tags.push_back(tag);
+  return tags;  // std::map iterates sorted
+}
+
+std::unique_ptr<SelectivityEstimator> EstimatorRegistry::MakeShell(
+    const std::string& tag) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(tag);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory();
+}
+
+Status SaveEstimatorEnvelope(const SelectivityEstimator& estimator,
+                             io::Sink& sink) {
+  return estimator.SaveState(sink);
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorEnvelope(
+    io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> tag_bytes,
+      io::ReadChunkExpecting(source, internal::kChunkEstimatorType));
+  const std::string tag(tag_bytes.begin(), tag_bytes.end());
+  std::unique_ptr<SelectivityEstimator> shell =
+      EstimatorRegistry::Global().MakeShell(tag);
+  if (shell == nullptr) {
+    return Status::NotFound("no estimator registered for snapshot tag '" + tag +
+                            "'");
+  }
+  WDE_RETURN_IF_ERROR(shell->LoadEnvelopeState(source));
+  return shell;
+}
+
+Status SaveEstimatorSnapshot(const SelectivityEstimator& estimator,
+                             io::Sink& sink) {
+  WDE_RETURN_IF_ERROR(io::WriteSnapshotHeader(sink));
+  return estimator.SaveState(sink);
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshot(
+    io::Source& source) {
+  WDE_RETURN_IF_ERROR(io::ReadSnapshotHeader(source).status());
+  Result<std::unique_ptr<SelectivityEstimator>> estimator =
+      LoadEstimatorEnvelope(source);
+  if (!estimator.ok()) return estimator.status();
+  if (source.remaining() != 0) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  return estimator;
+}
+
+Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
+                                 const std::string& path) {
+  // Write-then-rename so the save is crash-safe: a kill or disk-full midway
+  // leaves the previous snapshot at `path` intact instead of a truncated
+  // file (checkpoint loops overwrite the same path).
+  const std::string tmp_path = path + ".tmp";
+  Result<io::FileSink> sink = io::FileSink::Open(tmp_path);
+  if (!sink.ok()) return sink.status();
+  Status written = SaveEstimatorSnapshot(estimator, *sink);
+  if (written.ok()) written = sink->Close();
+  if (!written.ok()) {
+    std::remove(tmp_path.c_str());
+    return written;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot move finished snapshot over '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFile(
+    const std::string& path) {
+  Result<io::FileSource> source = io::FileSource::Open(path);
+  if (!source.ok()) return source.status();
+  return LoadEstimatorSnapshot(*source);
+}
+
+Status SelectivityEstimator::MergeFromSnapshot(io::Source& source) {
+  Result<std::unique_ptr<SelectivityEstimator>> loaded =
+      LoadEstimatorSnapshot(source);
+  if (!loaded.ok()) return loaded.status();
+  return MergeFrom(**loaded);
+}
+
+}  // namespace selectivity
+}  // namespace wde

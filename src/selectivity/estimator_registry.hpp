@@ -1,0 +1,83 @@
+/// \file selectivity/estimator_registry.hpp
+/// The string-tag → factory registry that makes snapshots self-describing: a
+/// snapshot names its estimator by `snapshot_type_tag()`, and the registry
+/// rebuilds the concrete type without the call site naming it. Every shipped
+/// estimator is pre-registered in Global(); user-defined estimators register
+/// their own tag + shell factory once at startup. The whole-file helpers add
+/// and validate the magic/version snapshot header around one estimator
+/// envelope (see io/chunk.hpp for the framing and docs/ARCHITECTURE.md
+/// "Persistence & wire format" for the layout and compatibility policy).
+#ifndef WDE_SELECTIVITY_ESTIMATOR_REGISTRY_HPP_
+#define WDE_SELECTIVITY_ESTIMATOR_REGISTRY_HPP_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/serialize.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+#include "util/result.hpp"
+
+namespace wde {
+namespace selectivity {
+
+/// Maps snapshot type tags to shell factories. A shell is a cheaply
+/// constructed instance of the concrete type with placeholder configuration;
+/// LoadState then replaces its configuration and data with the snapshot's.
+/// Thread-safe (lookups and registrations may race across loader threads).
+class EstimatorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SelectivityEstimator>()>;
+
+  /// The process-wide registry, with every shipped estimator pre-registered.
+  static EstimatorRegistry& Global();
+
+  /// Registers a factory for `tag`; a duplicate tag is an error.
+  Status Register(const std::string& tag, Factory factory);
+
+  bool Contains(const std::string& tag) const;
+
+  /// All registered tags, sorted (what the round-trip tests iterate).
+  std::vector<std::string> Tags() const;
+
+  /// A shell instance for `tag`, or nullptr when the tag is unknown.
+  std::unique_ptr<SelectivityEstimator> MakeShell(const std::string& tag) const;
+
+ private:
+  EstimatorRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Writes one estimator envelope (no snapshot header) — what nested
+/// serialization uses; equivalent to estimator.SaveState(sink).
+Status SaveEstimatorEnvelope(const SelectivityEstimator& estimator,
+                             io::Sink& sink);
+
+/// Restores one estimator envelope through the registry: reads the type-tag
+/// chunk, builds the registered shell, loads the state chunk into it.
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorEnvelope(
+    io::Source& source);
+
+/// Whole snapshot = magic/version header + one estimator envelope.
+Status SaveEstimatorSnapshot(const SelectivityEstimator& estimator,
+                             io::Sink& sink);
+
+/// Restores a whole snapshot; trailing bytes after the envelope are an error.
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshot(
+    io::Source& source);
+
+/// File convenience wrappers over Save/LoadEstimatorSnapshot.
+Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
+                                 const std::string& path);
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFile(
+    const std::string& path);
+
+}  // namespace selectivity
+}  // namespace wde
+
+#endif  // WDE_SELECTIVITY_ESTIMATOR_REGISTRY_HPP_

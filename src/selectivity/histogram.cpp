@@ -71,6 +71,29 @@ Status EquiWidthHistogram::MergeFrom(const SelectivityEstimator& other) {
   return Status::OK();
 }
 
+Status EquiWidthHistogram::SaveStateImpl(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, width_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, count_));
+  return io::WriteDoubleVector(sink, counts_);
+}
+
+Status EquiWidthHistogram::LoadStateImpl(io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(const double lo, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(const double width, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t count, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(std::vector<double> counts, io::ReadDoubleVector(source));
+  if (!std::isfinite(lo) || !std::isfinite(width) || !(width > 0.0) ||
+      counts.empty() || counts.size() > (1u << 26) || source.remaining() != 0) {
+    return Status::InvalidArgument("corrupt equi-width snapshot");
+  }
+  lo_ = lo;
+  width_ = width;
+  count_ = static_cast<size_t>(count);
+  counts_ = std::move(counts);
+  return Status::OK();
+}
+
 EquiDepthHistogram::EquiDepthHistogram(double lo, double hi, int buckets)
     : lo_(lo), hi_(hi), buckets_(buckets) {
   WDE_CHECK_LT(lo, hi);
@@ -148,6 +171,34 @@ Status EquiDepthHistogram::MergeFrom(const SelectivityEstimator& other) {
   }
   values_.insert(values_.end(), rhs.values_.begin(), rhs.values_.end());
   boundaries_.clear();  // stale; rebuilt (sorted) at the next query
+  built_at_count_ = 0;
+  return Status::OK();
+}
+
+Status EquiDepthHistogram::SaveStateImpl(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, hi_));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, buckets_));
+  return io::WriteDoubleVector(sink, values_);
+}
+
+Status EquiDepthHistogram::LoadStateImpl(io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(const double lo, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(const double hi, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(const int32_t buckets, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(std::vector<double> values, io::ReadDoubleVector(source));
+  // The bucket cap mirrors equi-width's cell cap: RebuildIfStale allocates
+  // buckets + 1 boundaries, so an unbounded hostile count would turn into a
+  // multi-GB allocation at the first query instead of an error here.
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi) || buckets <= 0 ||
+      buckets > (1 << 26) || source.remaining() != 0) {
+    return Status::InvalidArgument("corrupt equi-depth snapshot");
+  }
+  lo_ = lo;
+  hi_ = hi;
+  buckets_ = buckets;
+  values_ = std::move(values);
+  boundaries_.clear();
   built_at_count_ = 0;
   return Status::OK();
 }

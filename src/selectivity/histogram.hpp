@@ -28,11 +28,14 @@ class EquiWidthHistogram : public SelectivityEstimator {
   /// and bucket count.
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "equi-width"; }
 
   int buckets() const { return static_cast<int>(counts_.size()); }
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
  private:
   double lo_;
@@ -61,9 +64,15 @@ class EquiDepthHistogram : public SelectivityEstimator {
   /// requires identical domain and bucket count.
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "equi-depth"; }
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  /// The boundary cache is rebuilt whenever the retained count changes, so
+  /// only the values travel: the restored histogram re-derives identical
+  /// boundaries at its first query.
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
  private:
   void RebuildIfStale() const;

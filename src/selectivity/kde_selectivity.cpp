@@ -71,6 +71,47 @@ Status KdeSelectivity::MergeFrom(const SelectivityEstimator& other) {
   return Status::OK();
 }
 
+Status KdeSelectivity::SaveStateImpl(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_lo));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_hi));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, options_.refit_interval));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, fitted_at_count_));
+  return io::WriteDoubleVector(sink, values_);
+}
+
+Status KdeSelectivity::LoadStateImpl(io::Source& source) {
+  Options options;
+  WDE_ASSIGN_OR_RETURN(options.domain_lo, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(options.domain_hi, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(options.refit_interval, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t fitted_at_count, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(std::vector<double> values, io::ReadDoubleVector(source));
+  if (!std::isfinite(options.domain_lo) || !std::isfinite(options.domain_hi) ||
+      !(options.domain_lo < options.domain_hi) || options.refit_interval == 0 ||
+      fitted_at_count > values.size() || source.remaining() != 0) {
+    return Status::InvalidArgument("corrupt kde snapshot");
+  }
+  options_ = options;
+  values_ = std::move(values);
+  kde_.reset();
+  fitted_at_count_ = 0;
+  // Refit from the prefix the saved estimator had fitted on (the buffer only
+  // ever appends), reproducing its cached KDE — bandwidth and all — exactly.
+  if (fitted_at_count >= 4) {
+    const std::span<const double> prefix(values_.data(),
+                                         static_cast<size_t>(fitted_at_count));
+    const double bandwidth = kernel::RuleOfThumbBandwidth(prefix);
+    Result<kernel::KernelDensityEstimator> kde =
+        kernel::KernelDensityEstimator::Create(
+            kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth, prefix);
+    if (kde.ok()) {
+      kde_ = std::move(kde).value();
+      fitted_at_count_ = static_cast<size_t>(fitted_at_count);
+    }
+  }
+  return Status::OK();
+}
+
 void KdeSelectivity::EstimateBatchImpl(std::span<const RangeQuery> queries,
                                        std::span<double> out) const {
   // The public wrapper guarantees matched spans, a non-empty batch and

@@ -45,9 +45,16 @@ class KdeSelectivity : public SelectivityEstimator {
   /// requires identical options.
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "kde-rot"; }
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  /// Persists the buffer plus the count the current KDE was fitted at; the
+  /// restore refits from exactly that prefix (the buffer is append-only), so
+  /// a mid-interval save answers bit-identically to the saved estimator —
+  /// including the staleness it would have served.
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
   /// Batched queries: one staleness check/refit, then kernel-CDF range
   /// integrals straight off the fitted KDE. Bit-identical to the scalar loop.

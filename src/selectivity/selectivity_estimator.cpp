@@ -1,0 +1,62 @@
+#include "selectivity/selectivity_estimator.hpp"
+
+#include <string_view>
+
+#include "io/chunk.hpp"
+
+namespace wde {
+namespace selectivity {
+
+Status SelectivityEstimator::SaveState(io::Sink& sink) const {
+  if (!snapshotable()) {
+    return Status::FailedPrecondition(name() + " does not support snapshots");
+  }
+  const std::string_view tag = snapshot_type_tag();
+  WDE_RETURN_IF_ERROR(io::WriteChunk(
+      sink, internal::kChunkEstimatorType,
+      std::span(reinterpret_cast<const uint8_t*>(tag.data()), tag.size())));
+  // Buffer the state so the chunk framing can length-prefix and checksum it.
+  io::VectorSink state;
+  WDE_RETURN_IF_ERROR(SaveStateImpl(state));
+  return io::WriteChunk(sink, internal::kChunkEstimatorState, state.bytes());
+}
+
+Status SelectivityEstimator::LoadState(io::Source& source) {
+  if (!snapshotable()) {
+    return Status::FailedPrecondition(name() + " does not support snapshots");
+  }
+  WDE_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> tag_bytes,
+      io::ReadChunkExpecting(source, internal::kChunkEstimatorType));
+  const std::string tag(tag_bytes.begin(), tag_bytes.end());
+  if (tag != snapshot_type_tag()) {
+    return Status::FailedPrecondition("snapshot of type '" + tag +
+                                      "' cannot restore into " + name());
+  }
+  return LoadEnvelopeState(source);
+}
+
+Status SelectivityEstimator::LoadEnvelopeState(io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(
+      const std::vector<uint8_t> payload,
+      io::ReadChunkExpecting(source, internal::kChunkEstimatorState));
+  io::SpanSource state(payload);
+  // Payload exhaustion is part of the LoadStateImpl contract and must be
+  // validated there BEFORE committing (a wrapper-side check here would fire
+  // only after the implementation already replaced the estimator's state,
+  // silently breaking the untouched-on-error guarantee).
+  return LoadStateImpl(state);
+}
+
+Status SelectivityEstimator::SaveStateImpl(io::Sink& sink) const {
+  (void)sink;
+  return Status::FailedPrecondition(name() + " does not implement SaveStateImpl");
+}
+
+Status SelectivityEstimator::LoadStateImpl(io::Source& source) {
+  (void)source;
+  return Status::FailedPrecondition(name() + " does not implement LoadStateImpl");
+}
+
+}  // namespace selectivity
+}  // namespace wde

@@ -16,22 +16,42 @@
 /// bit-identical to the scalar loop (enforced by batch_equivalence_test).
 /// Estimators whose state is additive
 /// additionally implement the mergeability contract (CloneEmpty/MergeFrom),
-/// which the sharded parallel ingest engine builds on.
+/// which the sharded parallel ingest engine builds on, and every shipped
+/// estimator implements the snapshot contract (SaveState/LoadState over the
+/// versioned wire format of io/chunk.hpp), which makes fitted state a
+/// storable, shippable artifact — restore is bit-exact and merge-compatible.
 #ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 #define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "io/serialize.hpp"
 #include "util/check.hpp"
 #include "util/result.hpp"
 
 namespace wde {
 namespace selectivity {
+
+class SelectivityEstimator;
+
+namespace internal {
+/// Chunk tags of the estimator envelope (see io/chunk.hpp for the framing):
+/// a type-tag chunk naming the concrete estimator, then one state chunk
+/// whose payload is the estimator's own serialized configuration + data.
+inline constexpr uint32_t kChunkEstimatorType = 0x45505954;   // "TYPE"
+inline constexpr uint32_t kChunkEstimatorState = 0x54415453;  // "STAT"
+}  // namespace internal
+
+/// Restores one estimator envelope through the tag → factory registry; see
+/// estimator_registry.hpp (declared here only for the friend grant below).
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorEnvelope(
+    io::Source& source);
 
 /// A closed range predicate [lo, hi].
 struct RangeQuery {
@@ -147,6 +167,68 @@ class SelectivityEstimator {
   /// unsupported. Public because an implementation must read it through a
   /// base-class reference.
   virtual const void* merge_type_tag() const { return nullptr; }
+
+  // -------------------------------------------------------------- snapshots
+  //
+  // Fitted state is persistable through the versioned, CRC-framed binary
+  // envelope of io/chunk.hpp: SaveState writes a self-describing
+  // [type tag | state] chunk pair, LoadState restores it into an estimator of
+  // the same concrete type, fully replacing configuration and data. The
+  // contract: a restored estimator answers EstimateBatch bit-identically to
+  // the estimator that saved — lazily fitted caches are persisted (or
+  // reconstructed from exactly the data they were fitted on), so answers
+  // match even when the save landed mid refit-interval — and is
+  // merge-compatible with it under the ordinary MergeFrom rules. Decoding
+  // hostile bytes (truncated, bit-flipped, wrong magic, future version)
+  // yields a non-OK Status, never UB or an abort, and a failed LoadState
+  // leaves the estimator untouched (parse fully, then commit). The string
+  // tag → factory registry (estimator_registry.hpp) restores whole snapshots
+  // without naming the concrete type at the call site.
+
+  /// Stable wire identity of the concrete type — the registry key, parallel
+  /// to merge_type_tag() (the string survives process boundaries, the
+  /// pointer does not). nullptr means snapshots are unsupported.
+  virtual const char* snapshot_type_tag() const { return nullptr; }
+
+  /// True when this estimator supports SaveState()/LoadState().
+  bool snapshotable() const { return snapshot_type_tag() != nullptr; }
+
+  /// Writes this estimator's envelope (type-tag chunk + CRC-framed state
+  /// chunk). Composable: callers embedding estimators in larger artifacts
+  /// (e.g. the sharded checkpoint) call this per estimator; whole-file
+  /// snapshots add the magic/version header via SaveEstimatorSnapshot.
+  Status SaveState(io::Sink& sink) const;
+
+  /// Restores an envelope written by SaveState. The envelope's type tag must
+  /// match this estimator's; configuration and data are then fully replaced.
+  /// On any error the estimator is untouched.
+  Status LoadState(io::Source& source);
+
+  /// Restores any registered estimator from a whole snapshot (header +
+  /// envelope) and folds it into this one via MergeFrom — the cross-process
+  /// distributed-merge path: N ingest processes SaveEstimatorSnapshot their
+  /// partitions, one combiner MergeFromSnapshots them.
+  Status MergeFromSnapshot(io::Source& source);
+
+ protected:
+  /// Snapshot extension points: serialize/restore the concrete estimator's
+  /// full configuration + data as io primitives. SaveStateImpl writes into a
+  /// buffering sink (the NVI wrapper frames and checksums the bytes);
+  /// LoadStateImpl receives a source spanning exactly its state payload and
+  /// must parse everything into locals, validate — including that the
+  /// payload is fully consumed — and only then commit, so failures leave the
+  /// estimator untouched. Defaults report unsupported.
+  virtual Status SaveStateImpl(io::Sink& sink) const;
+  virtual Status LoadStateImpl(io::Source& source);
+
+ private:
+  /// Reads the state chunk and dispatches to LoadStateImpl (shared by
+  /// LoadState and the registry's restore-by-tag path, which has already
+  /// consumed the type-tag chunk).
+  Status LoadEnvelopeState(io::Source& source);
+
+  friend Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorEnvelope(
+      io::Source& source);
 
  protected:
   /// Shared MergeFrom preamble: rejects self-merge (for buffer-append state

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "io/chunk.hpp"
+#include "selectivity/estimator_registry.hpp"
 #include "util/string_util.hpp"
 
 namespace wde {
@@ -143,6 +145,107 @@ Status ShardedSelectivityEstimator::MergeFrom(const SelectivityEstimator& other)
   position_ += rhs.position_;
   merged_.reset();  // force a rebuild regardless of the refresh cadence
   return Status::OK();
+}
+
+Status ShardedSelectivityEstimator::SaveStateImpl(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, replicas_.size()));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, options_.block_size));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, options_.merge_refresh_interval));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, position_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, pending_since_merge_));
+  WDE_RETURN_IF_ERROR(SaveEstimatorEnvelope(*prototype_, sink));
+  for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+    WDE_RETURN_IF_ERROR(SaveEstimatorEnvelope(*replica, sink));
+  }
+  WDE_RETURN_IF_ERROR(io::WriteU8(sink, merged_ != nullptr ? 1 : 0));
+  if (merged_ != nullptr) {
+    WDE_RETURN_IF_ERROR(SaveEstimatorEnvelope(*merged_, sink));
+  }
+  return Status::OK();
+}
+
+Status ShardedSelectivityEstimator::LoadStateImpl(io::Source& source) {
+  WDE_ASSIGN_OR_RETURN(const uint64_t shards, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t block_size, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t refresh, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t position, io::ReadU64(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t pending, io::ReadU64(source));
+  if (shards == 0 || shards > 65536 || block_size == 0 || refresh == 0) {
+    return Status::InvalidArgument("corrupt sharded snapshot layout");
+  }
+  Result<std::unique_ptr<SelectivityEstimator>> prototype =
+      LoadEstimatorEnvelope(source);
+  if (!prototype.ok()) return prototype.status();
+  if (!(*prototype)->mergeable()) {
+    return Status::InvalidArgument(
+        "corrupt sharded snapshot: prototype is not mergeable");
+  }
+  std::vector<std::unique_ptr<SelectivityEstimator>> replicas;
+  replicas.reserve(static_cast<size_t>(shards));
+  for (uint64_t s = 0; s < shards; ++s) {
+    Result<std::unique_ptr<SelectivityEstimator>> replica =
+        LoadEstimatorEnvelope(source);
+    if (!replica.ok()) return replica.status();
+    if ((*replica)->merge_type_tag() != (*prototype)->merge_type_tag()) {
+      return Status::InvalidArgument(
+          "corrupt sharded snapshot: heterogeneous shard replicas");
+    }
+    replicas.push_back(std::move(replica).value());
+  }
+  WDE_ASSIGN_OR_RETURN(const uint8_t has_merged, io::ReadU8(source));
+  std::unique_ptr<SelectivityEstimator> merged;
+  if (has_merged != 0) {
+    Result<std::unique_ptr<SelectivityEstimator>> loaded =
+        LoadEstimatorEnvelope(source);
+    if (!loaded.ok()) return loaded.status();
+    if ((*loaded)->merge_type_tag() != (*prototype)->merge_type_tag()) {
+      return Status::InvalidArgument(
+          "corrupt sharded snapshot: merged view type mismatch");
+    }
+    merged = std::move(loaded).value();
+  }
+  if (source.remaining() != 0) {
+    return Status::InvalidArgument("corrupt sharded snapshot: trailing bytes");
+  }
+  // Commit. The executor pool is a runtime resource, not state: keep ours.
+  options_.shards = static_cast<size_t>(shards);
+  options_.block_size = static_cast<size_t>(block_size);
+  options_.merge_refresh_interval = static_cast<size_t>(refresh);
+  prototype_ = std::move(prototype).value();
+  replicas_ = std::move(replicas);
+  position_ = static_cast<size_t>(position);
+  pending_since_merge_ = static_cast<size_t>(pending);
+  merged_ = std::move(merged);
+  return Status::OK();
+}
+
+Status ShardedSelectivityEstimator::Checkpoint(const std::string& path) const {
+  return SaveEstimatorSnapshotFile(*this, path);
+}
+
+Status ShardedSelectivityEstimator::Restore(const std::string& path) {
+  // One disk read; both passes below run over the same in-memory bytes.
+  Result<io::FileSource> file = io::FileSource::Open(path);
+  if (!file.ok()) return file.status();
+  std::vector<uint8_t> bytes(file->remaining());
+  WDE_RETURN_IF_ERROR(file->Read(bytes.data(), bytes.size()));
+  // Structural pass first — header, both envelope chunks (CRC-validated), no
+  // trailing bytes — so the commit pass below cannot fail on framing and the
+  // strong guarantee (untouched on error) holds for the whole file.
+  {
+    io::SpanSource probe(bytes);
+    WDE_RETURN_IF_ERROR(io::ReadSnapshotHeader(probe).status());
+    WDE_RETURN_IF_ERROR(
+        io::ReadChunkExpecting(probe, internal::kChunkEstimatorType).status());
+    WDE_RETURN_IF_ERROR(
+        io::ReadChunkExpecting(probe, internal::kChunkEstimatorState).status());
+    if (probe.remaining() != 0) {
+      return Status::InvalidArgument("checkpoint has trailing bytes");
+    }
+  }
+  io::SpanSource source(bytes);
+  WDE_RETURN_IF_ERROR(io::ReadSnapshotHeader(source).status());
+  return LoadState(source);
 }
 
 }  // namespace selectivity

@@ -86,6 +86,20 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "sharded"; }
+
+  /// Writes a whole-file snapshot of this engine — partition metadata
+  /// (K, block size, refresh cadence, stream position) plus one nested
+  /// envelope per shard replica and the merged query view when present — so
+  /// an ingest node can persist its state and a restart (or another process)
+  /// can Restore() and continue ingesting at the exact stream position, with
+  /// bit-identical answers.
+  Status Checkpoint(const std::string& path) const;
+
+  /// Restores a checkpoint written by Checkpoint(): fully replaces shard
+  /// layout and state (the executor pool is a runtime resource and is kept).
+  /// On any error this estimator is untouched.
+  Status Restore(const std::string& path);
 
   size_t shards() const { return replicas_.size(); }
   const SelectivityEstimator& shard(size_t i) const { return *replicas_[i]; }
@@ -99,6 +113,11 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// merged estimator's own batched query path).
   void EstimateBatchImpl(std::span<const RangeQuery> queries,
                          std::span<double> out) const override;
+
+  /// Nested envelopes: partition metadata, then prototype, replicas and the
+  /// optional merged view through the registry's envelope framing.
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
  private:
   ShardedSelectivityEstimator(const Options& options,

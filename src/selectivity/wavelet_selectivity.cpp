@@ -127,6 +127,121 @@ void StreamingWaveletSelectivity::EstimateBatchImpl(
   for (double& o : out) o = std::clamp(o, 0.0, 1.0);
 }
 
+namespace {
+
+Status SerializeCvResult(const core::CrossValidationResult& cv, io::Sink& sink) {
+  WDE_RETURN_IF_ERROR(io::WriteU8(sink, static_cast<uint8_t>(cv.kind)));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, cv.j0));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, cv.j_star));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, cv.j1_hat));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, cv.levels.size()));
+  for (const core::LevelCvResult& level : cv.levels) {
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.j));
+    WDE_RETURN_IF_ERROR(io::WriteDouble(sink, level.lambda_hat));
+    WDE_RETURN_IF_ERROR(io::WriteDouble(sink, level.cv_value));
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.kept));
+    WDE_RETURN_IF_ERROR(io::WriteI32(sink, level.total));
+    WDE_RETURN_IF_ERROR(io::WriteDouble(sink, level.max_magnitude));
+  }
+  return Status::OK();
+}
+
+Result<core::CrossValidationResult> DeserializeCvResult(io::Source& source) {
+  core::CrossValidationResult cv;
+  WDE_ASSIGN_OR_RETURN(const uint8_t kind, io::ReadU8(source));
+  if (kind > 1) return Status::InvalidArgument("corrupt CV threshold kind");
+  cv.kind = static_cast<core::ThresholdKind>(kind);
+  WDE_ASSIGN_OR_RETURN(cv.j0, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(cv.j_star, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(cv.j1_hat, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(const uint64_t n_levels, io::ReadU64(source));
+  if (n_levels > 64) return Status::InvalidArgument("corrupt CV level count");
+  cv.levels.reserve(static_cast<size_t>(n_levels));
+  for (uint64_t i = 0; i < n_levels; ++i) {
+    core::LevelCvResult level;
+    WDE_ASSIGN_OR_RETURN(level.j, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.lambda_hat, io::ReadDouble(source));
+    WDE_ASSIGN_OR_RETURN(level.cv_value, io::ReadDouble(source));
+    WDE_ASSIGN_OR_RETURN(level.kept, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.total, io::ReadI32(source));
+    WDE_ASSIGN_OR_RETURN(level.max_magnitude, io::ReadDouble(source));
+    cv.levels.push_back(level);
+  }
+  return cv;
+}
+
+}  // namespace
+
+Status StreamingWaveletSelectivity::SaveStateImpl(io::Sink& sink) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_lo));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_hi));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, options_.j0));
+  WDE_RETURN_IF_ERROR(io::WriteI32(sink, options_.j_max));
+  WDE_RETURN_IF_ERROR(io::WriteU8(sink, static_cast<uint8_t>(options_.kind)));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, options_.refit_interval));
+  WDE_RETURN_IF_ERROR(fit_.Serialize(sink));
+  WDE_RETURN_IF_ERROR(io::WriteU64(sink, fitted_at_count_));
+  WDE_RETURN_IF_ERROR(io::WriteU8(sink, estimate_.has_value() ? 1 : 0));
+  if (estimate_.has_value()) WDE_RETURN_IF_ERROR(estimate_->Serialize(sink));
+  WDE_RETURN_IF_ERROR(io::WriteU8(sink, cv_.has_value() ? 1 : 0));
+  if (cv_.has_value()) WDE_RETURN_IF_ERROR(SerializeCvResult(*cv_, sink));
+  return Status::OK();
+}
+
+Status StreamingWaveletSelectivity::LoadStateImpl(io::Source& source) {
+  Options options;
+  WDE_ASSIGN_OR_RETURN(options.domain_lo, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(options.domain_hi, io::ReadDouble(source));
+  WDE_ASSIGN_OR_RETURN(options.j0, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(options.j_max, io::ReadI32(source));
+  WDE_ASSIGN_OR_RETURN(const uint8_t kind, io::ReadU8(source));
+  WDE_ASSIGN_OR_RETURN(options.refit_interval, io::ReadU64(source));
+  if (!std::isfinite(options.domain_lo) || !std::isfinite(options.domain_hi) ||
+      !(options.domain_lo < options.domain_hi) || kind > 1 ||
+      options.refit_interval == 0) {
+    return Status::InvalidArgument("corrupt wavelet sketch options");
+  }
+  options.kind = static_cast<core::ThresholdKind>(kind);
+  Result<core::WaveletDensityFit> fit = core::WaveletDensityFit::Deserialize(source);
+  if (!fit.ok()) return fit.status();
+  if (fit->domain_lo() != options.domain_lo ||
+      fit->domain_hi() != options.domain_hi ||
+      fit->coefficients().j0() != options.j0 ||
+      fit->coefficients().j_max() != options.j_max) {
+    return Status::InvalidArgument(
+        "corrupt wavelet sketch: options disagree with fit");
+  }
+  WDE_ASSIGN_OR_RETURN(const uint64_t fitted_at_count, io::ReadU64(source));
+  if (fitted_at_count > fit->count()) {
+    return Status::InvalidArgument("corrupt wavelet sketch fit point");
+  }
+  WDE_ASSIGN_OR_RETURN(const uint8_t has_estimate, io::ReadU8(source));
+  std::optional<core::WaveletEstimate> estimate;
+  if (has_estimate != 0) {
+    Result<core::WaveletEstimate> loaded =
+        core::WaveletEstimate::Deserialize(fit->coefficients().basis(), source);
+    if (!loaded.ok()) return loaded.status();
+    estimate = std::move(loaded).value();
+  }
+  WDE_ASSIGN_OR_RETURN(const uint8_t has_cv, io::ReadU8(source));
+  std::optional<core::CrossValidationResult> cv;
+  if (has_cv != 0) {
+    Result<core::CrossValidationResult> loaded = DeserializeCvResult(source);
+    if (!loaded.ok()) return loaded.status();
+    cv = std::move(loaded).value();
+  }
+  if (source.remaining() != 0) {
+    return Status::InvalidArgument("corrupt wavelet sketch snapshot: trailing bytes");
+  }
+  options_ = options;
+  fit_ = std::move(fit).value();
+  fitted_at_count_ = static_cast<size_t>(fitted_at_count);
+  estimate_ = std::move(estimate);
+  cv_ = std::move(cv);
+  insert_scratch_.clear();
+  return Status::OK();
+}
+
 double StreamingWaveletSelectivity::EstimateDensity(double x) const {
   if (fit_.count() < 2) return 0.0;
   RefitIfStale();

@@ -57,6 +57,7 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
   /// cached estimate; requires identical options and a compatible basis.
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "wavelet-cv"; }
 
   /// Forces a refit (CV + reconstruction) now; normally lazy.
   void Refit() const;
@@ -75,6 +76,14 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
   /// Bit-identical to the scalar loop.
   void EstimateBatchImpl(std::span<const RangeQuery> queries,
                          std::span<double> out) const override;
+
+  /// Persists the options, the (S1, S2, n) sums (with the basis identity —
+  /// filter name + table resolution — so restore rebuilds bit-identical
+  /// tables), and the cached thresholded estimate + CV result. The cache
+  /// cannot be re-derived once the sums have moved past the fit point, so
+  /// persisting it keeps mid-refit-interval saves bit-identical on restore.
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
  private:
   StreamingWaveletSelectivity(core::WaveletDensityFit fit, const Options& options)

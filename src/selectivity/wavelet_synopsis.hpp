@@ -47,12 +47,19 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   /// transform; requires identical options.
   Status MergeFrom(const SelectivityEstimator& other) override;
   WDE_SELECTIVITY_MERGE_TAG()
+  const char* snapshot_type_tag() const override { return "haar-synopsis"; }
 
   /// Number of non-zero retained coefficients after the last rebuild.
   size_t RetainedCoefficients() const;
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  /// Persists the integer count grid bit-exactly plus, when present, the
+  /// compressed reconstruction cache (it cannot be re-derived once the grid
+  /// has moved on), so a mid-rebuild-interval save restores to the same —
+  /// possibly stale — answers the saved synopsis was serving.
+  Status SaveStateImpl(io::Sink& sink) const override;
+  Status LoadStateImpl(io::Source& source) override;
 
  private:
   explicit WaveletSynopsisSelectivity(const Options& options);

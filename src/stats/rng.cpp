@@ -85,6 +85,22 @@ Rng Rng::Fork(uint64_t index) const {
   return Rng(mixed);
 }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (size_t i = 0; i < 4; ++i) state.state[i] = state_[i];
+  state.seed = seed_;
+  state.have_spare_gaussian = have_spare_gaussian_;
+  state.spare_gaussian = spare_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (size_t i = 0; i < 4; ++i) state_[i] = state.state[i];
+  seed_ = state.seed;
+  have_spare_gaussian_ = state.have_spare_gaussian;
+  spare_gaussian_ = state.spare_gaussian;
+}
+
 std::vector<double> UniformSample(Rng& rng, size_t n) {
   std::vector<double> out(n);
   for (double& x : out) x = rng.UniformDouble();

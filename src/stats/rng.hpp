@@ -52,6 +52,24 @@ class Rng {
   /// Monte-Carlo replicate). Deterministic in (seed, index).
   Rng Fork(uint64_t index) const;
 
+  /// The seed this generator was constructed with (also the seed Fork mixes).
+  uint64_t seed() const { return seed_; }
+
+  /// Complete generator state, exposed so snapshot code can persist an RNG
+  /// mid-stream and resume it bit-exactly (see io/serialize.hpp — the stats
+  /// module itself stays independent of the wire format).
+  struct State {
+    uint64_t state[4] = {0, 0, 0, 0};
+    uint64_t seed = 0;
+    bool have_spare_gaussian = false;
+    double spare_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  /// Restores a previously saved state; the draw sequence continues exactly
+  /// where SaveState left it.
+  void RestoreState(const State& state);
+
   // UniformRandomBitGenerator interface, so the engine composes with
   // std::shuffle and friends.
   using result_type = uint64_t;

@@ -58,4 +58,29 @@ class Result {
 
 }  // namespace wde
 
+/// Propagates a non-OK Status out of the enclosing function:
+///   WDE_RETURN_IF_ERROR(sink.Append(data, size));
+/// The expression must evaluate to a `Status` (or const reference to one).
+#define WDE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::wde::Status _wde_status = (expr);          \
+    if (!_wde_status.ok()) return _wde_status;   \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression, propagating the error or binding the
+/// value:
+///   WDE_ASSIGN_OR_RETURN(const uint32_t tag, io::ReadU32(source));
+/// The enclosing function must return `Status` or a `Result<U>` (both are
+/// implicitly constructible from a non-OK Status).
+#define WDE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  WDE_ASSIGN_OR_RETURN_IMPL_(WDE_RESULT_CONCAT_(_wde_result, __LINE__), lhs, rexpr)
+
+#define WDE_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr)  \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+#define WDE_RESULT_CONCAT_(a, b) WDE_RESULT_CONCAT_IMPL_(a, b)
+#define WDE_RESULT_CONCAT_IMPL_(a, b) a##b
+
 #endif  // WDE_UTIL_RESULT_HPP_

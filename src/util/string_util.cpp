@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace wde {
 
@@ -47,6 +48,31 @@ double EnvDouble(const char* name, double fallback) {
   const double value = std::strtod(raw, &end);
   if (end == raw) return fallback;
   return value;
+}
+
+std::string ArgString(int argc, char** argv, const char* name,
+                      const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+size_t ArgSize(int argc, char** argv, const char* name, size_t fallback) {
+  const std::string raw = ArgString(argc, argv, name, "");
+  if (raw.empty()) return fallback;
+  return static_cast<size_t>(std::strtoull(raw.c_str(), nullptr, 10));
+}
+
+bool ArgBool(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 }  // namespace wde

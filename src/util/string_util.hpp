@@ -1,6 +1,7 @@
 #ifndef WDE_UTIL_STRING_UTIL_HPP_
 #define WDE_UTIL_STRING_UTIL_HPP_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,20 @@ long EnvInt(const char* name, long fallback);
 
 /// Reads a floating-point environment variable with a fallback.
 double EnvDouble(const char* name, double fallback);
+
+// Command-line flag helpers shared by the bench and example drivers
+// (perf_sharded, perf_snapshot, snapshot_merge_demo): scan argv for
+// "--name=value" / bare "--name"; the first occurrence wins.
+
+/// Value of "--name=value", or `fallback` when the flag is absent.
+std::string ArgString(int argc, char** argv, const char* name,
+                      const std::string& fallback);
+
+/// "--name=123" parsed as an unsigned size, or `fallback` when absent.
+size_t ArgSize(int argc, char** argv, const char* name, size_t fallback);
+
+/// True when bare "--name" is present.
+bool ArgBool(int argc, char** argv, const char* name);
 
 }  // namespace wde
 

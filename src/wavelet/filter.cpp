@@ -228,6 +228,28 @@ Result<WaveletFilter> WaveletFilter::Symmlet(int vanishing_moments) {
   return filter;
 }
 
+Result<WaveletFilter> WaveletFilter::FromName(const std::string& name) {
+  if (name == "haar") return Haar();
+  const auto parse_order = [&name](size_t prefix_len) -> int {
+    if (name.size() <= prefix_len || name.size() > prefix_len + 2) return -1;
+    int order = 0;
+    for (size_t i = prefix_len; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return -1;
+      order = order * 10 + (name[i] - '0');
+    }
+    return order;
+  };
+  if (name.rfind("db", 0) == 0) {
+    const int order = parse_order(2);
+    if (order >= 1) return Daubechies(order);
+  } else if (name.rfind("sym", 0) == 0) {
+    const int order = parse_order(3);
+    if (order >= 1) return Symmlet(order);
+  }
+  return Status::InvalidArgument(Format("unknown wavelet filter name '%s'",
+                                        name.c_str()));
+}
+
 double WaveletFilter::OrthonormalityDefect() const {
   const int len = length();
   double defect = 0.0;

@@ -32,6 +32,12 @@ class WaveletFilter {
   /// Supports 1 <= N <= 10; N = 1 degenerates to Haar.
   static Result<WaveletFilter> Symmlet(int vanishing_moments);
 
+  /// Rebuilds a filter from its `name()` ("haar", "dbN", "symN") — the
+  /// self-describing handle snapshots store instead of raw coefficients, so
+  /// restored filters are re-derived by the same construction as live ones
+  /// (bit-identical within one platform). Unknown names are an error.
+  static Result<WaveletFilter> FromName(const std::string& name);
+
   const std::vector<double>& h() const { return h_; }
   const std::vector<double>& g() const { return g_; }
   int length() const { return static_cast<int>(h_.size()); }

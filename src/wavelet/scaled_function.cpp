@@ -69,8 +69,9 @@ Result<WaveletBasis> WaveletBasis::Create(const WaveletFilter& filter,
       0.0, dx, std::move(phi_cdf_values));
   auto psi_cdf = std::make_shared<const numerics::UniformGridInterpolator>(
       0.0, dx, std::move(psi_cdf_values));
-  return WaveletBasis(std::make_shared<const WaveletFilter>(filter), std::move(phi),
-                      std::move(psi), std::move(phi_cdf), std::move(psi_cdf));
+  return WaveletBasis(std::make_shared<const WaveletFilter>(filter), table_levels,
+                      std::move(phi), std::move(psi), std::move(phi_cdf),
+                      std::move(psi_cdf));
 }
 
 void WaveletBasis::EvaluateMany(MotherFunction f, std::span<const double> xs,

@@ -183,6 +183,10 @@ class WaveletBasis {
 
   const WaveletFilter& filter() const { return *filter_; }
   int support_length() const { return filter_->support_length(); }
+  /// The dyadic table resolution this basis was built at. Together with
+  /// `filter().name()` this identifies the basis exactly — what snapshots
+  /// store so a restored estimator rebuilds bit-identical tables.
+  int table_levels() const { return table_levels_; }
 
   /// Mother function values (0 outside [0, support_length]).
   double Phi(double x) const { return phi_->Evaluate(x); }
@@ -223,18 +227,20 @@ class WaveletBasis {
   TranslationWindow PointWindow(int j, double x) const;
 
  private:
-  WaveletBasis(std::shared_ptr<const WaveletFilter> filter,
+  WaveletBasis(std::shared_ptr<const WaveletFilter> filter, int table_levels,
                std::shared_ptr<const numerics::UniformGridInterpolator> phi,
                std::shared_ptr<const numerics::UniformGridInterpolator> psi,
                std::shared_ptr<const numerics::UniformGridInterpolator> phi_cdf,
                std::shared_ptr<const numerics::UniformGridInterpolator> psi_cdf)
       : filter_(std::move(filter)),
+        table_levels_(table_levels),
         phi_(std::move(phi)),
         psi_(std::move(psi)),
         phi_cdf_(std::move(phi_cdf)),
         psi_cdf_(std::move(psi_cdf)) {}
 
   std::shared_ptr<const WaveletFilter> filter_;
+  int table_levels_ = 12;
   std::shared_ptr<const numerics::UniformGridInterpolator> phi_;
   std::shared_ptr<const numerics::UniformGridInterpolator> psi_;
   std::shared_ptr<const numerics::UniformGridInterpolator> phi_cdf_;

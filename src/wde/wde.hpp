@@ -6,6 +6,7 @@
 /// the dependency graph first:
 ///
 ///   util        — Status/Result error model, WDE_CHECK, string helpers
+///   io          — versioned snapshot wire format (sinks/sources, CRC chunks)
 ///   parallel    — the shared ThreadPool executor behind every parallel path
 ///   numerics    — integration, interpolation, linear algebra, optimisation
 ///   stats       — RNG, descriptive stats, empirical CDF, losses, bootstrap
@@ -33,6 +34,11 @@
 #include "util/result.hpp"
 #include "util/status.hpp"
 #include "util/string_util.hpp"
+
+// io — depends on util. Snapshot wire format: byte sinks/sources, primitive
+// encodings, CRC-framed chunks.
+#include "io/chunk.hpp"
+#include "io/serialize.hpp"
 
 // parallel — depends on util.
 #include "parallel/thread_pool.hpp"
@@ -89,7 +95,8 @@
 #include "core/estimator.hpp"
 #include "core/thresholding.hpp"
 
-// selectivity — depends on core, kernel, wavelet, stats, util.
+// selectivity — depends on core, kernel, wavelet, stats, io, util.
+#include "selectivity/estimator_registry.hpp"
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"

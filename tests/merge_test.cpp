@@ -403,11 +403,105 @@ TEST(SelectivityMergeTest, SketchMergeIgnoresRefitCadence) {
   EXPECT_EQ(paced.count(), xs.size());
 }
 
-TEST(SelectivityMergeTest, ReservoirReportsUnsupported) {
-  selectivity::ReservoirSampleSelectivity a(64), b(64);
-  EXPECT_FALSE(a.mergeable());
-  EXPECT_EQ(a.CloneEmpty(), nullptr);
-  EXPECT_FALSE(a.MergeFrom(b).ok());
+// ------------------------------------------------ reservoir MergeFrom (PR 4)
+//
+// The reservoir's merge contract is *distributional*, not pointwise: the
+// weighted union is exactly a uniform capacity-sample of the concatenated
+// stream, drawn from this estimator's own seeded RNG — deterministic, but not
+// the bitwise sample a sequential reservoir would have produced.
+
+TEST(ReservoirMergeTest, PeerBelowCapacityMergesAsExactReplay) {
+  const std::vector<double> xs = UnitStream(20, 3000);
+  const std::vector<double> tail = UnitStream(21, 40);
+  selectivity::ReservoirSampleSelectivity merged(64, 7);
+  selectivity::ReservoirSampleSelectivity sequential(64, 7);
+  merged.InsertBatch(xs);
+  sequential.InsertBatch(xs);
+  selectivity::ReservoirSampleSelectivity peer(64, 9);
+  peer.InsertBatch(tail);  // 40 < capacity: the reservoir IS the sub-stream
+  ASSERT_TRUE(merged.MergeFrom(peer).ok());
+  sequential.InsertBatch(tail);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_EQ(merged.reservoir(), sequential.reservoir());  // bitwise replay
+}
+
+TEST(ReservoirMergeTest, WeightedUnionIsDeterministicAndCountAdditive) {
+  const std::vector<double> xs = UnitStream(22, 20000);
+  const std::span<const double> all(xs);
+  const auto run = [&]() {
+    selectivity::ReservoirSampleSelectivity left(256, 5);
+    selectivity::ReservoirSampleSelectivity right(256, 6);
+    left.InsertBatch(all.first(12000));
+    right.InsertBatch(all.subspan(12000));
+    WDE_CHECK_OK(left.MergeFrom(right));
+    return left.reservoir();
+  };
+  const std::vector<double> first = run();
+  EXPECT_EQ(first.size(), 256u);
+  EXPECT_EQ(first, run());  // same states + seed => bitwise identical draw
+
+  selectivity::ReservoirSampleSelectivity left(256, 5);
+  selectivity::ReservoirSampleSelectivity right(256, 6);
+  left.InsertBatch(all.first(12000));
+  right.InsertBatch(all.subspan(12000));
+  ASSERT_TRUE(left.MergeFrom(right).ok());
+  EXPECT_EQ(left.count(), xs.size());
+}
+
+TEST(ReservoirMergeTest, WeightedUnionSamplesBothSidesProportionally) {
+  // Side A streams values in [0, 0.5), side B in [0.5, 1]: the union sample
+  // must mix them by stream mass, so the merged selectivity of [0, 0.5)
+  // estimates A's share of the union (2/3 here) within sampling error.
+  stats::Rng rng(23);
+  selectivity::ReservoirSampleSelectivity a(1024, 11);
+  selectivity::ReservoirSampleSelectivity b(1024, 12);
+  for (int i = 0; i < 40000; ++i) a.Insert(rng.Uniform(0.0, 0.5));
+  for (int i = 0; i < 20000; ++i) b.Insert(rng.Uniform(0.5, 1.0));
+  ASSERT_TRUE(a.MergeFrom(b).ok());
+  EXPECT_EQ(a.count(), 60000u);
+  // Binomial sd at p=2/3, n=1024 is ~0.015; 0.08 is a > 5 sigma margin.
+  EXPECT_NEAR(a.EstimateRange(0.0, 0.5), 2.0 / 3.0, 0.08);
+}
+
+TEST(ReservoirMergeTest, RejectsCapacityMismatchAndSelfMerge) {
+  const std::vector<double> xs = UnitStream(24, 500);
+  selectivity::ReservoirSampleSelectivity a(64), other_capacity(32);
+  a.InsertBatch(xs);
+  other_capacity.InsertBatch(xs);
+  EXPECT_TRUE(a.mergeable());
+  EXPECT_FALSE(a.MergeFrom(other_capacity).ok());
+  EXPECT_FALSE(a.MergeFrom(a).ok());
+  EXPECT_EQ(a.count(), xs.size());
+
+  std::unique_ptr<selectivity::SelectivityEstimator> clone = a.CloneEmpty();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->count(), 0u);
+  EXPECT_TRUE(a.MergeFrom(*clone).ok());  // empty peer: exact no-op replay
+  EXPECT_EQ(a.count(), xs.size());
+}
+
+TEST(ReservoirMergeTest, ShardedReservoirIsDeterministicAcrossPoolWidths) {
+  // Now that the reservoir merges, it can ride the sharded engine; fixed-K
+  // answers must stay bit-identical across pool widths like every estimator.
+  const std::vector<double> xs = UnitStream(25, 30000);
+  const auto run = [&](parallel::ThreadPool* pool) {
+    selectivity::ReservoirSampleSelectivity prototype(128, 3);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 4;
+    options.block_size = 512;
+    options.pool = pool;
+    selectivity::ShardedSelectivityEstimator sharded =
+        *selectivity::ShardedSelectivityEstimator::Create(prototype, options);
+    sharded.InsertBatch(xs);
+    std::vector<double> answers;
+    for (double a = 0.0; a < 0.9; a += 0.1) {
+      answers.push_back(sharded.EstimateRange(a, a + 0.1));
+    }
+    return answers;
+  };
+  parallel::ThreadPool serial(0);
+  parallel::ThreadPool wide(4);
+  EXPECT_EQ(run(&serial), run(&wide));
 }
 
 TEST(SelectivityMergeTest, RejectsTypeAndConfigMismatches) {
@@ -437,9 +531,21 @@ TEST(SelectivityMergeTest, RejectsTypeAndConfigMismatches) {
 
 // --------------------------------------------- ShardedSelectivityEstimator
 
+// A minimal estimator without the mergeability capabilities (the reservoir
+// gained them in PR 4, so the "cannot shard" case needs a dedicated stub).
+class NotMergeableEstimator : public selectivity::SelectivityEstimator {
+ public:
+  void Insert(double) override {}
+  size_t count() const override { return 0; }
+  std::string name() const override { return "not-mergeable"; }
+
+ protected:
+  double EstimateRangeImpl(double, double) const override { return 0.0; }
+};
+
 TEST(ShardedTest, CreateValidatesOptions) {
   selectivity::EquiWidthHistogram hist(0.0, 1.0, 64);
-  selectivity::ReservoirSampleSelectivity reservoir(64);
+  NotMergeableEstimator not_mergeable;
   selectivity::ShardedSelectivityEstimator::Options options;
   options.shards = 0;
   EXPECT_FALSE(
@@ -451,7 +557,8 @@ TEST(ShardedTest, CreateValidatesOptions) {
   options = {};
   // Non-mergeable prototypes cannot be sharded.
   EXPECT_FALSE(
-      selectivity::ShardedSelectivityEstimator::Create(reservoir, options).ok());
+      selectivity::ShardedSelectivityEstimator::Create(not_mergeable, options)
+          .ok());
 }
 
 TEST(ShardedTest, ShardedHistogramMatchesSequentialExactly) {

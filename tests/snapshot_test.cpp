@@ -1,0 +1,584 @@
+// Tier-1 tests for the versioned snapshot/restore subsystem (PR 4): the io
+// primitives and chunk framing, round-trip fidelity — every registered
+// estimator answers bit-identically after save → load, including saves taken
+// mid refit/rebuild interval where lazily fitted caches are stale — hostile
+// input (truncated, bit-flipped, wrong magic, future version, hostile length
+// prefixes) degrading into Status errors rather than UB, the registry's
+// restore-without-naming-the-type path, cross-process-style snapshot merges
+// matching sequential ingest, and the sharded engine's checkpoint → restore →
+// continue-ingesting cycle. Run under ASan in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/binned.hpp"
+#include "core/coefficients.hpp"
+#include "io/chunk.hpp"
+#include "io/serialize.hpp"
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/histogram.hpp"
+#include "selectivity/kde_selectivity.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/sample_selectivity.hpp"
+#include "selectivity/sharded_selectivity.hpp"
+#include "selectivity/wavelet_selectivity.hpp"
+#include "selectivity/wavelet_synopsis.hpp"
+#include "stats/rng.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace wde {
+namespace {
+
+const wavelet::WaveletBasis& Sym8Basis() {
+  static const wavelet::WaveletBasis basis = []() {
+    Result<wavelet::WaveletBasis> b =
+        wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8), 12);
+    WDE_CHECK(b.ok());
+    return *b;
+  }();
+  return basis;
+}
+
+std::vector<double> UnitStream(uint64_t seed, size_t n) {
+  stats::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.UniformDouble();
+  return xs;
+}
+
+std::vector<selectivity::RangeQuery> Workload() {
+  stats::Rng rng(99);
+  return selectivity::UniformRangeWorkload(rng, 64, 0.0, 1.0);
+}
+
+std::vector<double> AnswersOf(const selectivity::SelectivityEstimator& est,
+                              const std::vector<selectivity::RangeQuery>& queries) {
+  std::vector<double> out(queries.size());
+  est.EstimateBatch(queries, out);
+  return out;
+}
+
+selectivity::StreamingWaveletSelectivity MakeSketch(size_t refit_interval) {
+  selectivity::StreamingWaveletSelectivity::Options options;
+  options.j0 = 2;
+  options.j_max = 8;
+  options.refit_interval = refit_interval;
+  return *selectivity::StreamingWaveletSelectivity::Create(Sym8Basis(), options);
+}
+
+/// One ingested instance of every registered estimator. Stream lengths are
+/// deliberately NOT multiples of the refit/rebuild cadences, so saves land
+/// mid-interval with stale fitted caches — the hard case for bit-exact
+/// restore.
+std::vector<std::unique_ptr<selectivity::SelectivityEstimator>>
+MakeIngestedEstimators() {
+  const std::vector<double> xs = UnitStream(1, 5000);
+  std::vector<std::unique_ptr<selectivity::SelectivityEstimator>> estimators;
+
+  estimators.push_back(
+      std::make_unique<selectivity::EquiWidthHistogram>(0.0, 1.0, 64));
+  estimators.push_back(
+      std::make_unique<selectivity::EquiDepthHistogram>(0.0, 1.0, 32));
+  estimators.push_back(
+      std::make_unique<selectivity::ReservoirSampleSelectivity>(256, 17));
+  selectivity::KdeSelectivity::Options kde_options;
+  kde_options.refit_interval = 2048;
+  estimators.push_back(std::make_unique<selectivity::KdeSelectivity>(kde_options));
+  selectivity::WaveletSynopsisSelectivity::Options synopsis_options;
+  synopsis_options.grid_log2 = 8;
+  synopsis_options.budget = 48;
+  synopsis_options.rebuild_interval = 2048;
+  estimators.push_back(std::make_unique<selectivity::WaveletSynopsisSelectivity>(
+      *selectivity::WaveletSynopsisSelectivity::Create(synopsis_options)));
+  estimators.push_back(
+      std::make_unique<selectivity::StreamingWaveletSelectivity>(MakeSketch(2048)));
+  {
+    selectivity::EquiWidthHistogram prototype(0.0, 1.0, 32);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 3;
+    options.block_size = 512;
+    estimators.push_back(std::make_unique<selectivity::ShardedSelectivityEstimator>(
+        *selectivity::ShardedSelectivityEstimator::Create(prototype, options)));
+  }
+  for (auto& est : estimators) est->InsertBatch(xs);
+  return estimators;
+}
+
+std::vector<uint8_t> SnapshotBytesOf(const selectivity::SelectivityEstimator& est) {
+  io::VectorSink sink;
+  WDE_CHECK_OK(selectivity::SaveEstimatorSnapshot(est, sink));
+  return sink.TakeBytes();
+}
+
+// ---------------------------------------------------------- io primitives
+
+TEST(IoTest, PrimitivesRoundTripBitExactly) {
+  io::VectorSink sink;
+  ASSERT_TRUE(io::WriteU8(sink, 0xAB).ok());
+  ASSERT_TRUE(io::WriteU32(sink, 0xDEADBEEF).ok());
+  ASSERT_TRUE(io::WriteU64(sink, 0x0123456789ABCDEFULL).ok());
+  ASSERT_TRUE(io::WriteI32(sink, -42).ok());
+  ASSERT_TRUE(io::WriteDouble(sink, -0.0).ok());
+  ASSERT_TRUE(io::WriteDouble(sink, 0x1.fffffffffffffp+1023).ok());
+  ASSERT_TRUE(io::WriteString(sink, "snapshot").ok());
+  ASSERT_TRUE(io::WriteDoubleVector(sink, std::vector<double>{1.5, -2.25}).ok());
+
+  io::SpanSource source(sink.bytes());
+  EXPECT_EQ(*io::ReadU8(source), 0xAB);
+  EXPECT_EQ(*io::ReadU32(source), 0xDEADBEEFu);
+  EXPECT_EQ(*io::ReadU64(source), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*io::ReadI32(source), -42);
+  const double neg_zero = *io::ReadDouble(source);
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(*io::ReadDouble(source), 0x1.fffffffffffffp+1023);
+  EXPECT_EQ(*io::ReadString(source), "snapshot");
+  EXPECT_EQ(*io::ReadDoubleVector(source), (std::vector<double>{1.5, -2.25}));
+  EXPECT_EQ(source.remaining(), 0u);
+}
+
+TEST(IoTest, HostileLengthPrefixesAreRejectedBeforeAllocation) {
+  // A u64 vector length of ~2^61 with 4 trailing bytes: the reader must
+  // reject against remaining(), not attempt the allocation.
+  io::VectorSink sink;
+  ASSERT_TRUE(io::WriteU64(sink, 1ULL << 61).ok());
+  ASSERT_TRUE(io::WriteU32(sink, 0).ok());
+  io::SpanSource source(sink.bytes());
+  EXPECT_FALSE(io::ReadDoubleVector(source).ok());
+
+  io::VectorSink str_sink;
+  ASSERT_TRUE(io::WriteU32(str_sink, 0xFFFFFFFF).ok());
+  io::SpanSource str_source(str_sink.bytes());
+  EXPECT_FALSE(io::ReadString(str_source).ok());
+}
+
+TEST(IoTest, ChunksValidateCrcAndBounds) {
+  io::VectorSink sink;
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(io::WriteChunk(sink, 0x1234, payload).ok());
+  {
+    io::SpanSource source(sink.bytes());
+    Result<io::Chunk> chunk = io::ReadChunk(source);
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_EQ(chunk->tag, 0x1234u);
+    EXPECT_EQ(chunk->payload, payload);
+    EXPECT_EQ(source.remaining(), 0u);
+  }
+  // Flip one payload bit: the CRC must catch it.
+  std::vector<uint8_t> corrupt(sink.bytes().begin(), sink.bytes().end());
+  corrupt[13] ^= 0x40;
+  io::SpanSource corrupt_source(corrupt);
+  EXPECT_FALSE(io::ReadChunk(corrupt_source).ok());
+}
+
+// ------------------------------------------------------- core round trips
+
+TEST(CoreSnapshotTest, EmpiricalCoefficientsRoundTripBitExactly) {
+  const std::vector<double> xs = UnitStream(2, 4000);
+  core::EmpiricalCoefficients coeffs =
+      *core::EmpiricalCoefficients::Create(Sym8Basis(), 2, 7);
+  coeffs.AddAll(xs);
+
+  io::VectorSink sink;
+  ASSERT_TRUE(coeffs.Serialize(sink).ok());
+  io::SpanSource source(sink.bytes());
+  Result<core::EmpiricalCoefficients> restored =
+      core::EmpiricalCoefficients::Deserialize(source);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(source.remaining(), 0u);
+  ASSERT_EQ(restored->count(), coeffs.count());
+  for (int j = 2; j <= 7; ++j) {
+    const core::CoefficientLevel& a = coeffs.detail_level(j);
+    const core::CoefficientLevel& b = restored->detail_level(j);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.s1, b.s1);
+    EXPECT_EQ(a.s2, b.s2);
+  }
+  // The restored accumulator is merge-compatible with a live one: the basis
+  // identity survived the round trip.
+  EXPECT_TRUE(restored->Merge(coeffs).ok());
+}
+
+TEST(CoreSnapshotTest, BinnedFitRoundTripsBinCountsBitExactly) {
+  const std::vector<double> xs = UnitStream(3, 4096);
+  core::BinnedWaveletFit fit =
+      *core::BinnedWaveletFit::Fit(*wavelet::WaveletFilter::Symmlet(8), xs, 2, 9);
+  io::VectorSink sink;
+  ASSERT_TRUE(fit.Serialize(sink).ok());
+  io::SpanSource source(sink.bytes());
+  Result<core::BinnedWaveletFit> restored = core::BinnedWaveletFit::Deserialize(source);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->count(), fit.count());
+  for (int j = 2; j < 9; ++j) {
+    for (int k = 0; k < (1 << j); ++k) {
+      EXPECT_EQ(restored->BetaHat(j, k), fit.BetaHat(j, k)) << "j=" << j << " k=" << k;
+    }
+  }
+  EXPECT_TRUE(restored->Merge(fit).ok());
+}
+
+// ----------------------------------------------- estimator round trips
+
+TEST(SnapshotRoundTripTest, EveryRegisteredEstimatorAnswersBitIdentically) {
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+  size_t covered = 0;
+  for (const auto& est : MakeIngestedEstimators()) {
+    ASSERT_TRUE(est->snapshotable()) << est->name();
+    ASSERT_TRUE(
+        selectivity::EstimatorRegistry::Global().Contains(est->snapshot_type_tag()))
+        << est->name();
+    ++covered;
+    // Query first so the lazy fit exists (and is stale by save time), then
+    // snapshot and restore through the registry.
+    const std::vector<double> before = AnswersOf(*est, queries);
+    const std::vector<uint8_t> bytes = SnapshotBytesOf(*est);
+    io::SpanSource source(bytes);
+    Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+        selectivity::LoadEstimatorSnapshot(source);
+    ASSERT_TRUE(loaded.ok()) << est->name() << ": " << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->name(), est->name());
+    EXPECT_EQ((*loaded)->count(), est->count());
+    EXPECT_EQ(AnswersOf(**loaded, queries), before) << est->name();
+  }
+  // Every registered tag must have been exercised.
+  EXPECT_EQ(covered, selectivity::EstimatorRegistry::Global().Tags().size());
+}
+
+TEST(SnapshotRoundTripTest, UnqueriedEstimatorsRoundTripToo) {
+  // Save before any query: caches are empty and the first fit happens on
+  // both sides after restore — answers must still agree bitwise.
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+  for (const auto& est : MakeIngestedEstimators()) {
+    const std::vector<uint8_t> bytes = SnapshotBytesOf(*est);
+    io::SpanSource source(bytes);
+    Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+        selectivity::LoadEstimatorSnapshot(source);
+    ASSERT_TRUE(loaded.ok()) << est->name() << ": " << loaded.status().ToString();
+    EXPECT_EQ(AnswersOf(**loaded, queries), AnswersOf(*est, queries)) << est->name();
+  }
+}
+
+TEST(SnapshotRoundTripTest, RestoredEstimatorsContinueIngestingIdentically) {
+  // The snapshot captures *everything*, including RNG state: a restored
+  // estimator and its never-serialized twin must stay bitwise in lockstep
+  // through further ingest. The reservoir is the sharpest probe (its
+  // acceptance sequence is pure RNG).
+  const std::vector<double> head = UnitStream(4, 6000);
+  const std::vector<double> tail = UnitStream(5, 2000);
+  selectivity::ReservoirSampleSelectivity twin(128, 31);
+  twin.InsertBatch(head);
+  const std::vector<uint8_t> bytes = SnapshotBytesOf(twin);
+  io::SpanSource source(bytes);
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> restored =
+      selectivity::LoadEstimatorSnapshot(source);
+  ASSERT_TRUE(restored.ok());
+  twin.InsertBatch(tail);
+  (*restored)->InsertBatch(tail);
+  auto& restored_reservoir =
+      static_cast<selectivity::ReservoirSampleSelectivity&>(**restored);
+  EXPECT_EQ(restored_reservoir.reservoir(), twin.reservoir());
+  EXPECT_EQ(restored_reservoir.count(), twin.count());
+}
+
+TEST(SnapshotRoundTripTest, LoadStateRestoresIntoExistingInstance) {
+  const std::vector<double> xs = UnitStream(6, 2000);
+  selectivity::EquiWidthHistogram saved(0.0, 1.0, 64);
+  saved.InsertBatch(xs);
+  io::VectorSink sink;
+  ASSERT_TRUE(saved.SaveState(sink).ok());
+
+  // A differently configured instance adopts the envelope's configuration.
+  selectivity::EquiWidthHistogram target(-3.0, 5.0, 8);
+  io::SpanSource source(sink.bytes());
+  ASSERT_TRUE(target.LoadState(source).ok());
+  EXPECT_EQ(target.buckets(), 64);
+  EXPECT_EQ(target.count(), saved.count());
+  EXPECT_EQ(target.EstimateRange(0.2, 0.7), saved.EstimateRange(0.2, 0.7));
+
+  // A different concrete type must refuse the same envelope, untouched.
+  selectivity::EquiDepthHistogram wrong_type(0.0, 1.0, 8);
+  wrong_type.InsertBatch(xs);
+  io::SpanSource source_again(sink.bytes());
+  EXPECT_FALSE(wrong_type.LoadState(source_again).ok());
+  EXPECT_EQ(wrong_type.count(), xs.size());
+}
+
+TEST(SnapshotRoundTripTest, FileSnapshotsRoundTrip) {
+  const std::string path = testing::TempDir() + "/wde_snapshot_test.snap";
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+  selectivity::StreamingWaveletSelectivity sketch = MakeSketch(2048);
+  sketch.InsertBatch(UnitStream(7, 5000));
+  const std::vector<double> before = AnswersOf(sketch, queries);
+  ASSERT_TRUE(selectivity::SaveEstimatorSnapshotFile(sketch, path).ok());
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+      selectivity::LoadEstimatorSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(AnswersOf(**loaded, queries), before);
+  std::remove(path.c_str());
+  EXPECT_FALSE(selectivity::LoadEstimatorSnapshotFile(path).ok());  // gone
+}
+
+// ------------------------------------------------------- hostile input
+
+TEST(HostileInputTest, EveryTruncationOfASnapshotErrorsCleanly) {
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 8);
+  hist.InsertBatch(UnitStream(8, 300));
+  const std::vector<uint8_t> bytes = SnapshotBytesOf(hist);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    io::SpanSource source(std::span(bytes.data(), len));
+    EXPECT_FALSE(selectivity::LoadEstimatorSnapshot(source).ok()) << "len=" << len;
+  }
+}
+
+TEST(HostileInputTest, EverySingleBitFlipErrorsCleanly) {
+  // CRC framing covers the payloads; magic/version/chunk-header bytes have
+  // their own validation. No flip may crash or be silently accepted.
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 4);
+  hist.InsertBatch(UnitStream(9, 100));
+  const std::vector<uint8_t> bytes = SnapshotBytesOf(hist);
+  std::vector<uint8_t> corrupt(bytes);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      corrupt[byte] = bytes[byte] ^ static_cast<uint8_t>(1 << bit);
+      io::SpanSource source(corrupt);
+      EXPECT_FALSE(selectivity::LoadEstimatorSnapshot(source).ok())
+          << "byte=" << byte << " bit=" << bit;
+    }
+    corrupt[byte] = bytes[byte];
+  }
+}
+
+TEST(HostileInputTest, WrongMagicAndFutureVersionsAreRejected) {
+  selectivity::EquiWidthHistogram hist(0.0, 1.0, 4);
+  const std::vector<uint8_t> bytes = SnapshotBytesOf(hist);
+
+  std::vector<uint8_t> wrong_magic(bytes);
+  wrong_magic[0] = 'X';
+  io::SpanSource magic_source(wrong_magic);
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> magic_result =
+      selectivity::LoadEstimatorSnapshot(magic_source);
+  ASSERT_FALSE(magic_result.ok());
+  EXPECT_NE(magic_result.status().message().find("magic"), std::string::npos);
+
+  std::vector<uint8_t> future(bytes);
+  future[8] = 0xFF;  // version u32 little-endian follows the 8-byte magic
+  io::SpanSource future_source(future);
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> future_result =
+      selectivity::LoadEstimatorSnapshot(future_source);
+  ASSERT_FALSE(future_result.ok());
+  EXPECT_NE(future_result.status().message().find("version"), std::string::npos);
+}
+
+TEST(HostileInputTest, ValidFramingWithGarbagePayloadErrors) {
+  // A well-formed envelope (valid CRCs) whose state payload is noise must be
+  // caught by the estimator's own validation, not trusted.
+  io::VectorSink sink;
+  ASSERT_TRUE(io::WriteSnapshotHeader(sink).ok());
+  const std::string tag = "equi-width";
+  ASSERT_TRUE(io::WriteChunk(sink, selectivity::internal::kChunkEstimatorType,
+                             std::span(reinterpret_cast<const uint8_t*>(tag.data()),
+                                       tag.size()))
+                  .ok());
+  const std::vector<uint8_t> garbage(64, 0xA5);
+  ASSERT_TRUE(
+      io::WriteChunk(sink, selectivity::internal::kChunkEstimatorState, garbage).ok());
+  io::SpanSource source(sink.bytes());
+  EXPECT_FALSE(selectivity::LoadEstimatorSnapshot(source).ok());
+}
+
+TEST(HostileInputTest, UnknownTypeTagIsNotFound) {
+  io::VectorSink sink;
+  ASSERT_TRUE(io::WriteSnapshotHeader(sink).ok());
+  const std::string tag = "no-such-estimator";
+  ASSERT_TRUE(io::WriteChunk(sink, selectivity::internal::kChunkEstimatorType,
+                             std::span(reinterpret_cast<const uint8_t*>(tag.data()),
+                                       tag.size()))
+                  .ok());
+  ASSERT_TRUE(io::WriteChunk(sink, selectivity::internal::kChunkEstimatorState,
+                             std::vector<uint8_t>{})
+                  .ok());
+  io::SpanSource source(sink.bytes());
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> result =
+      selectivity::LoadEstimatorSnapshot(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------- cross-process-style merging
+
+TEST(SnapshotMergeTest, IntegerStateEstimatorsMergeFromSnapshotsBitExactly) {
+  const std::vector<double> xs = UnitStream(10, 8000);
+  const std::span<const double> all(xs);
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+
+  const auto check = [&](auto make) {
+    auto sequential = make();
+    sequential.InsertBatch(all);
+    auto node_a = make();
+    auto node_b = make();
+    node_a.InsertBatch(all.first(3500));
+    node_b.InsertBatch(all.subspan(3500));
+    const std::vector<uint8_t> snap_a = SnapshotBytesOf(node_a);
+    const std::vector<uint8_t> snap_b = SnapshotBytesOf(node_b);
+
+    auto combiner = make();
+    io::SpanSource source_a(snap_a);
+    io::SpanSource source_b(snap_b);
+    ASSERT_TRUE(combiner.MergeFromSnapshot(source_a).ok());
+    ASSERT_TRUE(combiner.MergeFromSnapshot(source_b).ok());
+    EXPECT_EQ(combiner.count(), sequential.count());
+    EXPECT_EQ(AnswersOf(combiner, queries), AnswersOf(sequential, queries));
+  };
+  check([] { return selectivity::EquiWidthHistogram(0.0, 1.0, 64); });
+  check([] { return selectivity::EquiDepthHistogram(0.0, 1.0, 16); });
+  check([] {
+    selectivity::WaveletSynopsisSelectivity::Options options;
+    options.grid_log2 = 8;
+    options.budget = 32;
+    options.rebuild_interval = 1 << 20;
+    return *selectivity::WaveletSynopsisSelectivity::Create(options);
+  });
+}
+
+TEST(SnapshotMergeTest, SketchMergeFromSnapshotsMatchesSequentialWithinTolerance) {
+  const std::vector<double> xs = UnitStream(11, 1 << 14);
+  const std::span<const double> all(xs);
+  selectivity::StreamingWaveletSelectivity sequential = MakeSketch(1 << 30);
+  sequential.InsertBatch(all);
+  selectivity::StreamingWaveletSelectivity node_a = MakeSketch(1 << 30);
+  selectivity::StreamingWaveletSelectivity node_b = MakeSketch(1 << 30);
+  node_a.InsertBatch(all.first(6000));
+  node_b.InsertBatch(all.subspan(6000));
+
+  selectivity::StreamingWaveletSelectivity combiner = MakeSketch(1 << 30);
+  const std::vector<uint8_t> snap_a = SnapshotBytesOf(node_a);
+  const std::vector<uint8_t> snap_b = SnapshotBytesOf(node_b);
+  io::SpanSource source_a(snap_a);
+  io::SpanSource source_b(snap_b);
+  ASSERT_TRUE(combiner.MergeFromSnapshot(source_a).ok());
+  ASSERT_TRUE(combiner.MergeFromSnapshot(source_b).ok());
+  EXPECT_EQ(combiner.count(), sequential.count());
+  for (double a = 0.0; a < 0.9; a += 0.07) {
+    const double got = combiner.EstimateRange(a, a + 0.1);
+    const double want = sequential.EstimateRange(a, a + 0.1);
+    EXPECT_NEAR(got, want, 1e-12 * std::max(1.0, std::fabs(want)));
+  }
+}
+
+TEST(SnapshotMergeTest, MergeFromSnapshotRejectsIncompatibleConfigs) {
+  selectivity::EquiWidthHistogram node(0.0, 1.0, 64);
+  node.InsertBatch(UnitStream(12, 500));
+  const std::vector<uint8_t> snap = SnapshotBytesOf(node);
+
+  selectivity::EquiWidthHistogram other_buckets(0.0, 1.0, 32);
+  io::SpanSource source(snap);
+  EXPECT_FALSE(other_buckets.MergeFromSnapshot(source).ok());
+  EXPECT_EQ(other_buckets.count(), 0u);
+
+  selectivity::EquiDepthHistogram other_type(0.0, 1.0, 64);
+  io::SpanSource source_again(snap);
+  EXPECT_FALSE(other_type.MergeFromSnapshot(source_again).ok());
+}
+
+// ------------------------------------------------- sharded checkpointing
+
+TEST(ShardedCheckpointTest, CheckpointRestoreContinueMatchesUninterruptedRun) {
+  const std::string path = testing::TempDir() + "/wde_sharded_checkpoint.snap";
+  const std::vector<double> xs = UnitStream(13, 40000);
+  const std::span<const double> all(xs);
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+
+  const auto make = []() {
+    selectivity::EquiWidthHistogram prototype(0.0, 1.0, 64);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 4;
+    options.block_size = 1024;
+    return *selectivity::ShardedSelectivityEstimator::Create(prototype, options);
+  };
+  selectivity::ShardedSelectivityEstimator uninterrupted = make();
+  uninterrupted.InsertBatch(all);
+
+  // Ingest half, checkpoint, "kill" the node, restore into a fresh engine,
+  // continue with the second half: partition positions must line up exactly.
+  {
+    selectivity::ShardedSelectivityEstimator node = make();
+    node.InsertBatch(all.first(17000));
+    ASSERT_TRUE(node.Checkpoint(path).ok());
+  }
+  selectivity::ShardedSelectivityEstimator restored = make();
+  ASSERT_TRUE(restored.Restore(path).ok());
+  EXPECT_EQ(restored.count(), 17000u);
+  restored.InsertBatch(all.subspan(17000));
+  EXPECT_EQ(restored.count(), uninterrupted.count());
+  for (size_t s = 0; s < restored.shards(); ++s) {
+    EXPECT_EQ(restored.shard(s).count(), uninterrupted.shard(s).count());
+  }
+  EXPECT_EQ(AnswersOf(restored, queries), AnswersOf(uninterrupted, queries));
+  std::remove(path.c_str());
+}
+
+TEST(ShardedCheckpointTest, RestoreRejectsCorruptCheckpointsUntouched) {
+  const std::string path = testing::TempDir() + "/wde_sharded_corrupt.snap";
+  selectivity::EquiWidthHistogram prototype(0.0, 1.0, 16);
+  selectivity::ShardedSelectivityEstimator node =
+      *selectivity::ShardedSelectivityEstimator::Create(prototype, {});
+  node.InsertBatch(UnitStream(14, 2000));
+  ASSERT_TRUE(node.Checkpoint(path).ok());
+
+  // Truncate the file: Restore must fail and leave the target untouched.
+  {
+    Result<io::FileSource> full = io::FileSource::Open(path);
+    ASSERT_TRUE(full.ok());
+    std::vector<uint8_t> bytes(full->remaining());
+    ASSERT_TRUE(full->Read(bytes.data(), bytes.size()).ok());
+    Result<io::FileSink> sink = io::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(sink->Append(bytes.data(), bytes.size() / 2).ok());
+    ASSERT_TRUE(sink->Close().ok());
+  }
+  selectivity::ShardedSelectivityEstimator target =
+      *selectivity::ShardedSelectivityEstimator::Create(prototype, {});
+  target.InsertBatch(UnitStream(15, 100));
+  EXPECT_FALSE(target.Restore(path).ok());
+  EXPECT_EQ(target.count(), 100u);  // untouched
+  std::remove(path.c_str());
+}
+
+TEST(ShardedCheckpointTest, DistributedNodesMergeViaSnapshots) {
+  // The full distributed story: two sharded ingest nodes over disjoint
+  // partitions write snapshots; a combiner node restores + merges them and
+  // answers exactly like one node over the whole stream.
+  const std::vector<double> xs = UnitStream(16, 30000);
+  const std::span<const double> all(xs);
+  const std::vector<selectivity::RangeQuery> queries = Workload();
+  const auto make = []() {
+    selectivity::EquiWidthHistogram prototype(0.0, 1.0, 64);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 4;
+    return *selectivity::ShardedSelectivityEstimator::Create(prototype, options);
+  };
+  selectivity::ShardedSelectivityEstimator sequential = make();
+  sequential.InsertBatch(all);
+
+  selectivity::ShardedSelectivityEstimator node_a = make();
+  selectivity::ShardedSelectivityEstimator node_b = make();
+  node_a.InsertBatch(all.first(13000));
+  node_b.InsertBatch(all.subspan(13000));
+  const std::vector<uint8_t> snap_a = SnapshotBytesOf(node_a);
+  const std::vector<uint8_t> snap_b = SnapshotBytesOf(node_b);
+
+  selectivity::ShardedSelectivityEstimator combiner = make();
+  io::SpanSource source_a(snap_a);
+  io::SpanSource source_b(snap_b);
+  ASSERT_TRUE(combiner.MergeFromSnapshot(source_a).ok());
+  ASSERT_TRUE(combiner.MergeFromSnapshot(source_b).ok());
+  EXPECT_EQ(combiner.count(), sequential.count());
+  EXPECT_EQ(AnswersOf(combiner, queries), AnswersOf(sequential, queries));
+}
+
+}  // namespace
+}  // namespace wde
