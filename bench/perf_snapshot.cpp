@@ -60,8 +60,8 @@ std::vector<std::unique_ptr<selectivity::SelectivityEstimator>> MakeEstimators()
       std::make_unique<selectivity::EquiDepthHistogram>(0.0, 1.0, 32));
   estimators.push_back(
       std::make_unique<selectivity::ReservoirSampleSelectivity>(4096, 17));
-  estimators.push_back(
-      std::make_unique<selectivity::KdeSelectivity>(selectivity::KdeSelectivity::Options{}));
+  estimators.push_back(std::make_unique<selectivity::KdeSelectivity>(
+      selectivity::KdeSelectivity::Options{}));
   {
     selectivity::WaveletSynopsisSelectivity::Options options;
     options.grid_log2 = 10;

@@ -1,42 +1,38 @@
-// DB scenario: streaming range-selectivity estimation for a query optimizer.
+// DB scenario: streaming selectivity estimation for a query optimizer.
 //
 // A column's values arrive as a *dependent* stream (an autocorrelated
 // process — think sensor readings or clustered inserts, not iid rows) with a
-// sharply bimodal distribution. We maintain four streaming statistics
-// side by side:
-//   * the adaptive wavelet sketch (this library's estimator — bounded
-//     memory, cross-validated thresholds that adapt to the dependence),
-//   * equi-width and equi-depth histograms,
-//   * a reservoir sample,
-// and compare their answers on a range-query workload, including after a
-// distribution drift. The run ends with the persistence walkthrough (PR 4):
-// checkpoint the sketch to disk, "kill" it, restore it through the snapshot
-// registry without naming its type, and continue ingesting — the restored
-// sketch answers bit-identically to a twin that was never killed.
+// sharply bimodal distribution. We maintain five streaming statistics side
+// by side — the adaptive wavelet sketch (this library's estimator — bounded
+// memory, cross-validated thresholds that adapt to the dependence),
+// equi-width and equi-depth histograms, a reservoir sample and the classic
+// Haar synopsis — every one built declaratively from an EstimatorSpec (the
+// same description the snapshot registry and the benches use), and compare
+// their answers on a range-query workload, including after a distribution
+// drift. A mixed-kind section shows the typed query taxonomy: equality,
+// one-sided, CDF and quantile probes through the one Answer() surface. The
+// run ends with the persistence walkthrough (PR 4): checkpoint the sketch to
+// disk, "kill" it, restore it through the snapshot registry without naming
+// its type, and continue ingesting — the restored sketch answers
+// bit-identically to a twin that was never killed.
 //
 //   build/examples/selectivity_stream
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "harness/cases.hpp"
 #include "harness/table.hpp"
 #include "processes/target_density.hpp"
 #include "selectivity/estimator_registry.hpp"
-#include "selectivity/histogram.hpp"
+#include "selectivity/estimator_spec.hpp"
 #include "selectivity/query_workload.hpp"
-#include "selectivity/sample_selectivity.hpp"
-#include "selectivity/wavelet_synopsis.hpp"
-#include "selectivity/wavelet_selectivity.hpp"
 #include "util/string_util.hpp"
-#include "wavelet/scaled_function.hpp"
 
 int main() {
   using namespace wde;
-
-  Result<wavelet::WaveletBasis> basis =
-      wavelet::WaveletBasis::Create(*wavelet::WaveletFilter::Symmlet(8));
-  if (!basis.ok()) return 1;
 
   // The stream: logistic-map dynamics pushed through a bimodal marginal.
   auto density = std::make_shared<const processes::TruncatedGaussianMixtureDensity>(
@@ -44,21 +40,38 @@ int main() {
   const processes::TransformedProcess stream =
       harness::MakeCase(harness::DependenceCase::kLogisticMap, density);
 
-  selectivity::StreamingWaveletSelectivity::Options sketch_options;
-  sketch_options.j0 = 2;
-  sketch_options.j_max = 10;
-  sketch_options.refit_interval = 2048;
-  Result<selectivity::StreamingWaveletSelectivity> sketch =
-      selectivity::StreamingWaveletSelectivity::Create(*basis, sketch_options);
-  if (!sketch.ok()) return 1;
-  selectivity::EquiWidthHistogram equi_width(0.0, 1.0, 32);
-  selectivity::EquiDepthHistogram equi_depth(0.0, 1.0, 32);
-  selectivity::ReservoirSampleSelectivity reservoir(512);
-  selectivity::WaveletSynopsisSelectivity::Options synopsis_options;
-  synopsis_options.budget = 32;  // comparable space to the 32-bucket histograms
-  Result<selectivity::WaveletSynopsisSelectivity> synopsis =
-      selectivity::WaveletSynopsisSelectivity::Create(synopsis_options);
-  if (!synopsis.ok()) return 1;
+  // Declarative construction: one EstimatorSpec per estimator, built through
+  // the same tag -> factory registry that restores snapshots. The shared
+  // fields (domain, pacing) are set once; each tag consumes what it needs.
+  const auto build = [](const char* tag, auto configure) {
+    selectivity::EstimatorSpec spec;
+    spec.tag = tag;
+    spec.buckets = 32;
+    spec.budget = 32;  // synopsis: comparable space to the 32-bucket histograms
+    spec.capacity = 512;
+    configure(spec);
+    Result<std::unique_ptr<selectivity::SelectivityEstimator>> est =
+        selectivity::MakeEstimator(spec);
+    WDE_CHECK(est.ok(), "example specs are valid");
+    return std::move(est).value();
+  };
+  std::unique_ptr<selectivity::SelectivityEstimator> sketch =
+      build("wavelet-cv", [](selectivity::EstimatorSpec& spec) {
+        spec.j0 = 2;
+        spec.j_max = 10;
+        spec.refit_interval = 2048;
+      });
+  std::unique_ptr<selectivity::SelectivityEstimator> equi_width_ptr =
+      build("equi-width", [](selectivity::EstimatorSpec&) {});
+  std::unique_ptr<selectivity::SelectivityEstimator> equi_depth_ptr =
+      build("equi-depth", [](selectivity::EstimatorSpec&) {});
+  std::unique_ptr<selectivity::SelectivityEstimator> reservoir_ptr =
+      build("reservoir", [](selectivity::EstimatorSpec&) {});
+  std::unique_ptr<selectivity::SelectivityEstimator> synopsis =
+      build("haar-synopsis", [](selectivity::EstimatorSpec&) {});
+  selectivity::SelectivityEstimator& equi_width = *equi_width_ptr;
+  selectivity::SelectivityEstimator& equi_depth = *equi_depth_ptr;
+  selectivity::SelectivityEstimator& reservoir = *reservoir_ptr;
 
   stats::Rng rng(7);
   const size_t kStreamLength = 16384;
@@ -96,6 +109,38 @@ int main() {
   add(reservoir);
   add(*synopsis);
   table.Print(std::cout);
+
+  // -- the typed query taxonomy: one Answer() surface for every kind --
+  //
+  // Real optimizer traffic mixes equality, one-sided and CDF probes (and
+  // planners invert CDFs for histogram-free quantile stats) over the same
+  // fitted state. NaN parameters answer 0.0 by contract, like Insert drops
+  // NaN.
+  std::printf("\n-- mixed-kind probes through Answer() (wavelet sketch) --\n");
+  const std::vector<selectivity::Query> probes{
+      selectivity::Query::Range(0.25, 0.35),
+      selectivity::Query::Point(0.3),
+      selectivity::Query::Less(0.5),
+      selectivity::Query::Greater(0.5),
+      selectivity::Query::Cdf(0.62),
+      selectivity::Query::Quantile(0.25),
+      selectivity::Query::Range(std::nan(""), 0.5),
+  };
+  std::vector<double> probe_answers(probes.size());
+  sketch->Answer(probes, probe_answers);
+  std::printf("P(0.25<=X<=0.35) = %.4f   (truth %.4f)\n", probe_answers[0],
+              density->Cdf(0.35) - density->Cdf(0.25));
+  std::printf("P(X=0.3)         = %.6f  (one resolution cell, width %.4g)\n",
+              probe_answers[1], sketch->EqualityWidth());
+  std::printf("P(X<=0.5)        = %.4f   (truth %.4f)\n", probe_answers[2],
+              density->Cdf(0.5));
+  std::printf("P(X>=0.5)        = %.4f\n", probe_answers[3]);
+  std::printf("F(0.62)          = %.4f   (truth %.4f)\n", probe_answers[4],
+              density->Cdf(0.62));
+  std::printf("F^-1(0.25)       = %.4f   (truth %.4f)\n", probe_answers[5],
+              density->InverseCdf(0.25));
+  std::printf("range with NaN   = %.1f     (dirty queries answer 0.0)\n",
+              probe_answers[6]);
 
   // Drift: the workload moves to a narrow hot range; the sketch refits.
   std::printf("\n-- drift: stream jumps to U(0.45, 0.55) --\n");

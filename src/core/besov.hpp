@@ -9,7 +9,8 @@ namespace wde {
 namespace core {
 
 /// Empirical Besov sequence norm of the fitted coefficients (paper §2.2):
-///   ‖f‖_{s,π,r} = |α̂_{j0,·}|_π + ( Σ_j [2^{j(sπ+π/2−1)} Σ_k |β̂_{j,k}|^π]^{r/π} )^{1/r},
+///   ‖f‖_{s,π,r} =
+///     |α̂_{j0,·}|_π + ( Σ_j [2^{j(sπ+π/2−1)} Σ_k |β̂_{j,k}|^π]^{r/π} )^{1/r},
 /// a diagnostic for the (unknown) smoothness class B^s_{π,r} driving the
 /// minimax rates of Theorem 3.1. Uses the fitted levels [j0, j_max].
 double BesovSequenceNorm(const EmpiricalCoefficients& coefficients, double s,

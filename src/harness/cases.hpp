@@ -21,8 +21,8 @@ inline constexpr DependenceCase kAllCases[] = {
 const char* CaseName(DependenceCase c);
 
 /// Builds the sampling pipeline X = F^{-1}(G(Y)) for a case and target F.
-processes::TransformedProcess MakeCase(DependenceCase c,
-                                       std::shared_ptr<const processes::TargetDensity> target);
+processes::TransformedProcess MakeCase(
+    DependenceCase c, std::shared_ptr<const processes::TargetDensity> target);
 
 }  // namespace harness
 }  // namespace wde

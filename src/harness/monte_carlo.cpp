@@ -53,8 +53,9 @@ std::vector<std::vector<double>> CollectCurves(
   return rows;
 }
 
-std::vector<double> MeanCurve(int replicates, uint64_t seed, int threads, size_t dim,
-                              const std::function<std::vector<double>(stats::Rng&, int)>& body) {
+std::vector<double> MeanCurve(
+    int replicates, uint64_t seed, int threads, size_t dim,
+    const std::function<std::vector<double>(stats::Rng&, int)>& body) {
   const std::vector<std::vector<double>> rows =
       CollectCurves(replicates, seed, threads, dim, body);
   std::vector<double> mean(dim, 0.0);

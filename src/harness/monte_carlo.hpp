@@ -37,8 +37,9 @@ std::vector<double> RunReplicates(int replicates, uint64_t seed, int threads,
 /// Vector-valued variant: every replicate must return `dim` values; the
 /// replicate-wise mean curve is returned. Used for the paper's "mean of the
 /// estimators" figures.
-std::vector<double> MeanCurve(int replicates, uint64_t seed, int threads, size_t dim,
-                              const std::function<std::vector<double>(stats::Rng&, int)>& body);
+std::vector<double> MeanCurve(
+    int replicates, uint64_t seed, int threads, size_t dim,
+    const std::function<std::vector<double>(stats::Rng&, int)>& body);
 
 /// Vector-valued variant returning all replicate rows (replicates × dim).
 std::vector<std::vector<double>> CollectCurves(

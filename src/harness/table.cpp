@@ -20,7 +20,9 @@ void TextTable::Print(std::ostream& os) const {
   std::vector<size_t> widths(header_.size(), 0);
   for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
   for (const auto& row : rows_) {
-    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
   }
   const auto print_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {

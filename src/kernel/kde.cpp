@@ -56,5 +56,25 @@ double KernelDensityEstimator::IntegrateRange(double a, double b) const {
   return acc / static_cast<double>(sorted_.size());
 }
 
+double KernelDensityEstimator::CdfAt(double x) const {
+  // sorted_ ascends, so u = (x - X_i)/h descends along the array: a prefix
+  // of samples saturates Kernel::Cdf at exactly 1.0 (u >= R), a suffix at
+  // exactly 0.0 (u <= -R), and only the window between them needs the table.
+  // Both split points use the very comparison the Cdf branches evaluate, and
+  // the saturated prefix sums to its exact integer count, so the result is
+  // bit-identical to the full per-sample sum of IntegrateRange(-inf, x).
+  const double radius = kernel_.support_radius();
+  const auto ones_end = std::partition_point(
+      sorted_.begin(), sorted_.end(),
+      [&](double xi) { return (x - xi) / bandwidth_ >= radius; });
+  double acc = static_cast<double>(ones_end - sorted_.begin());
+  for (auto it = ones_end; it != sorted_.end(); ++it) {
+    const double u = (x - *it) / bandwidth_;
+    if (u <= -radius) break;  // every remaining term is exactly 0.0
+    acc += kernel_.Cdf(u);
+  }
+  return acc / static_cast<double>(sorted_.size());
+}
+
 }  // namespace kernel
 }  // namespace wde

@@ -35,6 +35,15 @@ class KernelDensityEstimator {
   /// baseline).
   double IntegrateRange(double a, double b) const;
 
+  /// The kernel CDF F̂(x) = n^{-1} Σ K_cdf((x - X_i)/h), evaluated over the
+  /// compact-support window only: samples whose kernel argument saturates
+  /// the CDF branch (u >= R → exactly 1, u <= -R → exactly 0) are counted or
+  /// skipped without a table lookup, found with the same predicate
+  /// arithmetic as the branches themselves — so the windowed sum is
+  /// bit-identical to IntegrateRange(-inf, x) at O(log n + window) instead
+  /// of O(n). The one-sided/CDF query path of the selectivity layer.
+  double CdfAt(double x) const;
+
   double bandwidth() const { return bandwidth_; }
   const Kernel& kernel() const { return kernel_; }
   size_t sample_size() const { return sorted_.size(); }

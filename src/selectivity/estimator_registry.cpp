@@ -1,8 +1,10 @@
 #include "selectivity/estimator_registry.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
+#include "core/thresholding.hpp"
 #include "io/chunk.hpp"
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
@@ -10,6 +12,7 @@
 #include "selectivity/sharded_selectivity.hpp"
 #include "selectivity/wavelet_selectivity.hpp"
 #include "selectivity/wavelet_synopsis.hpp"
+#include "wavelet/filter.hpp"
 #include "wavelet/scaled_function.hpp"
 
 namespace wde {
@@ -17,61 +20,158 @@ namespace selectivity {
 
 namespace {
 
-/// Shells are placeholders whose configuration LoadState overwrites, so they
-/// are built as small as each constructor allows. The wavelet shell's basis
-/// is replaced by the one the snapshot identifies; coarse tables keep its
-/// construction cheap.
+/// Validation shared by the tags that declare a domain.
+Status CheckDomain(const EstimatorSpec& spec) {
+  if (!std::isfinite(spec.domain_lo) || !std::isfinite(spec.domain_hi) ||
+      !(spec.domain_lo < spec.domain_hi)) {
+    return Status::InvalidArgument("spec '" + spec.tag +
+                                   "': domain_lo must be < domain_hi");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeEquiWidth(
+    const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  if (spec.buckets <= 0) {
+    return Status::InvalidArgument("spec 'equi-width': buckets must be positive");
+  }
+  return std::unique_ptr<SelectivityEstimator>(std::make_unique<EquiWidthHistogram>(
+      spec.domain_lo, spec.domain_hi, spec.buckets));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeEquiDepth(
+    const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  if (spec.buckets <= 0) {
+    return Status::InvalidArgument("spec 'equi-depth': buckets must be positive");
+  }
+  return std::unique_ptr<SelectivityEstimator>(std::make_unique<EquiDepthHistogram>(
+      spec.domain_lo, spec.domain_hi, spec.buckets));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeReservoir(
+    const EstimatorSpec& spec) {
+  if (spec.capacity == 0) {
+    return Status::InvalidArgument("spec 'reservoir': capacity must be positive");
+  }
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<ReservoirSampleSelectivity>(spec.capacity, spec.seed));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeKde(const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  if (spec.refit_interval == 0) {
+    return Status::InvalidArgument("spec 'kde-rot': refit_interval must be positive");
+  }
+  KdeSelectivity::Options options;
+  options.domain_lo = spec.domain_lo;
+  options.domain_hi = spec.domain_hi;
+  options.refit_interval = spec.refit_interval;
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<KdeSelectivity>(options));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeSynopsis(
+    const EstimatorSpec& spec) {
+  WaveletSynopsisSelectivity::Options options;
+  options.domain_lo = spec.domain_lo;
+  options.domain_hi = spec.domain_hi;
+  options.grid_log2 = spec.grid_log2;
+  options.budget = spec.budget;
+  options.rebuild_interval = spec.refit_interval;
+  Result<WaveletSynopsisSelectivity> synopsis =
+      WaveletSynopsisSelectivity::Create(options);
+  if (!synopsis.ok()) return synopsis.status();
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<WaveletSynopsisSelectivity>(std::move(synopsis).value()));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeWaveletSketch(
+    const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  Result<wavelet::WaveletFilter> filter = wavelet::WaveletFilter::FromName(spec.filter);
+  if (!filter.ok()) return filter.status();
+  Result<wavelet::WaveletBasis> basis =
+      wavelet::WaveletBasis::Create(*filter, spec.table_levels);
+  if (!basis.ok()) return basis.status();
+  StreamingWaveletSelectivity::Options options;
+  options.domain_lo = spec.domain_lo;
+  options.domain_hi = spec.domain_hi;
+  options.j0 = spec.j0;
+  options.j_max = spec.j_max;
+  options.kind = spec.soft_threshold ? core::ThresholdKind::kSoft
+                                     : core::ThresholdKind::kHard;
+  options.refit_interval = spec.refit_interval;
+  Result<StreamingWaveletSelectivity> sketch =
+      StreamingWaveletSelectivity::Create(*basis, options);
+  if (!sketch.ok()) return sketch.status();
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<StreamingWaveletSelectivity>(std::move(sketch).value()));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeSharded(
+    const EstimatorSpec& spec) {
+  if (spec.sharded_inner_tag == "sharded") {
+    return Status::InvalidArgument(
+        "spec 'sharded': nesting sharded inside sharded is not supported");
+  }
+  EstimatorSpec inner = spec;
+  inner.tag = spec.sharded_inner_tag;
+  Result<std::unique_ptr<SelectivityEstimator>> prototype =
+      EstimatorRegistry::Global().Make(inner);
+  if (!prototype.ok()) return prototype.status();
+  ShardedSelectivityEstimator::Options options;
+  options.shards = spec.shards;
+  options.block_size = spec.block_size;
+  options.merge_refresh_interval = spec.merge_refresh_interval;
+  options.pool = spec.pool;
+  Result<ShardedSelectivityEstimator> sharded =
+      ShardedSelectivityEstimator::Create(**prototype, options);
+  if (!sharded.ok()) return sharded.status();
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<ShardedSelectivityEstimator>(std::move(sharded).value()));
+}
+
 void RegisterBuiltins(EstimatorRegistry& registry) {
   const auto register_or_die = [&registry](const char* tag,
                                            EstimatorRegistry::Factory factory) {
     WDE_CHECK_OK(registry.Register(tag, std::move(factory)));
   };
-  register_or_die("equi-width", [] {
-    return std::make_unique<EquiWidthHistogram>(0.0, 1.0, 1);
-  });
-  register_or_die("equi-depth", [] {
-    return std::make_unique<EquiDepthHistogram>(0.0, 1.0, 1);
-  });
-  register_or_die("reservoir", [] {
-    return std::make_unique<ReservoirSampleSelectivity>(1);
-  });
-  register_or_die("kde-rot", [] {
-    return std::make_unique<KdeSelectivity>(KdeSelectivity::Options{});
-  });
-  register_or_die("haar-synopsis",
-                  []() -> std::unique_ptr<SelectivityEstimator> {
-                    WaveletSynopsisSelectivity::Options options;
-                    options.grid_log2 = 2;
-                    Result<WaveletSynopsisSelectivity> shell =
-                        WaveletSynopsisSelectivity::Create(options);
-                    WDE_CHECK(shell.ok(), "synopsis shell options are valid");
-                    return std::make_unique<WaveletSynopsisSelectivity>(
-                        std::move(shell).value());
-                  });
-  register_or_die("wavelet-cv", []() -> std::unique_ptr<SelectivityEstimator> {
-    Result<wavelet::WaveletBasis> basis =
-        wavelet::WaveletBasis::Create(wavelet::WaveletFilter::Haar(), 4);
-    WDE_CHECK(basis.ok(), "Haar shell basis is valid");
-    StreamingWaveletSelectivity::Options options;
-    options.j0 = 0;
-    options.j_max = 0;
-    Result<StreamingWaveletSelectivity> shell =
-        StreamingWaveletSelectivity::Create(*basis, options);
-    WDE_CHECK(shell.ok(), "wavelet shell options are valid");
-    return std::make_unique<StreamingWaveletSelectivity>(std::move(shell).value());
-  });
-  register_or_die("sharded", []() -> std::unique_ptr<SelectivityEstimator> {
-    const EquiWidthHistogram prototype(0.0, 1.0, 1);
-    ShardedSelectivityEstimator::Options options;
-    options.shards = 1;
-    Result<ShardedSelectivityEstimator> shell =
-        ShardedSelectivityEstimator::Create(prototype, options);
-    WDE_CHECK(shell.ok(), "sharded shell options are valid");
-    return std::make_unique<ShardedSelectivityEstimator>(std::move(shell).value());
-  });
+  register_or_die("equi-width", MakeEquiWidth);
+  register_or_die("equi-depth", MakeEquiDepth);
+  register_or_die("reservoir", MakeReservoir);
+  register_or_die("kde-rot", MakeKde);
+  register_or_die("haar-synopsis", MakeSynopsis);
+  register_or_die("wavelet-cv", MakeWaveletSketch);
+  register_or_die("sharded", MakeSharded);
 }
 
 }  // namespace
+
+EstimatorSpec EstimatorSpec::ShellFor(const std::string& tag) {
+  // Minimal along every axis at once, so one shell spec serves every tag:
+  // LoadState replaces configuration and data, the shell only has to be a
+  // cheaply constructed instance of the right concrete type.
+  EstimatorSpec shell;
+  shell.tag = tag;
+  shell.buckets = 1;
+  shell.grid_log2 = 2;
+  shell.budget = 1;
+  shell.filter = "haar";
+  shell.table_levels = 4;
+  shell.j0 = 0;
+  shell.j_max = 0;
+  shell.capacity = 1;
+  shell.sharded_inner_tag = "equi-width";
+  shell.shards = 1;
+  return shell;
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeEstimator(
+    const EstimatorSpec& spec) {
+  return EstimatorRegistry::Global().Make(spec);
+}
 
 EstimatorRegistry& EstimatorRegistry::Global() {
   static EstimatorRegistry* registry = [] {
@@ -110,16 +210,27 @@ std::vector<std::string> EstimatorRegistry::Tags() const {
   return tags;  // std::map iterates sorted
 }
 
-std::unique_ptr<SelectivityEstimator> EstimatorRegistry::MakeShell(
-    const std::string& tag) const {
+Result<std::unique_ptr<SelectivityEstimator>> EstimatorRegistry::Make(
+    const EstimatorSpec& spec) const {
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = factories_.find(tag);
-    if (it == factories_.end()) return nullptr;
+    const auto it = factories_.find(spec.tag);
+    if (it == factories_.end()) {
+      return Status::NotFound("no estimator registered for tag '" + spec.tag +
+                              "'");
+    }
     factory = it->second;
   }
-  return factory();
+  return factory(spec);
+}
+
+std::unique_ptr<SelectivityEstimator> EstimatorRegistry::MakeShell(
+    const std::string& tag) const {
+  Result<std::unique_ptr<SelectivityEstimator>> shell =
+      Make(EstimatorSpec::ShellFor(tag));
+  if (!shell.ok()) return nullptr;
+  return std::move(shell).value();
 }
 
 Status SaveEstimatorEnvelope(const SelectivityEstimator& estimator,

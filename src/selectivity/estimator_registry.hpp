@@ -1,12 +1,17 @@
 /// \file selectivity/estimator_registry.hpp
-/// The string-tag → factory registry that makes snapshots self-describing: a
-/// snapshot names its estimator by `snapshot_type_tag()`, and the registry
-/// rebuilds the concrete type without the call site naming it. Every shipped
+/// The string-tag → factory registry behind both construction surfaces of
+/// the selectivity layer. Factories are spec-aware: each maps an
+/// `EstimatorSpec` to a fully configured estimator (validating the fields it
+/// consumes), so one registration serves live construction
+/// (MakeEstimator(spec)), sharded prototype building, AND snapshot restore —
+/// a snapshot names its estimator by `snapshot_type_tag()` (== spec.tag) and
+/// the registry rebuilds the concrete type from the minimal shell spec
+/// before LoadState replaces its configuration and data. Every shipped
 /// estimator is pre-registered in Global(); user-defined estimators register
-/// their own tag + shell factory once at startup. The whole-file helpers add
-/// and validate the magic/version snapshot header around one estimator
-/// envelope (see io/chunk.hpp for the framing and docs/ARCHITECTURE.md
-/// "Persistence & wire format" for the layout and compatibility policy).
+/// their own tag + factory once at startup. The whole-file helpers add and
+/// validate the magic/version snapshot header around one estimator envelope
+/// (see io/chunk.hpp for the framing and docs/ARCHITECTURE.md "Persistence &
+/// wire format" / "Query taxonomy & estimator specs").
 #ifndef WDE_SELECTIVITY_ESTIMATOR_REGISTRY_HPP_
 #define WDE_SELECTIVITY_ESTIMATOR_REGISTRY_HPP_
 
@@ -18,19 +23,23 @@
 #include <vector>
 
 #include "io/serialize.hpp"
+#include "selectivity/estimator_spec.hpp"
 #include "selectivity/selectivity_estimator.hpp"
 #include "util/result.hpp"
 
 namespace wde {
 namespace selectivity {
 
-/// Maps snapshot type tags to shell factories. A shell is a cheaply
-/// constructed instance of the concrete type with placeholder configuration;
-/// LoadState then replaces its configuration and data with the snapshot's.
-/// Thread-safe (lookups and registrations may race across loader threads).
+/// Maps snapshot type tags to spec-aware factories. Thread-safe (lookups and
+/// registrations may race across loader threads).
 class EstimatorRegistry {
  public:
-  using Factory = std::function<std::unique_ptr<SelectivityEstimator>()>;
+  /// Builds a fully configured estimator from `spec`, or a non-OK Result
+  /// when the fields the tag consumes are invalid. Factories must not abort
+  /// on bad specs.
+  using Factory =
+      std::function<Result<std::unique_ptr<SelectivityEstimator>>(
+          const EstimatorSpec&)>;
 
   /// The process-wide registry, with every shipped estimator pre-registered.
   static EstimatorRegistry& Global();
@@ -40,10 +49,19 @@ class EstimatorRegistry {
 
   bool Contains(const std::string& tag) const;
 
-  /// All registered tags, sorted (what the round-trip tests iterate).
+  /// All registered tags, sorted (what the round-trip and spec-construction
+  /// tests iterate).
   std::vector<std::string> Tags() const;
 
-  /// A shell instance for `tag`, or nullptr when the tag is unknown.
+  /// Builds the estimator `spec.tag` names from `spec`. NotFound for an
+  /// unregistered tag.
+  Result<std::unique_ptr<SelectivityEstimator>> Make(
+      const EstimatorSpec& spec) const;
+
+  /// A shell instance for `tag` — the factory applied to
+  /// EstimatorSpec::ShellFor(tag) — or nullptr when the tag is unknown.
+  /// LoadState then replaces the shell's configuration and data with a
+  /// snapshot's.
   std::unique_ptr<SelectivityEstimator> MakeShell(const std::string& tag) const;
 
  private:

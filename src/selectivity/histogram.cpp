@@ -16,6 +16,10 @@ EquiWidthHistogram::EquiWidthHistogram(double lo, double hi, int buckets) : lo_(
   counts_.assign(static_cast<size_t>(buckets), 0.0);
 }
 
+RangeQuery EquiWidthHistogram::Domain() const {
+  return RangeQuery{lo_, lo_ + width_ * static_cast<double>(counts_.size())};
+}
+
 void EquiWidthHistogram::Insert(double x) {
   if (!std::isfinite(x)) return;
   const double hi = lo_ + width_ * static_cast<double>(counts_.size());
@@ -26,20 +30,60 @@ void EquiWidthHistogram::Insert(double x) {
   ++count_;
 }
 
-double EquiWidthHistogram::EstimateRangeImpl(double a, double b) const {
-  if (count_ == 0) return 0.0;
-  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
-  a = std::clamp(a, lo_, hi);
-  b = std::clamp(b, lo_, hi);
+void EquiWidthHistogram::RebuildPrefixIfStale() const {
+  if (!prefix_.empty() && prefix_built_at_count_ == count_) return;
+  prefix_.assign(counts_.size(), 0.0);
   double acc = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {
-    const double bucket_lo = lo_ + width_ * static_cast<double>(i);
-    const double bucket_hi = bucket_lo + width_;
-    const double overlap = std::min(b, bucket_hi) - std::max(a, bucket_lo);
-    if (overlap <= 0.0) continue;
-    acc += counts_[i] * overlap / width_;
+    prefix_[i] = acc;
+    acc += counts_[i];  // integer-valued doubles: exact up to 2^53
   }
-  return acc / static_cast<double>(count_);
+  prefix_built_at_count_ = count_;
+}
+
+double EquiWidthHistogram::CdfAt(double x) const {
+  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
+  x = std::clamp(x, lo_, hi);
+  const double t = (x - lo_) / width_;
+  const auto bucket = std::clamp(static_cast<long>(t), 0L,
+                                 static_cast<long>(counts_.size()) - 1);
+  const double frac = t - static_cast<double>(bucket);
+  return (prefix_[static_cast<size_t>(bucket)] +
+          counts_[static_cast<size_t>(bucket)] * frac) /
+         static_cast<double>(count_);
+}
+
+double EquiWidthHistogram::EstimateRangeImpl(double a, double b) const {
+  if (count_ == 0) return 0.0;
+  RebuildPrefixIfStale();
+  return CdfAt(b) - CdfAt(a);
+}
+
+void EquiWidthHistogram::AnswerImpl(std::span<const Query> queries,
+                                    std::span<double> out) const {
+  if (count_ == 0) {
+    // Empty histogram: every mass kind answers 0.0 through the lowering and
+    // quantiles answer 0.0 by the interface rule; the canonical loop does
+    // both without touching the prefix table.
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
+    return;
+  }
+  RebuildPrefixIfStale();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    switch (q.kind) {
+      case QueryKind::kLess:
+      case QueryKind::kCdf:
+        // One prefix lookup. Bit-identical to the lowering
+        // CdfAt(x) - CdfAt(-inf): the -inf endpoint clamps to the lower
+        // domain edge where the prefix mass and fraction are exactly zero.
+        out[i] = CdfAt(q.a);
+        break;
+      default:
+        out[i] = AnswerOne(q);
+        break;
+    }
+  }
 }
 
 std::string EquiWidthHistogram::name() const {
@@ -53,6 +97,8 @@ std::unique_ptr<SelectivityEstimator> EquiWidthHistogram::CloneEmpty() const {
   auto clone = std::make_unique<EquiWidthHistogram>(*this);
   std::fill(clone->counts_.begin(), clone->counts_.end(), 0.0);
   clone->count_ = 0;
+  clone->prefix_.clear();
+  clone->prefix_built_at_count_ = 0;
   return clone;
 }
 
@@ -68,6 +114,8 @@ Status EquiWidthHistogram::MergeFrom(const SelectivityEstimator& other) {
   }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += rhs.counts_[i];
   count_ += rhs.count_;
+  prefix_.clear();  // stale; rebuilt at the next query
+  prefix_built_at_count_ = 0;
   return Status::OK();
 }
 
@@ -91,6 +139,10 @@ Status EquiWidthHistogram::LoadStateImpl(io::Source& source) {
   width_ = width;
   count_ = static_cast<size_t>(count);
   counts_ = std::move(counts);
+  // The prefix table is derived state: rebuilding from identical counts at
+  // the first query reproduces identical answers.
+  prefix_.clear();
+  prefix_built_at_count_ = 0;
   return Status::OK();
 }
 
@@ -150,6 +202,29 @@ double EquiDepthHistogram::EstimateRangeImpl(double a, double b) const {
   if (values_.empty()) return 0.0;
   RebuildIfStale();
   return CdfAt(b) - CdfAt(a);
+}
+
+void EquiDepthHistogram::AnswerImpl(std::span<const Query> queries,
+                                    std::span<double> out) const {
+  if (values_.empty()) {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
+    return;
+  }
+  RebuildIfStale();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    switch (q.kind) {
+      case QueryKind::kLess:
+      case QueryKind::kCdf:
+        // One CdfAt. Bit-identical to CdfAt(x) - CdfAt(-inf): the -inf
+        // endpoint falls below the first boundary, where CdfAt is exactly 0.
+        out[i] = CdfAt(q.a);
+        break;
+      default:
+        out[i] = AnswerOne(q);
+        break;
+    }
+  }
 }
 
 std::string EquiDepthHistogram::name() const {

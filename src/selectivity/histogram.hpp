@@ -12,6 +12,12 @@ namespace selectivity {
 /// continuous-uniform assumption inside buckets — the standard optimizer
 /// baseline the wavelet estimator competes with.
 ///
+/// Queries run off a lazily rebuilt prefix-sum table: EstimateRangeImpl is
+/// F(b) - F(a) with F evaluated in O(1) (bucket index + within-bucket
+/// fraction), so ranges, one-sided predicates and CDF probes all cost O(1)
+/// instead of a scan over every bucket, and the AnswerImpl override answers
+/// Less/Cdf kinds with a single prefix lookup.
+///
 /// Mergeable: bucket counts are exact integer sums, so merging replicas over
 /// disjoint sub-streams is bit-identical to one histogram over the
 /// concatenated stream.
@@ -22,6 +28,10 @@ class EquiWidthHistogram : public SelectivityEstimator {
   void Insert(double x) override;
   size_t count() const override { return count_; }
   std::string name() const override;
+
+  /// One bucket: the histogram's resolution is its equality width.
+  double EqualityWidth() const override { return width_; }
+  RangeQuery Domain() const override;
 
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Adds `other`'s bucket counts element-wise; requires identical domain
@@ -34,14 +44,27 @@ class EquiWidthHistogram : public SelectivityEstimator {
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  /// One staleness check for the whole batch, then Less/Cdf kinds answer
+  /// with a single prefix-sum lookup (bit-identical to the two-lookup range
+  /// lowering because F(domain lo) is exactly 0); other kinds fall back to
+  /// the canonical lowering.
+  void AnswerImpl(std::span<const Query> queries,
+                  std::span<double> out) const override;
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
 
  private:
+  void RebuildPrefixIfStale() const;
+  /// Estimated CDF at x (prefix mass + within-bucket fraction, continuous-
+  /// uniform inside the bucket). Requires a fresh prefix table and count_>0.
+  double CdfAt(double x) const;
+
   double lo_;
   double width_;
   std::vector<double> counts_;
   size_t count_ = 0;
+  mutable std::vector<double> prefix_;  // prefix_[i] = Σ counts_[0..i)
+  mutable size_t prefix_built_at_count_ = 0;
 };
 
 /// Equi-depth (equi-height) histogram: bucket boundaries at sample quantiles,
@@ -59,6 +82,13 @@ class EquiDepthHistogram : public SelectivityEstimator {
   size_t count() const override { return values_.size(); }
   std::string name() const override;
 
+  /// One average-depth bucket of the domain (the boundaries move with the
+  /// data; the declared resolution is the static domain fraction).
+  double EqualityWidth() const override {
+    return (hi_ - lo_) / static_cast<double>(buckets_);
+  }
+  RangeQuery Domain() const override { return RangeQuery{lo_, hi_}; }
+
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Appends `other`'s retained values and invalidates the boundary cache;
   /// requires identical domain and bucket count.
@@ -68,6 +98,12 @@ class EquiDepthHistogram : public SelectivityEstimator {
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
+  /// One boundary rebuild for the whole batch, then Less/Cdf kinds answer
+  /// with a single CdfAt (bit-identical to the range lowering: CdfAt at the
+  /// lower domain edge is exactly 0); other kinds fall back to the
+  /// canonical lowering.
+  void AnswerImpl(std::span<const Query> queries,
+                  std::span<double> out) const override;
   /// The boundary cache is rebuilt whenever the retained count changes, so
   /// only the values travel: the restored histogram re-derives identical
   /// boundaries at its first query.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "kernel/bandwidth.hpp"
 
@@ -47,6 +48,12 @@ double KdeSelectivity::EstimateRangeImpl(double a, double b) const {
       if (x >= a && x <= b) ++hits;
     }
     return static_cast<double>(hits) / static_cast<double>(values_.size());
+  }
+  if (a == -std::numeric_limits<double>::infinity()) {
+    // The Less/Cdf lowering: the windowed kernel antiderivative is
+    // bit-identical to IntegrateRange(-inf, b) (see CdfAt) and touches only
+    // the samples inside the kernel support around b.
+    return std::clamp(kde_->CdfAt(b), 0.0, 1.0);
   }
   return std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
 }
@@ -112,20 +119,32 @@ Status KdeSelectivity::LoadStateImpl(io::Source& source) {
   return Status::OK();
 }
 
-void KdeSelectivity::EstimateBatchImpl(std::span<const RangeQuery> queries,
-                                       std::span<double> out) const {
+void KdeSelectivity::AnswerImpl(std::span<const Query> queries,
+                               std::span<double> out) const {
   // The public wrapper guarantees matched spans, a non-empty batch and
   // normalized queries.
   RefitIfStale();  // no inserts between queries: staleness is checked once
   if (!kde_.has_value()) {
-    // Tiny-sample fallback, matching the scalar path per query.
-    for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = EstimateRangeImpl(queries[i].lo, queries[i].hi);
-    }
+    // Tiny-sample fallback, matching the scalar lowering per query.
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
     return;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    out[i] = std::clamp(kde_->IntegrateRange(queries[i].lo, queries[i].hi), 0.0, 1.0);
+    const Query& q = queries[i];
+    switch (q.kind) {
+      case QueryKind::kLess:
+      case QueryKind::kCdf:
+        out[i] = std::clamp(kde_->CdfAt(q.a), 0.0, 1.0);
+        break;
+      case QueryKind::kQuantile:
+        out[i] = QuantileByBisection(q.a);
+        break;
+      default: {
+        const RangeQuery r = LowerToRange(q);
+        out[i] = std::clamp(kde_->IntegrateRange(r.lo, r.hi), 0.0, 1.0);
+        break;
+      }
+    }
   }
 }
 

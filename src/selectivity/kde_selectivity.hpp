@@ -13,7 +13,9 @@ namespace selectivity {
 /// Kernel-density selectivity baseline: buffers the stream (unlike the
 /// wavelet sketch it is NOT bounded-memory), rebuilds an Epanechnikov KDE
 /// with the rule-of-thumb bandwidth when stale, and answers ranges from the
-/// kernel CDF.
+/// kernel CDF. One-sided and CDF kinds run the windowed kernel
+/// antiderivative (KernelDensityEstimator::CdfAt — O(log n + window) and
+/// bit-identical to the (-inf, x] range lowering).
 ///
 /// Mergeable: the sample buffers concatenate in merge order and the KDE
 /// refits from the merged buffer. Merges that append in stream order
@@ -40,6 +42,16 @@ class KdeSelectivity : public SelectivityEstimator {
   size_t count() const override { return values_.size(); }
   std::string name() const override { return "kde-rot"; }
 
+  /// The KDE's natural resolution is its bandwidth, but the bandwidth moves
+  /// with refits; the declared equality width is the static domain fraction
+  /// 1/1024 so point-query answers do not change meaning across refits.
+  double EqualityWidth() const override {
+    return (options_.domain_hi - options_.domain_lo) / 1024.0;
+  }
+  RangeQuery Domain() const override {
+    return RangeQuery{options_.domain_lo, options_.domain_hi};
+  }
+
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Appends `other`'s buffered values and invalidates the fitted KDE;
   /// requires identical options.
@@ -48,18 +60,17 @@ class KdeSelectivity : public SelectivityEstimator {
   const char* snapshot_type_tag() const override { return "kde-rot"; }
 
  protected:
+  /// Ranges from the kernel CDF; a (-inf, x] range (the Less/Cdf lowering)
+  /// takes the windowed CdfAt path — bit-identical, O(log n + window).
   double EstimateRangeImpl(double a, double b) const override;
-  /// Persists the buffer plus the count the current KDE was fitted at; the
-  /// restore refits from exactly that prefix (the buffer is append-only), so
-  /// a mid-interval save answers bit-identically to the saved estimator —
-  /// including the staleness it would have served.
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
 
-  /// Batched queries: one staleness check/refit, then kernel-CDF range
-  /// integrals straight off the fitted KDE. Bit-identical to the scalar loop.
-  void EstimateBatchImpl(std::span<const RangeQuery> queries,
-                         std::span<double> out) const override;
+  /// Batched queries: one staleness check/refit, then kernel-CDF integrals
+  /// (windowed for one-sided kinds) straight off the fitted KDE; quantiles
+  /// through the shared bisection. Bit-identical to the scalar loop.
+  void AnswerImpl(std::span<const Query> queries,
+                  std::span<double> out) const override;
 
  private:
   void RefitIfStale() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -32,6 +34,54 @@ std::vector<RangeQuery> CenteredRangeWorkload(stats::Rng& rng, size_t count,
     const double center = rng.Uniform(domain_lo, domain_hi);
     q.lo = std::max(domain_lo, center - width / 2.0);
     q.hi = std::min(domain_hi, center + width / 2.0);
+  }
+  return out;
+}
+
+std::vector<Query> MixedQueryWorkload(stats::Rng& rng, size_t count,
+                                      double domain_lo, double domain_hi,
+                                      const QueryKindMix& mix) {
+  WDE_CHECK_LT(domain_lo, domain_hi);
+  const double weights[] = {mix.range, mix.point,    mix.less,
+                            mix.greater, mix.cdf,    mix.quantile};
+  double total = 0.0;
+  for (double w : weights) {
+    WDE_CHECK(w >= 0.0, "kind weights must be nonnegative");
+    total += w;
+  }
+  WDE_CHECK(total > 0.0, "at least one kind weight must be positive");
+  std::vector<Query> out(count);
+  for (Query& q : out) {
+    double draw = rng.UniformDouble() * total;
+    size_t kind = 0;
+    while (kind + 1 < std::size(weights) && draw >= weights[kind]) {
+      draw -= weights[kind];
+      ++kind;
+    }
+    switch (static_cast<QueryKind>(kind)) {
+      case QueryKind::kRange: {
+        double a = rng.Uniform(domain_lo, domain_hi);
+        double b = rng.Uniform(domain_lo, domain_hi);
+        if (b < a) std::swap(a, b);
+        q = Query::Range(a, b);
+        break;
+      }
+      case QueryKind::kPoint:
+        q = Query::Point(rng.Uniform(domain_lo, domain_hi));
+        break;
+      case QueryKind::kLess:
+        q = Query::Less(rng.Uniform(domain_lo, domain_hi));
+        break;
+      case QueryKind::kGreater:
+        q = Query::Greater(rng.Uniform(domain_lo, domain_hi));
+        break;
+      case QueryKind::kCdf:
+        q = Query::Cdf(rng.Uniform(domain_lo, domain_hi));
+        break;
+      case QueryKind::kQuantile:
+        q = Query::Quantile(rng.UniformDouble());
+        break;
+    }
   }
   return out;
 }

@@ -23,6 +23,28 @@ std::vector<RangeQuery> CenteredRangeWorkload(stats::Rng& rng, size_t count,
                                               double domain_lo, double domain_hi,
                                               double min_width, double max_width);
 
+/// Relative frequencies of the query kinds in a mixed workload (normalized
+/// internally; a zero weight drops the kind). The default mix resembles an
+/// optimizer trace: mostly ranges with a steady tail of equality, one-sided,
+/// CDF and quantile probes.
+struct QueryKindMix {
+  double range = 0.40;
+  double point = 0.12;
+  double less = 0.12;
+  double greater = 0.12;
+  double cdf = 0.12;
+  double quantile = 0.12;
+};
+
+/// Generates `count` mixed-kind queries over the domain: range endpoints
+/// uniform (sorted per query), point/one-sided/CDF parameters uniform in the
+/// domain, quantile levels uniform in [0, 1]. Kinds are drawn independently
+/// from `mix`, so the workload interleaves kinds the way live optimizer
+/// traffic does rather than batching by kind.
+std::vector<Query> MixedQueryWorkload(stats::Rng& rng, size_t count,
+                                      double domain_lo, double domain_hi,
+                                      const QueryKindMix& mix = {});
+
 /// Accuracy aggregates of an estimator against a ground-truth selectivity
 /// oracle. The q-error is max(est, truth)/min(est, truth) with both floored
 /// at `qerror_floor` (the DB-standard multiplicative error measure).

@@ -31,6 +31,15 @@ class ReservoirSampleSelectivity : public SelectivityEstimator {
   size_t count() const override { return seen_; }
   std::string name() const override;
 
+  /// The reservoir declares no domain and keeps raw values, so equality
+  /// queries inherit the interface's exact-match lowering (width 0): the
+  /// answer is the fraction of the sample exactly equal to x.
+  ///
+  /// Domain() reports the span of the current sample (quantile answers are
+  /// bracketed by the observed data); the interface default [0, 1] applies
+  /// while the reservoir is empty.
+  RangeQuery Domain() const override;
+
   /// Clones carry the capacity and the construction seed (fresh RNG stream).
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Weighted reservoir union (see the class comment); requires identical

@@ -1,11 +1,142 @@
 #include "selectivity/selectivity_estimator.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
 #include <string_view>
 
 #include "io/chunk.hpp"
+#include "numerics/optimize.hpp"
 
 namespace wde {
 namespace selectivity {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when the query may be handed to AnswerImpl as-is: no NaN in any used
+/// parameter, ranges ordered, quantile levels inside [0, 1]. (NaN fails every
+/// ordered comparison, so the kRange and kQuantile predicates subsume the
+/// NaN checks for their parameters.)
+bool IsNormalized(const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kRange:
+      return q.a <= q.b;
+    case QueryKind::kQuantile:
+      return q.a >= 0.0 && q.a <= 1.0;
+    default:
+      return !std::isnan(q.a);
+  }
+}
+
+/// True when the abnormal query is answered 0.0 at the interface (NaN in a
+/// used parameter) rather than rewritten and dispatched.
+bool AnswersZero(const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kRange:
+      return std::isnan(q.a) || std::isnan(q.b);
+    default:
+      return std::isnan(q.a);
+  }
+}
+
+/// Rewrites the one abnormal non-NaN form per kind: inverted ranges swap,
+/// out-of-range quantile levels clamp.
+Query Normalize(const Query& q) {
+  Query fixed = q;
+  if (q.kind == QueryKind::kRange) {
+    std::swap(fixed.a, fixed.b);
+  } else if (q.kind == QueryKind::kQuantile) {
+    fixed.a = std::clamp(q.a, 0.0, 1.0);
+  }
+  return fixed;
+}
+
+}  // namespace
+
+void SelectivityEstimator::Answer(std::span<const Query> queries,
+                                  std::span<double> out) const {
+  WDE_CHECK_EQ(queries.size(), out.size(), "Answer spans must match");
+  if (queries.empty()) return;
+  // One scan; maximal already-normalized runs go to AnswerImpl as sub-spans
+  // of the caller's storage (no copy, however many queries need fixing), and
+  // each abnormal query is either answered 0.0 here (NaN) or rewritten on
+  // the stack and dispatched alone.
+  size_t run_start = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    if (IsNormalized(q)) continue;
+    if (i > run_start) {
+      AnswerImpl(queries.subspan(run_start, i - run_start),
+                 out.subspan(run_start, i - run_start));
+    }
+    run_start = i + 1;
+    if (AnswersZero(q)) {
+      out[i] = 0.0;
+      continue;
+    }
+    const Query fixed = Normalize(q);
+    AnswerImpl(std::span<const Query>(&fixed, 1), out.subspan(i, 1));
+  }
+  if (run_start < queries.size()) {
+    AnswerImpl(queries.subspan(run_start), out.subspan(run_start));
+  }
+}
+
+void SelectivityEstimator::EstimateBatch(std::span<const RangeQuery> queries,
+                                         std::span<double> out) const {
+  WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
+  if (queries.empty()) return;
+  // Chunked conversion through a stack buffer: bounded storage regardless of
+  // batch size, and Answer() runs its normalization per chunk (query answers
+  // are independent, so chunking cannot change them).
+  std::array<Query, 256> buffer;
+  size_t offset = 0;
+  while (offset < queries.size()) {
+    const size_t n = std::min(buffer.size(), queries.size() - offset);
+    for (size_t i = 0; i < n; ++i) {
+      buffer[i] = Query::Range(queries[offset + i].lo, queries[offset + i].hi);
+    }
+    Answer(std::span<const Query>(buffer.data(), n), out.subspan(offset, n));
+    offset += n;
+  }
+}
+
+RangeQuery SelectivityEstimator::LowerToRange(const Query& query) const {
+  switch (query.kind) {
+    case QueryKind::kRange:
+      return RangeQuery{query.a, query.b};
+    case QueryKind::kPoint: {
+      const double half = 0.5 * EqualityWidth();
+      return RangeQuery{query.a - half, query.a + half};
+    }
+    case QueryKind::kLess:
+    case QueryKind::kCdf:
+      return RangeQuery{-kInf, query.a};
+    case QueryKind::kGreater:
+      return RangeQuery{query.a, kInf};
+    case QueryKind::kQuantile:
+      break;
+  }
+  WDE_CHECK(false, "kQuantile has no range lowering");
+  return RangeQuery{};
+}
+
+double SelectivityEstimator::AnswerOne(const Query& query) const {
+  if (query.kind == QueryKind::kQuantile) return QuantileByBisection(query.a);
+  const RangeQuery range = LowerToRange(query);
+  return EstimateRangeImpl(range.lo, range.hi);
+}
+
+double SelectivityEstimator::QuantileByBisection(double p) const {
+  if (count() == 0) return 0.0;
+  const RangeQuery domain = Domain();
+  return numerics::BisectMonotone(
+      [this](double x) { return EstimateRangeImpl(-kInf, x); }, p, domain.lo,
+      domain.hi);
+}
 
 Status SelectivityEstimator::SaveState(io::Sink& sink) const {
   if (!snapshotable()) {

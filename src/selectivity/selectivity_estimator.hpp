@@ -1,25 +1,31 @@
 /// \file selectivity/selectivity_estimator.hpp
 /// Entry header of the `selectivity` module: the streaming interface every
-/// range-selectivity estimator implements (wavelet sketch, wavelet synopsis,
-/// KDE, equi-width/equi-depth histograms, reservoir sample) — the paper's
-/// motivating database application. Invariants: Insert() never throws or
-/// aborts on dirty data (non-finite values are dropped, out-of-domain values
-/// clamped); EstimateRange(a, b) approximates P(a ≤ X ≤ b) and is in [0, 1]
-/// up to estimator bias; inverted ranges (a > b) are normalized by swapping
-/// at the interface (EstimateRange and EstimateBatch are non-virtual
-/// wrappers), so every implementation sees a ≤ b; implementations are not
-/// thread-safe (wrap in ShardedSelectivityEstimator or externally). The
-/// scalar virtuals (Insert/EstimateRangeImpl) are the extension point; the
-/// batch extension points (InsertBatch/EstimateBatchImpl) default to looping
-/// them (with empty spans as explicit no-ops at the public entry) and may be
-/// overridden with genuinely batched implementations that must stay
-/// bit-identical to the scalar loop (enforced by batch_equivalence_test).
-/// Estimators whose state is additive
-/// additionally implement the mergeability contract (CloneEmpty/MergeFrom),
-/// which the sharded parallel ingest engine builds on, and every shipped
-/// estimator implements the snapshot contract (SaveState/LoadState over the
-/// versioned wire format of io/chunk.hpp), which makes fitted state a
-/// storable, shippable artifact — restore is bit-exact and merge-compatible.
+/// selectivity estimator implements (wavelet sketch, wavelet synopsis, KDE,
+/// equi-width/equi-depth histograms, reservoir sample) — the paper's
+/// motivating database application. The public query surface is the typed
+/// `Query` taxonomy answered through the single non-virtual `Answer()` entry
+/// point: closed ranges, equality points, one-sided predicates, CDF probes
+/// and quantiles — the query family a real optimizer mixes over one fitted
+/// statistic. Invariants: Insert() never throws or aborts on dirty data
+/// (non-finite values are dropped, out-of-domain values clamped); mass-kind
+/// answers approximate probabilities in [0, 1] up to estimator bias; all
+/// edge-case normalization (inverted ranges, NaN parameters, quantile levels
+/// outside [0, 1]) happens ONCE in the non-virtual wrappers, so no
+/// implementation can drift on it. The scalar virtuals
+/// (Insert/EstimateRangeImpl) are the minimal extension point; `AnswerImpl`
+/// is the batch extension point (defaulting to the documented lowering of
+/// every kind onto EstimateRangeImpl) and overrides must stay bit-identical
+/// to that lowering (enforced by batch_equivalence_test and
+/// query_taxonomy_test). Implementations are not thread-safe (wrap in
+/// ShardedSelectivityEstimator or externally). Estimators whose state is
+/// additive additionally implement the mergeability contract
+/// (CloneEmpty/MergeFrom), which the sharded parallel ingest engine builds
+/// on, and every shipped estimator implements the snapshot contract
+/// (SaveState/LoadState over the versioned wire format of io/chunk.hpp),
+/// which makes fitted state a storable, shippable artifact — restore is
+/// bit-exact and merge-compatible. Estimators are constructed declaratively
+/// from an `EstimatorSpec` (estimator_spec.hpp) through the spec-aware
+/// factory registry (estimator_registry.hpp).
 #ifndef WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 #define WDE_SELECTIVITY_SELECTIVITY_ESTIMATOR_HPP_
 
@@ -53,16 +59,60 @@ inline constexpr uint32_t kChunkEstimatorState = 0x54415453;  // "STAT"
 Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorEnvelope(
     io::Source& source);
 
-/// A closed range predicate [lo, hi].
+/// A closed range predicate [lo, hi] — the legacy query type, kept as the
+/// payload of Query::Range and for the EstimateBatch compatibility wrapper.
 struct RangeQuery {
   double lo = 0.0;
   double hi = 0.0;
 };
 
-/// A streaming estimator of range-predicate selectivity over a single numeric
-/// attribute: after observing values x_1..x_n, EstimateRange(a, b)
-/// approximates P(a <= X <= b) — the fraction of rows a query optimizer
-/// expects `WHERE a <= col AND col <= b` to select.
+/// The query taxonomy: what a query optimizer asks a column statistic.
+enum class QueryKind : uint8_t {
+  kRange = 0,     // P(lo <= X <= hi)
+  kPoint = 1,     // P(X = x), answered via the equality-width heuristic
+  kLess = 2,      // P(X <= c)
+  kGreater = 3,   // P(X >= c)
+  kCdf = 4,       // F(x) = P(X <= x) (alias of kLess; spelled for intent)
+  kQuantile = 5,  // F^{-1}(p): the value x with F(x) ≈ p
+};
+
+/// A tagged query. `a` carries the single parameter of every kind (x, c, or
+/// p); ranges additionally use `b` as the upper endpoint. Build queries with
+/// the named factories — they document which field means what.
+///
+/// Semantics are fixed at the interface (see Answer() for the normalization
+/// and the lowering rules):
+///   Range(lo, hi)  — mass of [lo, hi]; inverted endpoints denote [hi, lo].
+///   Point(x)       — equality mass, answered as the narrow range
+///                    [x - w/2, x + w/2] with w = EqualityWidth() (the
+///                    estimator's resolution; w = 0 means exact match).
+///   Less(c)        — mass of (-inf, c];  Greater(c) — mass of [c, +inf).
+///   Cdf(x)         — identical lowering to Less(x).
+///   Quantile(p)    — inverse CDF at p in [0, 1] (out-of-range p clamps),
+///                    bracketed by Domain() and found by bisection.
+struct Query {
+  QueryKind kind = QueryKind::kRange;
+  double a = 0.0;
+  double b = 0.0;
+
+  static constexpr Query Range(double lo, double hi) {
+    return Query{QueryKind::kRange, lo, hi};
+  }
+  static constexpr Query Point(double x) { return Query{QueryKind::kPoint, x, 0.0}; }
+  static constexpr Query Less(double c) { return Query{QueryKind::kLess, c, 0.0}; }
+  static constexpr Query Greater(double c) {
+    return Query{QueryKind::kGreater, c, 0.0};
+  }
+  static constexpr Query Cdf(double x) { return Query{QueryKind::kCdf, x, 0.0}; }
+  static constexpr Query Quantile(double p) {
+    return Query{QueryKind::kQuantile, p, 0.0};
+  }
+};
+
+/// A streaming estimator of selectivity over a single numeric attribute:
+/// after observing values x_1..x_n, Answer() approximates the probability
+/// (or quantile) each Query denotes — what a query optimizer expects
+/// `WHERE`-predicates over the column to select.
 ///
 /// Implementations are single-writer/single-reader and not thread-safe;
 /// wrap externally if shared. `ShardedSelectivityEstimator` is the provided
@@ -87,44 +137,59 @@ class SelectivityEstimator {
     for (double x : xs) Insert(x);
   }
 
-  /// Estimated selectivity of [a, b]; implementations return values in
-  /// [0, 1] up to estimator bias (wavelet estimates may slightly overshoot).
-  /// An inverted range (a > b) denotes the same predicate as [b, a] and is
-  /// normalized here — one swap at the interface, uniform across every
-  /// implementation — so EstimateRangeImpl always sees a <= b.
-  double EstimateRange(double a, double b) const {
-    if (b < a) std::swap(a, b);
-    return EstimateRangeImpl(a, b);
+  // ------------------------------------------------------------ query surface
+  //
+  // One entry point for every query kind. Answer() is non-virtual: the
+  // edge-case normalization lives here, once, uniformly across every
+  // implementation, so AnswerImpl always sees normalized queries:
+  //   * NaN in any query parameter answers 0.0 — the documented dirty-query
+  //     sibling of Insert() dropping NaN — and never reaches an
+  //     implementation. ±inf endpoints are legal (they denote the one-sided
+  //     limits and clamp against the estimator's domain).
+  //   * Inverted ranges (a > b) are swapped: one documented choice —
+  //     Range(a, b) with a > b denotes the same predicate as [b, a].
+  //   * Quantile levels are clamped to [0, 1].
+  // Normalization never copies the whole batch: already-normalized runs are
+  // handed to AnswerImpl as sub-spans of the caller's storage and only the
+  // rare abnormal query is rewritten on the stack.
+
+  /// Answers a query batch: out[i] answers queries[i], bit-identical to
+  /// answering each query alone. Spans must match; an empty batch is a no-op.
+  void Answer(std::span<const Query> queries, std::span<double> out) const;
+
+  /// Scalar convenience overload.
+  double Answer(const Query& query) const {
+    double out = 0.0;
+    Answer(std::span<const Query>(&query, 1), std::span<double>(&out, 1));
+    return out;
   }
 
-  /// Answers a query batch: out[i] = EstimateRange(queries[i].lo,
-  /// queries[i].hi), bit-identical to the scalar loop. Non-virtual, like
-  /// EstimateRange: the empty-span no-op and the inverted-range
-  /// normalization live here (one scan; queries are copied only when some
-  /// range actually is inverted), so EstimateBatchImpl always sees a
-  /// non-empty batch of lo <= hi queries and implementations cannot drift
-  /// on either edge case.
-  void EstimateBatch(std::span<const RangeQuery> queries,
-                     std::span<double> out) const {
-    WDE_CHECK_EQ(queries.size(), out.size(), "EstimateBatch spans must match");
-    if (queries.empty()) return;
-    bool any_inverted = false;
-    for (const RangeQuery& q : queries) {
-      if (q.hi < q.lo) {
-        any_inverted = true;
-        break;
-      }
-    }
-    if (!any_inverted) {
-      EstimateBatchImpl(queries, out);
-      return;
-    }
-    std::vector<RangeQuery> normalized(queries.begin(), queries.end());
-    for (RangeQuery& q : normalized) {
-      if (q.hi < q.lo) std::swap(q.lo, q.hi);
-    }
-    EstimateBatchImpl(normalized, out);
+  /// Legacy range entry point: identical to Answer(Query::Range(a, b)).
+  double EstimateRange(double a, double b) const {
+    return Answer(Query::Range(a, b));
   }
+
+  /// Legacy range-batch entry point: identical to Answer() over
+  /// Query::Range(q.lo, q.hi) per query. Thin wrapper: ranges are converted
+  /// through a fixed-size stack buffer (no heap allocation, no full-batch
+  /// copy) and answered by Answer(), so both entry points share one
+  /// normalization and one extension point.
+  void EstimateBatch(std::span<const RangeQuery> queries,
+                     std::span<double> out) const;
+
+  /// Width of the equality interval a Point(x) query denotes: the
+  /// estimator's declared resolution (bucket width, grid cell, finest
+  /// wavelet cell, ...). The interface default 0 degenerates the lowering to
+  /// the exact-match range [x, x] — the natural answer for sample-based
+  /// estimators; continuous estimators override with their resolution.
+  virtual double EqualityWidth() const { return 0.0; }
+
+  /// The estimator's declared value domain [lo, hi]: the interval inserts
+  /// are clamped to and quantile answers are bracketed by. The interface
+  /// default is the library-wide default domain [0, 1]; estimators with
+  /// configurable domains override. (The reservoir sample, which declares no
+  /// domain, reports the span of its current sample.)
+  virtual RangeQuery Domain() const { return RangeQuery{0.0, 1.0}; }
 
   virtual size_t count() const = 0;
   virtual std::string name() const = 0;
@@ -174,16 +239,17 @@ class SelectivityEstimator {
   // envelope of io/chunk.hpp: SaveState writes a self-describing
   // [type tag | state] chunk pair, LoadState restores it into an estimator of
   // the same concrete type, fully replacing configuration and data. The
-  // contract: a restored estimator answers EstimateBatch bit-identically to
-  // the estimator that saved — lazily fitted caches are persisted (or
-  // reconstructed from exactly the data they were fitted on), so answers
-  // match even when the save landed mid refit-interval — and is
+  // contract: a restored estimator answers Answer/EstimateBatch
+  // bit-identically to the estimator that saved — lazily fitted caches are
+  // persisted (or reconstructed from exactly the data they were fitted on),
+  // so answers match even when the save landed mid refit-interval — and is
   // merge-compatible with it under the ordinary MergeFrom rules. Decoding
   // hostile bytes (truncated, bit-flipped, wrong magic, future version)
   // yields a non-OK Status, never UB or an abort, and a failed LoadState
   // leaves the estimator untouched (parse fully, then commit). The string
   // tag → factory registry (estimator_registry.hpp) restores whole snapshots
-  // without naming the concrete type at the call site.
+  // without naming the concrete type at the call site; the same tag keys the
+  // declarative construction path (EstimatorSpec::tag).
 
   /// Stable wire identity of the concrete type — the registry key, parallel
   /// to merge_type_tag() (the string survives process boundaries, the
@@ -248,21 +314,54 @@ class SelectivityEstimator {
     return Status::OK();
   }
 
-  /// The scalar query extension point. Called with a <= b (the public
-  /// EstimateRange wrapper normalizes inverted ranges).
+  /// The scalar range extension point — the minimal surface a new estimator
+  /// implements; every query kind lowers onto it. Called with a <= b; the
+  /// endpoints may be ±inf (the one-sided limits), never NaN.
   virtual double EstimateRangeImpl(double a, double b) const = 0;
 
   /// The batch query extension point: called with matched spans, at least
-  /// one query, and every query normalized to lo <= hi. The default loops
-  /// the scalar extension point; overrides amortize staleness checks and
-  /// per-level reconstruction setup across queries and must stay
-  /// bit-identical to the scalar loop.
-  virtual void EstimateBatchImpl(std::span<const RangeQuery> queries,
-                                 std::span<double> out) const {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      out[i] = EstimateRangeImpl(queries[i].lo, queries[i].hi);
-    }
+  /// one query, and every query normalized (ranges with lo <= hi, no NaN
+  /// parameters, quantile levels in [0, 1]). The default loops the canonical
+  /// scalar lowering AnswerOne(); overrides amortize staleness checks and
+  /// per-level reconstruction setup across queries — and may substitute
+  /// genuinely cheaper per-kind paths (signed-CDF evaluation, prefix sums,
+  /// windowed kernel antiderivatives) — but must stay bit-identical to the
+  /// default lowering (enforced by batch_equivalence_test and
+  /// query_taxonomy_test).
+  ///
+  /// Lazily fitted state (refit caches, prefix tables, boundary rebuilds)
+  /// must be refreshed by the FIRST query dispatched, whatever its kind —
+  /// never built kind-by-kind partway through a batch. Every shipped
+  /// estimator routes all kinds through one staleness check, and
+  /// ShardedSelectivityEstimator relies on this: it answers one warm-up
+  /// query against its merged view and then fans the rest of the batch out
+  /// across threads as pure reads, so kind-specific lazy caches would be a
+  /// data race under the sharded wrapper.
+  virtual void AnswerImpl(std::span<const Query> queries,
+                          std::span<double> out) const {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
   }
+
+  /// The canonical lowering of one normalized query onto EstimateRangeImpl:
+  /// mass kinds become range endpoints via LowerToRange(); quantiles invert
+  /// the lowered CDF via QuantileByBisection(). AnswerImpl overrides fall
+  /// back to this for kinds they have no cheaper path for.
+  double AnswerOne(const Query& query) const;
+
+  /// Lowers a normalized mass-kind query (anything but kQuantile) to its
+  /// range endpoints: Range passes through, Point becomes
+  /// [x - EqualityWidth()/2, x + EqualityWidth()/2], Less/Cdf become
+  /// (-inf, c], Greater becomes [c, +inf).
+  RangeQuery LowerToRange(const Query& query) const;
+
+  /// The documented quantile algorithm: bisection of the lowered CDF
+  /// x ↦ EstimateRangeImpl(-inf, x) over the Domain() bracket
+  /// (numerics::BisectMonotone, tolerance 1e-12, 200 iterations), so
+  /// quantile answers always land inside the declared domain. An estimator
+  /// with no data answers 0.0. Deterministic; overrides answering kQuantile
+  /// must route through this helper so batch and scalar paths agree
+  /// bitwise.
+  double QuantileByBisection(double p) const;
 };
 
 /// Defines the per-class merge tag used by mergeable estimators: a static

@@ -23,7 +23,8 @@ Result<ShardedSelectivityEstimator> ShardedSelectivityEstimator::Create(
   }
   if (!prototype.mergeable()) {
     return Status::FailedPrecondition(
-        prototype.name() + " does not support CloneEmpty/MergeFrom and cannot be sharded");
+        prototype.name() +
+        " does not support CloneEmpty/MergeFrom and cannot be sharded");
   }
   std::unique_ptr<SelectivityEstimator> keeper = prototype.CloneEmpty();
   WDE_CHECK(keeper != nullptr, "mergeable estimator returned a null clone");
@@ -100,9 +101,33 @@ double ShardedSelectivityEstimator::EstimateRangeImpl(double a, double b) const 
   return Merged().EstimateRange(a, b);
 }
 
-void ShardedSelectivityEstimator::EstimateBatchImpl(
-    std::span<const RangeQuery> queries, std::span<double> out) const {
-  Merged().EstimateBatch(queries, out);
+void ShardedSelectivityEstimator::AnswerImpl(std::span<const Query> queries,
+                                             std::span<double> out) const {
+  SelectivityEstimator& merged = Merged();
+  // Warm-up: the first query forces every lazily fitted cache the batch can
+  // touch (refit, boundary/prefix rebuild), so the concurrent chunks below
+  // are pure reads against the merged view.
+  merged.Answer(queries.first(1), out.first(1));
+  const size_t rest = queries.size() - 1;
+  if (rest == 0) return;
+  // Small batches are not worth a dispatch; one serial pass. The threshold
+  // affects scheduling only — per-query answers are independent, so any
+  // chunking is bit-identical.
+  constexpr size_t kMinQueriesPerTask = 32;
+  const size_t K = replicas_.size();
+  if (K == 1 || rest < 2 * kMinQueriesPerTask) {
+    merged.Answer(queries.subspan(1), out.subspan(1));
+    return;
+  }
+  // Contiguous chunks, one per shard-width task — a pure function of
+  // (batch size, K), never of the pool schedule.
+  const size_t chunk = std::max(kMinQueriesPerTask, (rest + K - 1) / K);
+  const auto tasks = static_cast<int>((rest + chunk - 1) / chunk);
+  pool().ParallelFor(tasks, [&](int t) {
+    const size_t begin = 1 + static_cast<size_t>(t) * chunk;
+    const size_t len = std::min(chunk, queries.size() - begin);
+    merged.Answer(queries.subspan(begin, len), out.subspan(begin, len));
+  });
 }
 
 size_t ShardedSelectivityEstimator::count() const {

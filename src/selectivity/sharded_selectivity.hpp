@@ -80,6 +80,12 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   size_t count() const override;
   std::string name() const override;
 
+  /// Query semantics are the prototype's: resolution and domain forward to
+  /// the configuration keeper, so a sharded estimator lowers point and
+  /// quantile queries exactly like its underlying type.
+  double EqualityWidth() const override { return prototype_->EqualityWidth(); }
+  RangeQuery Domain() const override { return prototype_->Domain(); }
+
   /// Sharded estimators merge shard-wise with a sharded estimator of the
   /// same K/block size and compatible replicas — the distributed-node merge
   /// path.
@@ -109,10 +115,19 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
  protected:
   double EstimateRangeImpl(double a, double b) const override;
 
-  /// Answers the whole batch from the merged view (one merge, then the
-  /// merged estimator's own batched query path).
-  void EstimateBatchImpl(std::span<const RangeQuery> queries,
-                         std::span<double> out) const override;
+  /// Answers the whole mixed-kind batch from the merged view — one merge,
+  /// then the merged estimator's own batched query path, fanned out across
+  /// the pool in deterministic contiguous chunks for large batches. Queries
+  /// are answered by the MERGED state, never by combining per-shard answers:
+  /// mass kinds would combine, but quantiles of per-shard sub-streams do not
+  /// compose into the global quantile. The first query is answered alone to
+  /// warm the merged view's lazily fitted caches (refit/rebuild/prefix
+  /// tables), so the parallel chunks only read; this leans on the AnswerImpl
+  /// contract that the first dispatched query of a batch refreshes ALL lazy
+  /// state regardless of kind (see selectivity_estimator.hpp). Answers are
+  /// independent per query, so chunking is bit-identical to one serial pass.
+  void AnswerImpl(std::span<const Query> queries,
+                  std::span<double> out) const override;
 
   /// Nested envelopes: partition metadata, then prototype, replicas and the
   /// optional merged view through the registry's envelope framing.

@@ -105,26 +105,48 @@ Status StreamingWaveletSelectivity::MergeFrom(const SelectivityEstimator& other)
   return Status::OK();
 }
 
-void StreamingWaveletSelectivity::EstimateBatchImpl(
-    std::span<const RangeQuery> queries, std::span<double> out) const {
+void StreamingWaveletSelectivity::AnswerImpl(std::span<const Query> queries,
+                                             std::span<double> out) const {
   // The public wrapper guarantees matched spans, a non-empty batch (so the
   // refit below mirrors the scalar path) and normalized queries.
   if (fit_.count() < 2) {
-    for (double& o : out) o = 0.0;
+    // Matches the scalar lowering: every mass kind answers 0.0 through
+    // EstimateRangeImpl's empty check, and quantiles answer 0.0 only when
+    // count() == 0 — a 1-point sketch still bisects its (flat-zero) CDF.
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
     return;
   }
   RefitIfStale();  // no inserts between queries: staleness is checked once
   if (!estimate_.has_value()) {
-    for (double& o : out) o = 0.0;
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = AnswerOne(queries[i]);
     return;
   }
-  std::vector<double> a(queries.size()), b(queries.size());
+  // Lower every mass kind to range endpoints (Less/Cdf become signed-CDF
+  // evaluations over (-inf, x], which the clamped antiderivative pass
+  // handles exactly) and integrate the whole batch one level pass at a time;
+  // quantiles run the shared bisection against the now-fresh estimate.
+  std::vector<double> a, b, integrated;
+  std::vector<size_t> position;
+  a.reserve(queries.size());
+  b.reserve(queries.size());
+  position.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    a[i] = queries[i].lo;
-    b[i] = queries[i].hi;
+    const Query& q = queries[i];
+    if (q.kind == QueryKind::kQuantile) {
+      out[i] = QuantileByBisection(q.a);
+      continue;
+    }
+    const RangeQuery r = LowerToRange(q);
+    a.push_back(r.lo);
+    b.push_back(r.hi);
+    position.push_back(i);
   }
-  estimate_->IntegrateRangeMany(a, b, out);
-  for (double& o : out) o = std::clamp(o, 0.0, 1.0);
+  if (position.empty()) return;
+  integrated.resize(position.size());
+  estimate_->IntegrateRangeMany(a, b, integrated);
+  for (size_t j = 0; j < position.size(); ++j) {
+    out[position[j]] = std::clamp(integrated[j], 0.0, 1.0);
+  }
 }
 
 namespace {

@@ -1,6 +1,7 @@
 #ifndef WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_
 #define WDE_SELECTIVITY_WAVELET_SELECTIVITY_HPP_
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -68,14 +69,27 @@ class StreamingWaveletSelectivity : public SelectivityEstimator {
   /// The most recent cross-validation result, if any refit has happened.
   const std::optional<core::CrossValidationResult>& last_cv() const { return cv_; }
 
+  /// One finest-level cell: the sketch resolves nothing narrower than
+  /// 2^-j_max of its domain.
+  double EqualityWidth() const override {
+    return (options_.domain_hi - options_.domain_lo) *
+           std::ldexp(1.0, -options_.j_max);
+  }
+  RangeQuery Domain() const override {
+    return RangeQuery{options_.domain_lo, options_.domain_hi};
+  }
+
  protected:
   double EstimateRangeImpl(double a, double b) const override;
 
-  /// Genuinely batched queries: one staleness check, then one pass per
-  /// reconstruction level across all ranges (exact basis antiderivatives).
-  /// Bit-identical to the scalar loop.
-  void EstimateBatchImpl(std::span<const RangeQuery> queries,
-                         std::span<double> out) const override;
+  /// Genuinely batched queries: one staleness check, then every mass kind
+  /// (ranges, points, one-sided, CDF — the latter two as signed-CDF
+  /// evaluations of the thresholded expansion) lowers to range endpoints
+  /// answered in one pass per reconstruction level across the whole batch
+  /// (exact basis antiderivatives); quantiles run the shared bisection.
+  /// Bit-identical to the scalar lowering loop.
+  void AnswerImpl(std::span<const Query> queries,
+                  std::span<double> out) const override;
 
   /// Persists the options, the (S1, S2, n) sums (with the basis identity —
   /// filter name + table resolution — so restore rebuilds bit-identical

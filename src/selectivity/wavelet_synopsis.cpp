@@ -33,7 +33,8 @@ void WaveletSynopsisSelectivity::Insert(double x) {
   const double t = std::clamp(
       (x - options_.domain_lo) / (options_.domain_hi - options_.domain_lo), 0.0, 1.0);
   const size_t cell = std::min(counts_.size() - 1,
-                               static_cast<size_t>(t * static_cast<double>(counts_.size())));
+                               static_cast<size_t>(t * static_cast<double>(
+                                                           counts_.size())));
   counts_[cell] += 1.0;
   ++count_;
 }

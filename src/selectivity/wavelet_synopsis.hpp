@@ -42,6 +42,16 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   size_t count() const override { return count_; }
   std::string name() const override;
 
+  /// One grid cell: the synopsis resolves nothing narrower than its base
+  /// frequency grid.
+  double EqualityWidth() const override {
+    return (options_.domain_hi - options_.domain_lo) /
+           static_cast<double>(counts_.size());
+  }
+  RangeQuery Domain() const override {
+    return RangeQuery{options_.domain_lo, options_.domain_hi};
+  }
+
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Adds `other`'s cell counts element-wise and invalidates the compressed
   /// transform; requires identical options.

@@ -60,7 +60,9 @@ Result<CascadeTables> ComputeCascadeTables(const WaveletFilter& filter, int leve
       double acc = 0.0;
       for (int k = 0; k < filter.length(); ++k) {
         const long idx = i - static_cast<long>(k) * old_step;
-        if (idx >= 0 && idx < old_size) acc += h[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+        if (idx >= 0 && idx < old_size) {
+          acc += h[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+        }
       }
       next[static_cast<size_t>(i)] = kSqrt2 * acc;
     }
@@ -75,7 +77,9 @@ Result<CascadeTables> ComputeCascadeTables(const WaveletFilter& filter, int leve
     double acc = 0.0;
     for (int k = 0; k < filter.length(); ++k) {
       const long idx = 2 * i - static_cast<long>(k) * scale;
-      if (idx >= 0 && idx < size) acc += g[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+      if (idx >= 0 && idx < size) {
+        acc += g[static_cast<size_t>(k)] * phi[static_cast<size_t>(idx)];
+      }
     }
     psi[static_cast<size_t>(i)] = kSqrt2 * acc;
   }

@@ -97,6 +97,7 @@
 
 // selectivity — depends on core, kernel, wavelet, stats, io, util.
 #include "selectivity/estimator_registry.hpp"
+#include "selectivity/estimator_spec.hpp"
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"

@@ -7,14 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/binned.hpp"
 #include "core/coefficients.hpp"
 #include "core/cross_validation.hpp"
 #include "core/estimator.hpp"
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/estimator_spec.hpp"
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"
@@ -349,6 +353,95 @@ TEST(BatchEquivalenceTest, ShardedWrapperInsertBatchAndEstimateBatch) {
   selectivity::ShardedSelectivityEstimator scalar = make();
   selectivity::ShardedSelectivityEstimator batch = make();
   ExpectStreamEquivalence(&scalar, &batch, 8008);
+}
+
+// ------------------------------------------------------- typed query batches
+
+// Mixed-kind Answer() batches must match the per-query scalar loop bitwise,
+// including dirty queries (NaN parameters, inverted ranges, out-of-range
+// quantile levels — the wrapper normalizes both paths identically) and
+// across interleaved ingest.
+void ExpectAnswerEquivalence(selectivity::SelectivityEstimator* est,
+                             uint64_t seed) {
+  stats::Rng data_rng(seed);
+  stats::Rng query_rng(seed + 1);
+  for (size_t chunk : {500u, 1500u, 137u}) {
+    std::vector<double> values(chunk);
+    for (double& v : values) v = data_rng.UniformDouble();
+    est->InsertBatch(values);
+
+    std::vector<selectivity::Query> queries =
+        selectivity::MixedQueryWorkload(query_rng, 120, -0.1, 1.1);
+    // Sprinkle in the abnormal forms the wrapper normalizes.
+    queries.push_back(selectivity::Query::Range(0.9, 0.1));  // inverted
+    queries.push_back(selectivity::Query::Range(std::nan(""), 0.5));
+    queries.push_back(selectivity::Query::Point(std::nan("")));
+    queries.push_back(selectivity::Query::Quantile(1.5));
+    queries.push_back(selectivity::Query::Quantile(-2.0));
+    queries.push_back(selectivity::Query::Quantile(std::nan("")));
+    queries.push_back(selectivity::Query::Less(std::nan("")));
+    queries.push_back(
+        selectivity::Query::Range(-std::numeric_limits<double>::infinity(),
+                                  std::numeric_limits<double>::infinity()));
+
+    std::vector<double> batch(queries.size());
+    est->Answer(queries, batch);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(batch[i], est->Answer(queries[i]))
+          << est->name() << " query " << i << " after " << est->count()
+          << " inserts";
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, AnswerMixedKindBatchMatchesScalarLoop) {
+  for (const std::string& tag : selectivity::EstimatorRegistry::Global().Tags()) {
+    selectivity::EstimatorSpec spec;
+    spec.tag = tag;
+    spec.buckets = 32;
+    spec.grid_log2 = 7;
+    spec.budget = 32;
+    spec.filter = "sym8";
+    spec.j_max = 7;
+    spec.refit_interval = 300;  // force refits between query rounds
+    spec.capacity = 256;
+    spec.shards = 3;
+    spec.block_size = 193;
+    spec.sharded_inner_tag = "equi-width";
+    Result<std::unique_ptr<selectivity::SelectivityEstimator>> est =
+        selectivity::MakeEstimator(spec);
+    ASSERT_TRUE(est.ok()) << tag;
+    ExpectAnswerEquivalence(est->get(), 9000 + std::hash<std::string>{}(tag) % 97);
+  }
+}
+
+TEST(BatchEquivalenceTest, AnswerRangeMatchesLegacyEstimateRange) {
+  // The acceptance contract of the redesign: Answer({kRange}) and the legacy
+  // EstimateRange/EstimateBatch wrappers are one path, bitwise.
+  for (const std::string& tag : selectivity::EstimatorRegistry::Global().Tags()) {
+    selectivity::EstimatorSpec spec;
+    spec.tag = tag;
+    spec.j_max = 7;
+    spec.grid_log2 = 7;
+    Result<std::unique_ptr<selectivity::SelectivityEstimator>> est =
+        selectivity::MakeEstimator(spec);
+    ASSERT_TRUE(est.ok()) << tag;
+    stats::Rng rng(4242);
+    std::vector<double> values(2000);
+    for (double& v : values) v = rng.UniformDouble();
+    (*est)->InsertBatch(values);
+    const std::vector<selectivity::RangeQuery> ranges =
+        selectivity::UniformRangeWorkload(rng, 100, -0.1, 1.1);
+    std::vector<double> legacy(ranges.size());
+    (*est)->EstimateBatch(ranges, legacy);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      const selectivity::Query q =
+          selectivity::Query::Range(ranges[i].lo, ranges[i].hi);
+      EXPECT_EQ(legacy[i], (*est)->Answer(q)) << tag;
+      EXPECT_EQ(legacy[i], (*est)->EstimateRange(ranges[i].lo, ranges[i].hi))
+          << tag;
+    }
+  }
 }
 
 TEST(BatchEquivalenceTest, WorkloadScoringUsesBatchPathConsistently) {

@@ -1,0 +1,284 @@
+// Contract tests for the typed query taxonomy and the declarative estimator
+// specs: every kind's documented lowering onto the range primitive (bitwise,
+// for every estimator — overrides with cheaper per-kind paths must be
+// indistinguishable from the lowering), the interface-level normalization
+// (NaN parameters answer 0.0, inverted ranges swap, quantile levels clamp),
+// CDF/quantile round-trip consistency, and MakeEstimator building every
+// registered tag from one EstimatorSpec description.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/estimator_spec.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace selectivity {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::nan("");
+
+// One estimator per registered tag, built declaratively. Moderate sizes keep
+// the suite fast while giving quantiles and CDFs enough resolution.
+std::vector<std::unique_ptr<SelectivityEstimator>> MakeAllEstimators() {
+  std::vector<std::unique_ptr<SelectivityEstimator>> all;
+  for (const std::string& tag : EstimatorRegistry::Global().Tags()) {
+    EstimatorSpec spec;
+    spec.tag = tag;
+    spec.buckets = 64;
+    spec.grid_log2 = 8;
+    spec.budget = 48;
+    spec.j_max = 8;
+    spec.refit_interval = 512;
+    spec.capacity = 512;
+    spec.shards = 3;
+    spec.block_size = 64;
+    spec.sharded_inner_tag = "equi-width";
+    Result<std::unique_ptr<SelectivityEstimator>> est = MakeEstimator(spec);
+    WDE_CHECK(est.ok(), "every registered tag must build from a spec");
+    all.push_back(std::move(est).value());
+  }
+  return all;
+}
+
+std::vector<std::unique_ptr<SelectivityEstimator>> MakeIngestedEstimators(
+    uint64_t seed, size_t n) {
+  std::vector<std::unique_ptr<SelectivityEstimator>> all = MakeAllEstimators();
+  stats::Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.UniformDouble();
+  for (auto& est : all) est->InsertBatch(values);
+  return all;
+}
+
+TEST(QueryTaxonomyTest, SpecBuildsEveryRegisteredTag) {
+  const std::vector<std::string> tags = EstimatorRegistry::Global().Tags();
+  ASSERT_GE(tags.size(), 7u);
+  std::vector<std::unique_ptr<SelectivityEstimator>> all = MakeAllEstimators();
+  ASSERT_EQ(all.size(), tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    ASSERT_NE(all[i], nullptr) << tags[i];
+    // The spec tag IS the snapshot tag: one string names the estimator in
+    // construction and on the wire.
+    EXPECT_STREQ(all[i]->snapshot_type_tag(), tags[i].c_str());
+  }
+}
+
+TEST(QueryTaxonomyTest, SpecValidationRejectsBadFields) {
+  EstimatorSpec spec;
+  spec.tag = "no-such-estimator";
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "equi-width";
+  spec.buckets = 0;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "equi-depth";
+  spec.domain_lo = 1.0;
+  spec.domain_hi = 0.0;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "kde-rot";
+  spec.refit_interval = 0;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "reservoir";
+  spec.capacity = 0;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "haar-synopsis";
+  spec.grid_log2 = 30;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "wavelet-cv";
+  spec.filter = "not-a-filter";
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "sharded";
+  spec.sharded_inner_tag = "sharded";
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  // Every non-sharded builtin is mergeable (the reservoir via its weighted
+  // union), so any of them is a valid sharded prototype.
+  spec = EstimatorSpec{};
+  spec.tag = "sharded";
+  spec.sharded_inner_tag = "reservoir";
+  EXPECT_TRUE(MakeEstimator(spec).ok());
+}
+
+TEST(QueryTaxonomyTest, EveryKindLowersOntoTheRangePrimitive) {
+  // The documented lowering, asserted bitwise against the legacy range entry
+  // point for every estimator — including the ones with cheaper per-kind
+  // override paths (prefix sums, windowed kernel CDF, batched signed-CDF).
+  for (auto& est : MakeIngestedEstimators(1201, 4000)) {
+    stats::Rng rng(7);
+    for (int rep = 0; rep < 40; ++rep) {
+      const double x = rng.Uniform(-0.1, 1.1);
+      EXPECT_EQ(est->Answer(Query::Less(x)), est->EstimateRange(-kInf, x))
+          << est->name() << " x=" << x;
+      EXPECT_EQ(est->Answer(Query::Cdf(x)), est->EstimateRange(-kInf, x))
+          << est->name() << " x=" << x;
+      EXPECT_EQ(est->Answer(Query::Greater(x)), est->EstimateRange(x, kInf))
+          << est->name() << " x=" << x;
+      const double half = 0.5 * est->EqualityWidth();
+      EXPECT_EQ(est->Answer(Query::Point(x)),
+                est->EstimateRange(x - half, x + half))
+          << est->name() << " x=" << x;
+      const double y = rng.Uniform(-0.1, 1.1);
+      EXPECT_EQ(est->Answer(Query::Range(x, y)), est->EstimateRange(x, y))
+          << est->name();
+    }
+  }
+}
+
+TEST(QueryTaxonomyTest, NanParametersAnswerZeroForEveryKind) {
+  for (auto& est : MakeIngestedEstimators(1301, 1000)) {
+    EXPECT_EQ(est->Answer(Query::Range(kNan, 0.5)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Range(0.2, kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Range(kNan, kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Point(kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Less(kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Greater(kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Cdf(kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Quantile(kNan)), 0.0) << est->name();
+    // The legacy entry points inherit the same normalization.
+    EXPECT_EQ(est->EstimateRange(kNan, 0.5), 0.0) << est->name();
+    EXPECT_EQ(est->EstimateRange(0.5, kNan), 0.0) << est->name();
+    const std::vector<RangeQuery> queries{{0.2, 0.8}, {kNan, 0.5}, {0.1, 0.9}};
+    std::vector<double> answers(queries.size());
+    est->EstimateBatch(queries, answers);
+    EXPECT_EQ(answers[0], est->EstimateRange(0.2, 0.8)) << est->name();
+    EXPECT_EQ(answers[1], 0.0) << est->name();
+    EXPECT_EQ(answers[2], est->EstimateRange(0.1, 0.9)) << est->name();
+  }
+}
+
+TEST(QueryTaxonomyTest, InvertedRangesAndOutOfRangeQuantilesNormalize) {
+  for (auto& est : MakeIngestedEstimators(1401, 2000)) {
+    EXPECT_EQ(est->Answer(Query::Range(0.8, 0.2)),
+              est->Answer(Query::Range(0.2, 0.8)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Quantile(-0.5)),
+              est->Answer(Query::Quantile(0.0)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Quantile(2.0)),
+              est->Answer(Query::Quantile(1.0)))
+        << est->name();
+  }
+}
+
+TEST(QueryTaxonomyTest, InfiniteEndpointsAreLegalRangeLimits) {
+  for (auto& est : MakeIngestedEstimators(1501, 2000)) {
+    const double total = est->EstimateRange(-kInf, kInf);
+    EXPECT_GE(total, 0.9) << est->name();
+    EXPECT_LE(total, 1.0 + 1e-9) << est->name();
+    EXPECT_EQ(est->Answer(Query::Less(kInf)), total) << est->name();
+  }
+}
+
+TEST(QueryTaxonomyTest, QuantilesLandInsideTheDomainAndMatchUniformTruth) {
+  for (auto& est : MakeIngestedEstimators(1601, 6000)) {
+    const RangeQuery domain = est->Domain();
+    for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      const double q = est->Answer(Query::Quantile(p));
+      EXPECT_GE(q, domain.lo) << est->name() << " p=" << p;
+      EXPECT_LE(q, domain.hi) << est->name() << " p=" << p;
+    }
+    // Uniform[0, 1] data: the p-quantile is p up to estimator bias.
+    for (double p : {0.2, 0.5, 0.8}) {
+      EXPECT_NEAR(est->Answer(Query::Quantile(p)), p, 0.08)
+          << est->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(QueryTaxonomyTest, CdfQuantileRoundTrip) {
+  // Answer(Cdf(Answer(Quantile(p)))) ≈ p: the tolerance covers estimator
+  // granularity (reservoir jumps of 1/sample, histogram bucket fractions)
+  // and the signed wavelet estimate's local wiggle.
+  for (auto& est : MakeIngestedEstimators(1701, 6000)) {
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      const double quantile = est->Answer(Query::Quantile(p));
+      const double round_trip = est->Answer(Query::Cdf(quantile));
+      EXPECT_NEAR(round_trip, p, 0.05) << est->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(QueryTaxonomyTest, EmptyEstimatorsAnswerZeroForEveryKind) {
+  for (auto& est : MakeAllEstimators()) {
+    const std::vector<Query> queries{
+        Query::Range(0.2, 0.8), Query::Point(0.5), Query::Less(0.5),
+        Query::Greater(0.5),    Query::Cdf(0.5),   Query::Quantile(0.5)};
+    std::vector<double> answers(queries.size());
+    est->Answer(queries, answers);
+    for (size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i], 0.0) << est->name() << " kind " << i;
+    }
+  }
+}
+
+TEST(QueryTaxonomyTest, EqualityWidthReflectsEstimatorResolution) {
+  for (auto& est : MakeAllEstimators()) {
+    EXPECT_GE(est->EqualityWidth(), 0.0) << est->name();
+    EXPECT_LT(est->EqualityWidth(), 1.0) << est->name();
+  }
+  // Spot-check the documented widths: one bucket / one grid cell / one
+  // finest-level cell.
+  EstimatorSpec spec;
+  spec.tag = "equi-width";
+  spec.buckets = 32;
+  EXPECT_DOUBLE_EQ((*MakeEstimator(spec))->EqualityWidth(), 1.0 / 32.0);
+  spec = EstimatorSpec{};
+  spec.tag = "haar-synopsis";
+  spec.grid_log2 = 8;
+  EXPECT_DOUBLE_EQ((*MakeEstimator(spec))->EqualityWidth(), 1.0 / 256.0);
+  spec = EstimatorSpec{};
+  spec.tag = "wavelet-cv";
+  spec.j_max = 8;
+  spec.table_levels = 6;
+  EXPECT_DOUBLE_EQ((*MakeEstimator(spec))->EqualityWidth(), 1.0 / 256.0);
+}
+
+TEST(QueryTaxonomyTest, SpecBuiltEstimatorsSnapshotRoundTrip) {
+  // The spec ⇄ snapshot-tag relationship end to end: build from a spec,
+  // ingest, snapshot, restore through the registry (which rebuilds the shell
+  // from the SAME factory), and require bitwise-identical mixed-kind answers.
+  stats::Rng rng(1801);
+  std::vector<double> values(3000);
+  for (double& v : values) v = rng.UniformDouble();
+  const std::vector<Query> queries = MixedQueryWorkload(rng, 64, 0.0, 1.0);
+  for (auto& est : MakeAllEstimators()) {
+    est->InsertBatch(values);
+    io::VectorSink sink;
+    ASSERT_TRUE(SaveEstimatorSnapshot(*est, sink).ok()) << est->name();
+    io::SpanSource source(sink.bytes());
+    Result<std::unique_ptr<SelectivityEstimator>> restored =
+        LoadEstimatorSnapshot(source);
+    ASSERT_TRUE(restored.ok()) << est->name();
+    std::vector<double> want(queries.size()), got(queries.size());
+    est->Answer(queries, want);
+    (*restored)->Answer(queries, got);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << est->name() << " query " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace selectivity
+}  // namespace wde
