@@ -1,0 +1,339 @@
+// Mixed read/write load bench for the concurrent serving engine: writer
+// threads ingest through EstimatorService (publishing on the insert pacer)
+// while reader threads answer mixed typed-query batches from the published
+// epoch views. Produces the committed BENCH_serving.json artifact (see
+// docs/BENCHMARKS.md): per-row reader/writer counts, per-batch latency
+// percentiles (p50/p99 µs), aggregate queries/second, writer ingest rate,
+// epochs published, and the cache hit rate — one row with the result cache
+// disabled and one with it enabled, so the artifact shows what the cache
+// buys under re-probed workloads.
+//
+// No google-benchmark dependency: plain steady_clock timing, so the binary
+// builds everywhere and CI can always produce the artifact. The "host" block
+// records hardware_concurrency; on small containers reader/writer threads
+// timeshare and the QPS numbers are self-explaining.
+//
+// Usage: perf_serving [--n=2000000] [--readers=4] [--writers=2] [--batch=64]
+//                     [--batches=400] [--publish_interval=65536]
+//                     [--out=BENCH_serving.json] [--check]
+//
+// --check turns the serving correctness contracts into gates (exit 1 on
+// violation):
+//   * epoch-pinning bit-identity — sampled concurrent batches are re-answered
+//     serially through the SAME held view after the run quiesces and must
+//     match bitwise (a reader's answers never depend on what writers did
+//     concurrently);
+//   * cache transparency — a cache-enabled service over a fixed stream must
+//     answer a mixed workload (twice, so the second pass hits) bitwise
+//     identically to a cache-disabled service over the same stream.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "selectivity/estimator_spec.hpp"
+#include "selectivity/query_workload.hpp"
+#include "serving/estimator_service.hpp"
+#include "stats/rng.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace wde;
+
+constexpr size_t kWriterBlock = 4096;  // values per writer admission
+
+selectivity::EstimatorSpec ServingSpec() {
+  selectivity::EstimatorSpec spec;
+  spec.tag = "sharded";
+  spec.sharded_inner_tag = "equi-width";
+  spec.buckets = 256;
+  spec.shards = 4;
+  spec.block_size = kWriterBlock;
+  return spec;
+}
+
+std::unique_ptr<serving::EstimatorService> MakeService(
+    const serving::ServiceOptions& options) {
+  Result<std::unique_ptr<serving::EstimatorService>> service =
+      serving::EstimatorService::Create(ServingSpec(), options);
+  WDE_CHECK(service.ok(), service.status().ToString().c_str());
+  return std::move(service).value();
+}
+
+/// One sampled concurrent batch: the view the reader answered from, pinned
+/// by the held shared_ptr, plus what it answered — the --check gate replays
+/// it serially after quiesce.
+struct Sample {
+  serving::EstimatorService::View view;
+  std::vector<selectivity::Query> queries;
+  std::vector<double> answers;
+};
+
+struct LoadResult {
+  double seconds = 0.0;
+  size_t total_queries = 0;
+  size_t values_ingested = 0;
+  uint64_t final_epoch = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double cache_hit_rate = 0.0;
+  std::vector<Sample> samples;
+};
+
+/// Runs `readers` reader threads for `batches` mixed batches each against
+/// `writers` ingest threads; readers re-probe from a fixed pool of workload
+/// batches so the cache-enabled row sees realistic hot-query repetition.
+LoadResult RunMixedLoad(serving::EstimatorService& service, int readers,
+                        int writers, size_t batch, size_t batches,
+                        size_t prefill, size_t stream_cap) {
+  stats::Rng prefill_rng(11);
+  std::vector<double> warm(prefill);
+  for (double& x : warm) x = prefill_rng.UniformDouble();
+  service.InsertBatch(warm);
+  service.Publish();
+
+  // Pre-generate everything measured code touches: per-reader query-batch
+  // pools (16 distinct batches re-probed round-robin) and per-writer blocks.
+  std::vector<std::vector<std::vector<selectivity::Query>>> pools(
+      static_cast<size_t>(readers));
+  for (int r = 0; r < readers; ++r) {
+    stats::Rng rng(100 + static_cast<uint64_t>(r));
+    for (int p = 0; p < 16; ++p) {
+      pools[static_cast<size_t>(r)].push_back(
+          selectivity::MixedQueryWorkload(rng, batch, 0.0, 1.0));
+    }
+  }
+
+  std::atomic<bool> stop_writers{false};
+  std::atomic<size_t> ingested{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(readers));
+  std::vector<std::vector<Sample>> sampled(static_cast<size_t>(readers));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(writers + readers));
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      stats::Rng rng(200 + static_cast<uint64_t>(w));
+      std::vector<double> block(kWriterBlock);
+      while (!stop_writers.load(std::memory_order_relaxed) &&
+             ingested.load(std::memory_order_relaxed) < stream_cap) {
+        for (double& x : block) x = rng.UniformDouble();
+        service.InsertBatch(block);
+        ingested.fetch_add(block.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      const auto& pool = pools[static_cast<size_t>(r)];
+      std::vector<double> out(batch);
+      latencies[static_cast<size_t>(r)].reserve(batches);
+      for (size_t b = 0; b < batches; ++b) {
+        const std::vector<selectivity::Query>& queries = pool[b % pool.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        service.Answer(queries, out);
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[static_cast<size_t>(r)].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        if (b % 64 == 0) {
+          // Pin the CURRENT view and what this batch would answer through it
+          // for the post-quiesce replay gate. (The timed Answer() above may
+          // have straddled a publish; this pinned pair cannot.)
+          Sample sample;
+          sample.view = service.CurrentView();
+          sample.queries = queries;
+          sample.answers.resize(queries.size());
+          sample.view.estimator->Answer(sample.queries, sample.answers);
+          sampled[static_cast<size_t>(r)].push_back(std::move(sample));
+        }
+      }
+    });
+  }
+  // Readers bound the schedule; writers stop when the last reader finishes.
+  for (size_t t = threads.size(); t-- > static_cast<size_t>(writers);) {
+    threads[t].join();
+    threads.pop_back();
+  }
+  stop_writers.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  LoadResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.total_queries = static_cast<size_t>(readers) * batches * batch;
+  result.values_ingested = ingested.load();
+  result.final_epoch = service.epoch();
+  std::vector<double> all;
+  for (const std::vector<double>& per_reader : latencies) {
+    all.insert(all.end(), per_reader.begin(), per_reader.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&](double p) {
+    const size_t index = std::min(
+        all.size() - 1, static_cast<size_t>(p * static_cast<double>(all.size())));
+    return all[index];
+  };
+  result.p50_us = percentile(0.50);
+  result.p99_us = percentile(0.99);
+  double sum = 0.0;
+  for (double v : all) sum += v;
+  result.mean_us = sum / static_cast<double>(all.size());
+  const serving::CacheStats stats = service.cache_stats();
+  const uint64_t probes = stats.hits + stats.misses;
+  result.cache_hit_rate =
+      probes == 0 ? 0.0
+                  : static_cast<double>(stats.hits) / static_cast<double>(probes);
+  for (std::vector<Sample>& per_reader : sampled) {
+    for (Sample& sample : per_reader) result.samples.push_back(std::move(sample));
+  }
+  return result;
+}
+
+/// Gate: every sampled (view, queries, answers) triple replays bitwise
+/// identically through the same pinned view now that all writers are gone.
+size_t CountReplayDivergences(const std::vector<Sample>& samples) {
+  size_t divergences = 0;
+  std::vector<double> replay;
+  for (const Sample& sample : samples) {
+    replay.resize(sample.queries.size());
+    sample.view.estimator->Answer(sample.queries, replay);
+    if (replay != sample.answers) ++divergences;
+  }
+  return divergences;
+}
+
+/// Gate: cache-enabled ≡ cache-disabled over an identical fixed stream,
+/// two passes so the second is served from cache.
+bool CacheTransparencyHolds(size_t batch) {
+  serving::ServiceOptions cached;
+  cached.publish_interval = 0;
+  serving::ServiceOptions uncached = cached;
+  uncached.cache_shards = 0;
+  std::unique_ptr<serving::EstimatorService> with_cache = MakeService(cached);
+  std::unique_ptr<serving::EstimatorService> without_cache =
+      MakeService(uncached);
+  stats::Rng rng(31);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.UniformDouble();
+  with_cache->InsertBatch(xs);
+  without_cache->InsertBatch(xs);
+  with_cache->Publish();
+  without_cache->Publish();
+  stats::Rng query_rng(32);
+  const std::vector<selectivity::Query> queries =
+      selectivity::MixedQueryWorkload(query_rng, std::max<size_t>(batch, 256),
+                                      0.0, 1.0);
+  std::vector<double> want(queries.size()), got(queries.size());
+  without_cache->Answer(queries, want);
+  for (int pass = 0; pass < 2; ++pass) {
+    with_cache->Answer(queries, got);
+    if (got != want) return false;
+  }
+  return true;
+}
+
+struct Row {
+  std::string mode;
+  LoadResult load;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = ArgSize(argc, argv, "n", 2000000);
+  const int readers = static_cast<int>(ArgSize(argc, argv, "readers", 4));
+  const int writers = static_cast<int>(ArgSize(argc, argv, "writers", 2));
+  const size_t batch = ArgSize(argc, argv, "batch", 64);
+  const size_t batches = ArgSize(argc, argv, "batches", 400);
+  const size_t publish_interval =
+      ArgSize(argc, argv, "publish_interval", 65536);
+  const std::string out_path = ArgString(argc, argv, "out", "BENCH_serving.json");
+  WDE_CHECK(readers > 0 && writers > 0 && batch > 0 && batches > 0,
+            "--readers/--writers/--batch/--batches must be positive");
+  const size_t prefill = n / 4;
+
+  std::vector<Row> rows;
+  for (const bool cache_on : {false, true}) {
+    serving::ServiceOptions options;
+    options.publish_interval = publish_interval;
+    if (!cache_on) options.cache_shards = 0;
+    std::unique_ptr<serving::EstimatorService> service = MakeService(options);
+    Row row;
+    row.mode = cache_on ? "cache" : "no-cache";
+    row.load =
+        RunMixedLoad(*service, readers, writers, batch, batches, prefill, n);
+    std::printf(
+        "%s: %.3fs  %.3g queries/s  p50 %.1fus  p99 %.1fus  "
+        "ingest %.3g values/s  epochs %llu  hit_rate %.2f\n",
+        row.mode.c_str(), row.load.seconds,
+        static_cast<double>(row.load.total_queries) / row.load.seconds,
+        row.load.p50_us, row.load.p99_us,
+        static_cast<double>(row.load.values_ingested) / row.load.seconds,
+        static_cast<unsigned long long>(row.load.final_epoch),
+        row.load.cache_hit_rate);
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  WDE_CHECK(out != nullptr, "cannot open --out path for writing");
+  std::fprintf(out, "{\n  \"bench\": \"perf_serving\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"estimator\": \"sharded(equi-width x256, "
+               "K=4)\", \"stream_cap\": %zu, \"prefill\": %zu, \"readers\": "
+               "%d, \"writers\": %d, \"batch\": %zu, \"batches_per_reader\": "
+               "%zu, \"publish_interval\": %zu, \"writer_block\": %zu},\n",
+               n, prefill, readers, writers, batch, batches, publish_interval,
+               kWriterBlock);
+  std::fprintf(out, "  \"host\": {\"hardware_concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LoadResult& load = rows[i].load;
+    std::fprintf(
+        out,
+        "    {\"mode\": \"%s\", \"seconds\": %.6f, \"queries_per_second\": "
+        "%.1f, \"batch_latency_p50_us\": %.2f, \"batch_latency_p99_us\": "
+        "%.2f, \"batch_latency_mean_us\": %.2f, \"values_per_second\": %.1f, "
+        "\"epochs_published\": %llu, \"cache_hit_rate\": %.4f}%s\n",
+        rows[i].mode.c_str(), load.seconds,
+        static_cast<double>(load.total_queries) / load.seconds, load.p50_us,
+        load.p99_us, load.mean_us,
+        static_cast<double>(load.values_ingested) / load.seconds,
+        static_cast<unsigned long long>(load.final_epoch), load.cache_hit_rate,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (ArgBool(argc, argv, "check")) {
+    int violations = 0;
+    for (const Row& row : rows) {
+      const size_t divergences = CountReplayDivergences(row.load.samples);
+      if (divergences != 0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s: %zu of %zu sampled batches diverge "
+                     "from their pinned epoch view after quiesce\n",
+                     row.mode.c_str(), divergences, row.load.samples.size());
+        ++violations;
+      }
+    }
+    if (!CacheTransparencyHolds(batch)) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: cache-enabled answers differ from "
+                   "cache-disabled answers over an identical stream\n");
+      ++violations;
+    }
+    if (violations > 0) return 1;
+    std::printf("serving correctness contract checks passed\n");
+  }
+  return 0;
+}

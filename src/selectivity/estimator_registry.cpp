@@ -300,6 +300,25 @@ Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFile(
   return LoadEstimatorSnapshot(*source);
 }
 
+Result<std::unique_ptr<SelectivityEstimator>> CloneViaSnapshot(
+    const SelectivityEstimator& estimator) {
+  if (!estimator.snapshotable()) {
+    return Status::FailedPrecondition(estimator.name() +
+                                      " does not support snapshots");
+  }
+  io::VectorSink sink;
+  WDE_RETURN_IF_ERROR(estimator.SaveState(sink));
+  io::SpanSource source(sink.bytes());
+  Result<std::unique_ptr<SelectivityEstimator>> clone =
+      LoadEstimatorEnvelope(source);
+  if (!clone.ok()) return clone.status();
+  if (source.remaining() != 0) {
+    return Status::Internal(estimator.name() +
+                            " wrote trailing bytes after its envelope");
+  }
+  return clone;
+}
+
 Status SelectivityEstimator::MergeFromSnapshot(io::Source& source) {
   Result<std::unique_ptr<SelectivityEstimator>> loaded =
       LoadEstimatorSnapshot(source);

@@ -95,6 +95,16 @@ Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
 Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFile(
     const std::string& path);
 
+/// Deep-copies any snapshotable estimator through an in-memory envelope
+/// round trip (SaveState into a buffer, registry-restore out of it). By the
+/// restore-fidelity contract the copy answers Answer/EstimateBatch
+/// bit-identically to the original and shares no state with it — what the
+/// serving layer publishes as immutable epoch views for estimators that lack
+/// a cheaper view-extraction path (the sharded engine's ExtractMergedView).
+/// FailedPrecondition when the estimator does not support snapshots.
+Result<std::unique_ptr<SelectivityEstimator>> CloneViaSnapshot(
+    const SelectivityEstimator& estimator);
+
 }  // namespace selectivity
 }  // namespace wde
 

@@ -83,15 +83,26 @@ void ShardedSelectivityEstimator::InsertBatch(std::span<const double> xs) {
   });
 }
 
+std::unique_ptr<SelectivityEstimator> ShardedSelectivityEstimator::BuildMerged()
+    const {
+  std::unique_ptr<SelectivityEstimator> merged = prototype_->CloneEmpty();
+  WDE_CHECK(merged != nullptr, "mergeable estimator returned a null clone");
+  for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+    // Replicas are clones of one prototype, so the merge cannot be
+    // incompatible; a failure here is a broken MergeFrom implementation.
+    WDE_CHECK_OK(merged->MergeFrom(*replica));
+  }
+  return merged;
+}
+
+std::unique_ptr<SelectivityEstimator>
+ShardedSelectivityEstimator::ExtractMergedView() const {
+  return BuildMerged();
+}
+
 SelectivityEstimator& ShardedSelectivityEstimator::Merged() const {
   if (merged_ == nullptr || pending_since_merge_ >= options_.merge_refresh_interval) {
-    merged_ = prototype_->CloneEmpty();
-    WDE_CHECK(merged_ != nullptr, "mergeable estimator returned a null clone");
-    for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
-      // Replicas are clones of one prototype, so the merge cannot be
-      // incompatible; a failure here is a broken MergeFrom implementation.
-      WDE_CHECK_OK(merged_->MergeFrom(*replica));
-    }
+    merged_ = BuildMerged();
     pending_since_merge_ = 0;
   }
   return *merged_;
@@ -232,6 +243,13 @@ Status ShardedSelectivityEstimator::LoadStateImpl(io::Source& source) {
   if (source.remaining() != 0) {
     return Status::InvalidArgument("corrupt sharded snapshot: trailing bytes");
   }
+  // A paced merged view never crosses a restore boundary: when the saved
+  // view predates `pending` inserts (legal staleness while the saver was
+  // running, bounded by its merge_refresh_interval), serving it in a new
+  // process would extend a stale view's lifetime across the restart. Drop it
+  // and let the first query rebuild from the replicas — the restored engine
+  // answers at least as fresh as the saver, never staler (see Restore()).
+  if (pending != 0) merged.reset();
   // Commit. The executor pool is a runtime resource, not state: keep ours.
   options_.shards = static_cast<size_t>(shards);
   options_.block_size = static_cast<size_t>(block_size);

@@ -105,12 +105,31 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// Restores a checkpoint written by Checkpoint(): fully replaces shard
   /// layout and state (the executor pool is a runtime resource and is kept).
   /// On any error this estimator is untouched.
+  ///
+  /// A paced merged view never crosses a restore boundary: when the
+  /// checkpoint's view predates pending inserts (it was stale within the
+  /// merge_refresh_interval budget when saved), the restored engine discards
+  /// it and rebuilds from the replicas on first query, so a restart can only
+  /// tighten staleness, never extend a stale view's lifetime into the new
+  /// process. This is the one deliberate carve-out from bit-identical
+  /// restore: it changes answers only in the mid-pacing-window case, and
+  /// only to the fresher answers a rebuild gives.
   Status Restore(const std::string& path);
 
   size_t shards() const { return replicas_.size(); }
   const SelectivityEstimator& shard(size_t i) const { return *replicas_[i]; }
   /// The merged estimator queries are answered from (rebuilds if stale).
   const SelectivityEstimator& MergedView() const { return Merged(); }
+
+  /// Builds and returns a fresh, fully merged copy of the current shard
+  /// state — CloneEmpty + MergeFrom over every replica in shard order,
+  /// always from the live replicas regardless of the pacing cadence — as an
+  /// independent estimator of the prototype's concrete type. The caller owns
+  /// the result and the engine keeps no reference to it, so it can be frozen
+  /// and shared (the serving layer publishes these as immutable epoch
+  /// views). Answers bit-identically to MergedView() immediately after a
+  /// rebuild, because it runs the exact same merge in the exact same order.
+  std::unique_ptr<SelectivityEstimator> ExtractMergedView() const;
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
@@ -147,6 +166,7 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
                                     : parallel::ThreadPool::Shared();
   }
   SelectivityEstimator& Merged() const;
+  std::unique_ptr<SelectivityEstimator> BuildMerged() const;
 
   Options options_;
   std::unique_ptr<SelectivityEstimator> prototype_;  // empty; config keeper

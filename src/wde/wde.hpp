@@ -19,6 +19,9 @@
 ///   selectivity — wavelet/KDE/histogram/sample selectivity estimators over
 ///                 range-query workloads, plus the sharded parallel ingest
 ///                 wrapper over any mergeable estimator
+///   serving     — the concurrent serving engine: epoch-published immutable
+///                 estimator views with lock-free steady-state readers, the
+///                 typed-query result cache, admission batching, checkpoints
 ///   diagnostics — mixing/covariance-decay diagnostics
 ///   harness     — Monte-Carlo replication harness and experiment configs
 ///
@@ -106,6 +109,10 @@
 #include "selectivity/sharded_selectivity.hpp"
 #include "selectivity/wavelet_selectivity.hpp"
 #include "selectivity/wavelet_synopsis.hpp"
+
+// serving — depends on selectivity, parallel, io, util.
+#include "serving/estimator_service.hpp"
+#include "serving/query_cache.hpp"
 
 // diagnostics — depends on stats, util.
 #include "diagnostics/covariance_decay.hpp"

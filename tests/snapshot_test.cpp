@@ -548,6 +548,55 @@ TEST(ShardedCheckpointTest, RestoreRejectsCorruptCheckpointsUntouched) {
   std::remove(path.c_str());
 }
 
+TEST(ShardedCheckpointTest, PacedMergedViewNeverCrossesARestoreBoundary) {
+  // Regression for the merge_refresh_interval × restore interaction: with a
+  // large refresh interval the engine deliberately serves a stale merged
+  // view between rebuilds, but that staleness is a live-pacing contract —
+  // it must NOT survive a checkpoint/restore. The restored engine answers
+  // from a fresh rebuild of the replicas.
+  const std::string path = testing::TempDir() + "/wde_sharded_paced.snap";
+  const auto make = []() {
+    selectivity::EquiWidthHistogram prototype(0.0, 1.0, 64);
+    selectivity::ShardedSelectivityEstimator::Options options;
+    options.shards = 3;
+    options.block_size = 256;
+    options.merge_refresh_interval = 1000000;  // effectively never refresh
+    return *selectivity::ShardedSelectivityEstimator::Create(prototype, options);
+  };
+  stats::Rng rng(17);
+  std::vector<double> low(4000), high(4000);
+  for (double& x : low) x = rng.Uniform(0.0, 0.5);
+  for (double& x : high) x = rng.Uniform(0.5, 1.0);
+
+  selectivity::ShardedSelectivityEstimator node = make();
+  node.InsertBatch(low);
+  const double stale = node.EstimateRange(0.5, 1.0);  // builds the view
+  EXPECT_EQ(stale, 0.0);  // nothing above 0.5 yet
+  node.InsertBatch(high);  // pending < interval: the stale view keeps serving
+  EXPECT_EQ(node.EstimateRange(0.5, 1.0), stale);
+  ASSERT_TRUE(node.Checkpoint(path).ok());
+
+  // Pre-restore the live node still paces; the RESTORED engine must not.
+  selectivity::ShardedSelectivityEstimator restored = make();
+  ASSERT_TRUE(restored.Restore(path).ok());
+  EXPECT_EQ(restored.count(), 8000u);
+  const double fresh = restored.EstimateRange(0.5, 1.0);
+  EXPECT_NEAR(fresh, 0.5, 0.05);
+  // And the rebuilt answer is exactly a quiesced merge of the same stream:
+  // an engine with refresh interval 1 over the identical ingest agrees
+  // bitwise (integer histogram state).
+  selectivity::EquiWidthHistogram prototype(0.0, 1.0, 64);
+  selectivity::ShardedSelectivityEstimator::Options eager_options;
+  eager_options.shards = 3;
+  eager_options.block_size = 256;
+  selectivity::ShardedSelectivityEstimator eager =
+      *selectivity::ShardedSelectivityEstimator::Create(prototype, eager_options);
+  eager.InsertBatch(low);
+  eager.InsertBatch(high);
+  EXPECT_EQ(fresh, eager.EstimateRange(0.5, 1.0));
+  std::remove(path.c_str());
+}
+
 TEST(ShardedCheckpointTest, DistributedNodesMergeViaSnapshots) {
   // The full distributed story: two sharded ingest nodes over disjoint
   // partitions write snapshots; a combiner node restores + merges them and
