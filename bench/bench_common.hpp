@@ -8,10 +8,14 @@
 // parameter choices (the paper gives its densities only as plots); the
 // qualitative shapes are the reproduction targets — see EXPERIMENTS.md.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/adaptive.hpp"
@@ -76,6 +80,62 @@ inline CvFits FitBothCv(const std::vector<double>& xs) {
   return CvFits{std::move(ht_cv), std::move(st_cv), std::move(ht), std::move(st)};
 }
 
+// ---------------------------------------------------------------------------
+// Chrono/JSON perf-driver plumbing, shared by the perf_* drivers so every
+// emitter records the same host metadata (hardware_concurrency, compiler,
+// build flags) and times with the same clock. Committed BENCH_*.json files
+// are interpreted against this block: flat scaling curves on a 1-core
+// container are expected, not bugs.
+// ---------------------------------------------------------------------------
+
+/// The optimization flags the binary was compiled with; injected by
+/// bench/CMakeLists.txt for the perf drivers, "unknown" elsewhere.
+#ifndef WDE_BENCH_BUILD_FLAGS
+#define WDE_BENCH_BUILD_FLAGS "unknown"
+#endif
+
+namespace perf {
+
+inline double SecondsBetween(std::chrono::steady_clock::time_point start,
+                             std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return SecondsBetween(start, std::chrono::steady_clock::now());
+}
+
+/// Best-of-N wall time of fn(); best-of (not mean) because the drivers run
+/// on shared CI machines where the noise is one-sided.
+template <typename Fn>
+double BestOfSeconds(size_t repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, SecondsSince(start));
+  }
+  return best;
+}
+
+inline const char* CompilerVersion() {
+#if defined(__VERSION__)
+  return "" __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the uniform `"host": {...},` JSON line (with trailing comma).
+inline void WriteHostJson(std::FILE* out) {
+  std::fprintf(out,
+               "  \"host\": {\"hardware_concurrency\": %u, "
+               "\"compiler\": \"%s\", \"build_flags\": \"%s\"},\n",
+               std::thread::hardware_concurrency(), CompilerVersion(),
+               WDE_BENCH_BUILD_FLAGS);
+}
+
+}  // namespace perf
 }  // namespace bench
 }  // namespace wde
 

@@ -1,0 +1,392 @@
+// Evaluation-kernel bench: the tree-pruned KDE paths and the SIMD batch
+// kernels vs their scalar baselines, on one uniform sample. Produces the
+// committed BENCH_kernels.json artifact (see docs/BENCHMARKS.md): per-row
+// baseline/optimized seconds, speedup, and the equivalence evidence — either
+// bit-identity (rows whose optimized path carries the repo's bitwise
+// contract) or a max-abs-error against the row's documented tolerance.
+//
+// Rows and their contracts:
+//   kde_evaluate_many    EvaluateMany(tol=0) vs scalar Evaluate loop —
+//                        bitwise, speedup-guarded.
+//   kde_range_batch      CdfAt(b)−CdfAt(a) vs IntegrateRange — same windowed
+//                        terms reassociated, gated at 1e-9 abs; guarded.
+//   kde_tree_density     Epanechnikov Evaluate(x, 1e-3) vs exact — certified
+//                        |err| <= tol gate; NOT speedup-guarded (pruning
+//                        wins depend on tolerance/kernel, see kde_tree.hpp).
+//   kde_tree_cdf         Gaussian CdfAt(x, 1e-6) vs exact — certified gate;
+//                        NOT speedup-guarded.
+//   wavelet_evaluate_many WaveletEstimate::EvaluateMany vs scalar Evaluate
+//                        loop — bitwise, guarded.
+//   hist_prefix_rebuild  PrefixSumExclusiveBlocked vs Sequential on integer
+//                        counts — bitwise (exact reassociation), guarded.
+//
+// Usage: perf_kernels [--n=200000] [--queries=1024] [--repeats=3]
+//                     [--out=BENCH_kernels.json] [--check]
+//
+// --check turns the contracts into gates: exit 1 if any bitwise row loses
+// bit-identity, any tolerance row exceeds its bound, any guarded row's
+// optimized path is slower than its scalar baseline (speedup < 1.0), or the
+// tolerance-0 tree paths lose bit-identity with the linear pass for ANY of
+// the four shipped kernel types.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/estimator.hpp"
+#include "kernel/bandwidth.hpp"
+#include "kernel/kde.hpp"
+#include "kernel/kernels.hpp"
+#include "numerics/simd.hpp"
+#include "stats/rng.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+#include "wavelet/scaled_function.hpp"
+
+namespace {
+
+using namespace wde;
+
+struct Row {
+  std::string name;
+  std::string equivalence;  // "bitwise" | "tolerance"
+  size_t items = 0;         // evaluations per timed pass
+  double seconds_baseline = 0.0;
+  double seconds_optimized = 0.0;
+  double speedup = 1.0;
+  double tolerance = 0.0;       // tolerance rows: the gated bound
+  double max_abs_error = 0.0;   // tolerance rows: observed error
+  bool bit_identical = true;    // bitwise rows: observed identity
+  bool speedup_guarded = false; // --check fails if guarded && speedup < 1
+};
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+double MaxAbsError(const std::vector<double>& got, const std::vector<double>& want) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(got[i] - want[i]));
+  }
+  return max_abs;
+}
+
+kernel::KernelDensityEstimator MakeKde(kernel::KernelType type,
+                                       const std::vector<double>& data) {
+  const kernel::Kernel kernel(type);
+  const double bandwidth = kernel::RuleOfThumbBandwidth(data);
+  Result<kernel::KernelDensityEstimator> kde =
+      kernel::KernelDensityEstimator::Create(kernel, bandwidth, data);
+  WDE_CHECK(kde.ok(), kde.status().ToString().c_str());
+  return *std::move(kde);
+}
+
+/// The tentpole equivalence gate: at tolerance 0 the tree-routed density and
+/// CDF must be bit-identical to the linear windowed pass for every shipped
+/// kernel type (including the tree paths' exact prunes on the Gaussian's
+/// effective radius). Checked outside the timed rows so a failure names the
+/// kernel.
+bool TreeTol0BitwiseAllKernels(const std::vector<double>& data,
+                               const std::vector<double>& queries) {
+  constexpr kernel::KernelType kTypes[] = {
+      kernel::KernelType::kEpanechnikov, kernel::KernelType::kGaussian,
+      kernel::KernelType::kBiweight, kernel::KernelType::kTriangular};
+  bool ok = true;
+  for (kernel::KernelType type : kTypes) {
+    const kernel::KernelDensityEstimator kde = MakeKde(type, data);
+    for (double x : queries) {
+      if (kde.Evaluate(x, 0.0) != kde.Evaluate(x)) {
+        std::fprintf(stderr, "tree tol=0 density mismatch (%s) at x=%.17g\n",
+                     kde.kernel().name().c_str(), x);
+        ok = false;
+        break;
+      }
+      if (kde.CdfAt(x, 0.0) != kde.CdfAt(x)) {
+        std::fprintf(stderr, "tree tol=0 cdf mismatch (%s) at x=%.17g\n",
+                     kde.kernel().name().c_str(), x);
+        ok = false;
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = ArgSize(argc, argv, "n", 200000);
+  const size_t query_count = ArgSize(argc, argv, "queries", 1024);
+  const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 3));
+  const std::string out_path = ArgString(argc, argv, "out", "BENCH_kernels.json");
+
+  stats::Rng data_rng(1);
+  std::vector<double> data(n);
+  for (double& x : data) x = data_rng.UniformDouble();
+
+  // Queries slightly overhanging [0, 1] so the saturated/empty-window edges
+  // of the CDF and tree paths are exercised, not just interior points.
+  stats::Rng query_rng(5);
+  std::vector<double> queries(query_count);
+  for (double& x : queries) x = -0.1 + 1.2 * query_rng.UniformDouble();
+  std::vector<double> range_lo(query_count), range_hi(query_count);
+  for (size_t i = 0; i < query_count; ++i) {
+    const double a = query_rng.UniformDouble();
+    const double b = query_rng.UniformDouble();
+    range_lo[i] = std::min(a, b);
+    range_hi[i] = std::max(a, b);
+  }
+
+  std::vector<Row> rows;
+  std::vector<double> baseline(query_count), optimized(query_count);
+  double checksum = 0.0;  // keeps the timed passes observable
+
+  // --- kde_evaluate_many: SIMD-gathered batch vs scalar loop (bitwise). ---
+  {
+    const kernel::KernelDensityEstimator kde =
+        MakeKde(kernel::KernelType::kEpanechnikov, data);
+    Row row;
+    row.name = "kde_evaluate_many";
+    row.equivalence = "bitwise";
+    row.items = query_count;
+    row.speedup_guarded = true;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) baseline[i] = kde.Evaluate(queries[i]);
+      checksum += baseline[0];
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      kde.EvaluateMany(queries, optimized);
+      checksum += optimized[0];
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.bit_identical = BitIdentical(optimized, baseline);
+    rows.push_back(row);
+  }
+
+  // --- kde_range_batch: CdfAt-difference ranges vs IntegrateRange. Same
+  // windowed terms, reassociated (two endpoint sums instead of one pass), so
+  // the gate is a tight absolute tolerance rather than bit-identity. ---
+  {
+    const kernel::KernelDensityEstimator kde =
+        MakeKde(kernel::KernelType::kEpanechnikov, data);
+    Row row;
+    row.name = "kde_range_batch";
+    row.equivalence = "tolerance";
+    row.items = query_count;
+    row.tolerance = 1e-9;
+    row.speedup_guarded = true;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) {
+        baseline[i] = kde.IntegrateRange(range_lo[i], range_hi[i]);
+      }
+      checksum += baseline[0];
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) {
+        const double mass = kde.CdfAt(range_hi[i]) - kde.CdfAt(range_lo[i]);
+        optimized[i] = std::clamp(mass, 0.0, 1.0);
+      }
+      checksum += optimized[0];
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.max_abs_error = MaxAbsError(optimized, baseline);
+    rows.push_back(row);
+  }
+
+  // --- kde_tree_density: bounded tree pruning at tol=1e-3 (certified). ---
+  {
+    const kernel::KernelDensityEstimator kde =
+        MakeKde(kernel::KernelType::kEpanechnikov, data);
+    Row row;
+    row.name = "kde_tree_density";
+    row.equivalence = "tolerance";
+    row.items = query_count;
+    row.tolerance = 1e-3;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) baseline[i] = kde.Evaluate(queries[i]);
+      checksum += baseline[0];
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) {
+        optimized[i] = kde.Evaluate(queries[i], row.tolerance);
+      }
+      checksum += optimized[0];
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.max_abs_error = MaxAbsError(optimized, baseline);
+    rows.push_back(row);
+  }
+
+  // --- kde_tree_cdf: Gaussian CDF tree pruning at tol=1e-6. The Gaussian's
+  // effective radius makes the linear window nearly the whole sample; the
+  // tree collapses its flat tails under the certified CDF bound. ---
+  {
+    const kernel::KernelDensityEstimator kde =
+        MakeKde(kernel::KernelType::kGaussian, data);
+    Row row;
+    row.name = "kde_tree_cdf";
+    row.equivalence = "tolerance";
+    row.items = query_count;
+    row.tolerance = 1e-6;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) baseline[i] = kde.CdfAt(queries[i]);
+      checksum += baseline[0];
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < query_count; ++i) {
+        optimized[i] = kde.CdfAt(queries[i], row.tolerance);
+      }
+      checksum += optimized[0];
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.max_abs_error = MaxAbsError(optimized, baseline);
+    rows.push_back(row);
+  }
+
+  // --- wavelet_evaluate_many: level-hoisted + shared-weight-window batch vs
+  // the scalar per-point reconstruction (bitwise). ---
+  {
+    Result<core::WaveletDensityFit> fit =
+        core::WaveletDensityFit::Fit(bench::Sym8Basis(), data);
+    WDE_CHECK(fit.ok(), fit.status().ToString().c_str());
+    const core::WaveletEstimate estimate = fit->LinearEstimate(8);
+    // Enough points that the per-level setup amortizes, as in production
+    // grid/batch queries.
+    const size_t points = std::max<size_t>(query_count, 16384);
+    std::vector<double> xs(points), wave_base(points), wave_opt(points);
+    stats::Rng xrng(9);
+    for (double& x : xs) x = xrng.UniformDouble();
+    Row row;
+    row.name = "wavelet_evaluate_many";
+    row.equivalence = "bitwise";
+    row.items = points;
+    row.speedup_guarded = true;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t i = 0; i < points; ++i) wave_base[i] = estimate.Evaluate(xs[i]);
+      checksum += wave_base[0];
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      estimate.EvaluateMany(xs, wave_opt);
+      checksum += wave_opt[0];
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.bit_identical = BitIdentical(wave_opt, wave_base);
+    rows.push_back(row);
+  }
+
+  // --- hist_prefix_rebuild: blocked vs sequential exclusive prefix sum over
+  // integer-valued counts (exact reassociation ⇒ bitwise). Sized like a large
+  // equi-width histogram; repeated per pass so the timing is resolvable. ---
+  {
+    const size_t buckets = 65536;
+    const size_t passes = 64;
+    std::vector<double> counts(buckets);
+    stats::Rng crng(13);
+    for (double& c : counts) {
+      c = static_cast<double>(static_cast<uint64_t>(crng.UniformDouble() * 1024.0));
+    }
+    std::vector<double> prefix_base(buckets), prefix_opt(buckets);
+    Row row;
+    row.name = "hist_prefix_rebuild";
+    row.equivalence = "bitwise";
+    row.items = buckets * passes;
+    row.speedup_guarded = true;
+    row.seconds_baseline = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t p = 0; p < passes; ++p) {
+        checksum += numerics::PrefixSumExclusiveSequential(counts, prefix_base);
+      }
+    });
+    row.seconds_optimized = bench::perf::BestOfSeconds(repeats, [&] {
+      for (size_t p = 0; p < passes; ++p) {
+        checksum += numerics::PrefixSumExclusiveBlocked(counts, prefix_opt);
+      }
+    });
+    row.speedup = row.seconds_baseline / row.seconds_optimized;
+    row.bit_identical = BitIdentical(prefix_opt, prefix_base);
+    rows.push_back(row);
+  }
+
+  const bool tree_tol0_bitwise = TreeTol0BitwiseAllKernels(data, queries);
+
+  for (const Row& row : rows) {
+    std::printf("%-24s %8zu items  base %.4fs  opt %.4fs  speedup %.2fx  %s\n",
+                row.name.c_str(), row.items, row.seconds_baseline,
+                row.seconds_optimized, row.speedup,
+                row.equivalence == "bitwise"
+                    ? (row.bit_identical ? "bit_identical" : "MISMATCH")
+                    : "tolerance");
+  }
+  std::printf("tree tol=0 bitwise across kernel types: %s  (checksum %.6g)\n",
+              tree_tol0_bitwise ? "true" : "false", checksum);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  WDE_CHECK(out != nullptr, "cannot open --out path for writing");
+  std::fprintf(out, "{\n  \"bench\": \"perf_kernels\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"n\": %zu, \"queries\": %zu, \"repeats\": %zu, "
+               "\"data\": \"uniform[0,1]\", \"bandwidth\": \"rule-of-thumb\"},\n",
+               n, query_count, repeats);
+  wde::bench::perf::WriteHostJson(out);
+  std::fprintf(out, "  \"checks\": {\"tree_tol0_bitwise_all_kernels\": %s},\n",
+               tree_tol0_bitwise ? "true" : "false");
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"equivalence\": \"%s\", \"items\": %zu, "
+                 "\"seconds_baseline\": %.6f, \"seconds_optimized\": %.6f, "
+                 "\"speedup\": %.4f, \"tolerance\": %.3e, "
+                 "\"max_abs_error\": %.3e, \"bit_identical\": %s, "
+                 "\"speedup_guarded\": %s}%s\n",
+                 row.name.c_str(), row.equivalence.c_str(), row.items,
+                 row.seconds_baseline, row.seconds_optimized, row.speedup,
+                 row.tolerance, row.max_abs_error,
+                 row.bit_identical ? "true" : "false",
+                 row.speedup_guarded ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (ArgBool(argc, argv, "check")) {
+    int violations = 0;
+    if (!tree_tol0_bitwise) {
+      std::fprintf(stderr, "CHECK FAILED: tree tol=0 paths not bit-identical\n");
+      ++violations;
+    }
+    for (const Row& row : rows) {
+      if (row.equivalence == "bitwise" && !row.bit_identical) {
+        std::fprintf(stderr, "CHECK FAILED: %s lost bit-identity\n",
+                     row.name.c_str());
+        ++violations;
+      }
+      // 1e-12 slack: the certified bounds are derived in exact arithmetic;
+      // the accumulations themselves round.
+      if (row.equivalence == "tolerance" &&
+          row.max_abs_error > row.tolerance + 1e-12) {
+        std::fprintf(stderr, "CHECK FAILED: %s max_abs_error %.3e > %.3e\n",
+                     row.name.c_str(), row.max_abs_error, row.tolerance);
+        ++violations;
+      }
+      if (row.speedup_guarded && row.speedup < 1.0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s optimized path slower than scalar "
+                     "baseline (speedup %.3fx)\n",
+                     row.name.c_str(), row.speedup);
+        ++violations;
+      }
+    }
+    if (violations > 0) return 1;
+    std::printf("evaluation-kernel contract checks passed\n");
+  }
+  return 0;
+}

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "selectivity/estimator_registry.hpp"
 #include "selectivity/estimator_spec.hpp"
 #include "selectivity/query_workload.hpp"
@@ -43,11 +44,6 @@ namespace {
 using namespace wde;
 
 constexpr size_t kIngestChunk = 65536;
-
-double Seconds(const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 struct Row {
   std::string tag;
@@ -70,7 +66,7 @@ double TimeAnswer(const selectivity::SelectivityEstimator& est,
   for (size_t r = 0; r < repeats; ++r) {
     const auto start = std::chrono::steady_clock::now();
     est.Answer(queries, out);
-    const double elapsed = Seconds(start);
+    const double elapsed = bench::perf::SecondsSince(start);
     if (r == 0 || elapsed < best) best = elapsed;
   }
   return best;
@@ -148,7 +144,7 @@ int main(int argc, char** argv) {
         for (size_t i = 0; i < mixed_workload.size(); ++i) {
           scalar_answers[i] = est.Answer(mixed_workload[i]);
         }
-        const double elapsed = Seconds(start);
+        const double elapsed = bench::perf::SecondsSince(start);
         if (r == 0 || elapsed < best) best = elapsed;
       }
       row.seconds_mixed_scalar = best;
@@ -200,6 +196,7 @@ int main(int argc, char** argv) {
                "\"mix\": \"40%% range / 12%% each point,less,greater,cdf,"
                "quantile\"},\n",
                n, query_count, kIngestChunk, repeats);
+  wde::bench::perf::WriteHostJson(out);
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

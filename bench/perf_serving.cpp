@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "selectivity/estimator_spec.hpp"
 #include "selectivity/query_workload.hpp"
 #include "serving/estimator_service.hpp"
@@ -292,8 +293,7 @@ int main(int argc, char** argv) {
                "%zu, \"publish_interval\": %zu, \"writer_block\": %zu},\n",
                n, prefill, readers, writers, batch, batches, publish_interval,
                kWriterBlock);
-  std::fprintf(out, "  \"host\": {\"hardware_concurrency\": %u},\n",
-               std::thread::hardware_concurrency());
+  wde::bench::perf::WriteHostJson(out);
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const LoadResult& load = rows[i].load;

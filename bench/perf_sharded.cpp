@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "parallel/thread_pool.hpp"
 #include "selectivity/query_workload.hpp"
 #include "selectivity/sharded_selectivity.hpp"
@@ -83,8 +84,7 @@ RunResult RunWorkload(Estimator& estimator, const std::vector<double>& stream,
     estimator.InsertBatch(all.subspan(offset, std::min(kIngestChunk, all.size() - offset)));
   }
   estimator.EstimateBatch(queries, result.answers);
-  const auto end = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.seconds = bench::perf::SecondsSince(start);
   return result;
 }
 
@@ -232,8 +232,7 @@ int main(int argc, char** argv) {
                "\"shard_block_size\": %zu, \"refit_interval\": %zu, "
                "\"repeats\": %zu},\n",
                n, query_count, kIngestChunk, kShardBlock, refit_interval, repeats);
-  std::fprintf(out, "  \"host\": {\"hardware_concurrency\": %u},\n",
-               std::thread::hardware_concurrency());
+  wde::bench::perf::WriteHostJson(out);
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

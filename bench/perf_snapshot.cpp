@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "selectivity/estimator_registry.hpp"
 #include "selectivity/histogram.hpp"
 #include "selectivity/kde_selectivity.hpp"
@@ -96,11 +97,6 @@ struct Row {
   bool roundtrip_bit_identical = false;
 };
 
-double Seconds(std::chrono::steady_clock::time_point start,
-               std::chrono::steady_clock::time_point end) {
-  return std::chrono::duration<double>(end - start).count();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,7 +129,7 @@ int main(int argc, char** argv) {
       const auto start = std::chrono::steady_clock::now();
       WDE_CHECK_OK(selectivity::SaveEstimatorSnapshot(*estimator, sink));
       const auto end = std::chrono::steady_clock::now();
-      const double seconds = Seconds(start, end);
+      const double seconds = bench::perf::SecondsBetween(start, end);
       if (r == 0 || seconds < row.save_seconds) row.save_seconds = seconds;
       bytes = sink.TakeBytes();
     }
@@ -147,7 +143,7 @@ int main(int argc, char** argv) {
           selectivity::LoadEstimatorSnapshot(source);
       const auto end = std::chrono::steady_clock::now();
       WDE_CHECK(loaded.ok(), loaded.status().ToString().c_str());
-      const double seconds = Seconds(start, end);
+      const double seconds = bench::perf::SecondsBetween(start, end);
       if (r == 0 || seconds < row.load_seconds) row.load_seconds = seconds;
       restored = std::move(loaded).value();
     }
@@ -171,8 +167,7 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  \"workload\": {\"n\": %zu, \"queries\": %zu, \"repeats\": %zu},\n",
                n, query_count, repeats);
-  std::fprintf(out, "  \"host\": {\"hardware_concurrency\": %u},\n",
-               std::thread::hardware_concurrency());
+  wde::bench::perf::WriteHostJson(out);
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

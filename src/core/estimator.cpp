@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numerics/optimize.hpp"
+#include "numerics/simd.hpp"
 #include "util/string_util.hpp"
 
 namespace wde {
@@ -40,7 +41,10 @@ void WaveletEstimate::EvaluateMany(std::span<const double> xs,
   WDE_CHECK_EQ(xs.size(), out.size(), "EvaluateMany spans must match");
   const size_t n = xs.size();
   std::vector<double> ts(n);
-  for (size_t i = 0; i < n; ++i) ts[i] = (xs[i] - lo_) / width_;
+  const double lo = lo_;
+  const double width = width_;
+  WDE_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) ts[i] = (xs[i] - lo) / width;
   for (size_t i = 0; i < n; ++i) out[i] = 0.0;
   {
     const wavelet::ScaledLevelEvaluator eval = basis_.PhiLevel(j0_);
@@ -50,12 +54,7 @@ void WaveletEstimate::EvaluateMany(std::span<const double> xs,
     for (size_t i = 0; i < n; ++i) {
       const double t = ts[i];
       if (t < 0.0 || t > 1.0) continue;
-      const wavelet::TranslationWindow window = eval.PointWindow(t);
-      for (int k = window.lo; k <= window.hi; ++k) {
-        const int idx = k - k_lo;
-        if (idx < 0 || idx >= n_alpha) continue;
-        out[i] += alpha[idx] * eval.Value(k, t);
-      }
+      eval.AccumulateWeighted(t, alpha, k_lo, n_alpha, &out[i]);
     }
   }
   for (const DetailLevel& level : details_) {
@@ -67,20 +66,16 @@ void WaveletEstimate::EvaluateMany(std::span<const double> xs,
     for (size_t i = 0; i < n; ++i) {
       const double t = ts[i];
       if (t < 0.0 || t > 1.0) continue;
-      const wavelet::TranslationWindow window = eval.PointWindow(t);
-      for (int k = window.lo; k <= window.hi; ++k) {
-        const int idx = k - k_lo;
-        if (idx < 0 || idx >= n_theta) continue;
-        const double coeff = theta[idx];
-        if (coeff == 0.0) continue;
-        out[i] += coeff * eval.Value(k, t);
-      }
+      eval.AccumulateWeighted(t, theta, k_lo, n_theta, &out[i]);
     }
   }
+  // Select instead of branch so the normalization vectorizes; out-of-domain
+  // lanes keep their (zero) value exactly as the scalar loop leaves them.
+  WDE_SIMD_LOOP
   for (size_t i = 0; i < n; ++i) {
     const double t = ts[i];
-    if (t < 0.0 || t > 1.0) continue;
-    out[i] = out[i] / width_;
+    const bool in_domain = t >= 0.0 && t <= 1.0;
+    out[i] = in_domain ? out[i] / width : out[i];
   }
 }
 

@@ -34,7 +34,9 @@ uint32_t Crc32(std::span<const uint8_t> bytes);
 /// Policy: readers accept any version <= kSnapshotFormatVersion (older
 /// writers), and reject newer ones with a descriptive error — forward
 /// compatibility is explicit, never silent misparsing.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// History: v1 — initial format; v2 — the kde-rot payload grew an optional
+/// eval-tolerance tail (readers parse both tails, so v1 payloads still load).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Writes the 12-byte snapshot header (magic + format version).
 Status WriteSnapshotHeader(Sink& sink);

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numerics/simd.hpp"
 #include "util/check.hpp"
 
 namespace wde {
 namespace kernel {
+namespace {
+
+// Per-thread scratch for the gathered stride-1 operand/result buffers of the
+// batch paths, reused across calls so steady-state evaluation never
+// allocates. Thread-local keeps the concurrent read-side (sharded fan-out,
+// serving views) race-free without locks.
+std::vector<double>& ScratchArgs() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+std::vector<double>& ScratchVals() {
+  thread_local std::vector<double> buf;
+  return buf;
+}
+
+}  // namespace
 
 KernelDensityEstimator::KernelDensityEstimator(Kernel kernel, double bandwidth,
                                                std::vector<double> sorted)
@@ -33,6 +50,49 @@ double KernelDensityEstimator::Evaluate(double x) const {
     acc += kernel_.Evaluate((x - *it) / bandwidth_);
   }
   return acc / (static_cast<double>(sorted_.size()) * bandwidth_);
+}
+
+const KdeEvalTree& KernelDensityEstimator::Tree() const {
+  if (!tree_) tree_ = std::make_shared<const KdeEvalTree>(std::span(sorted_));
+  return *tree_;
+}
+
+double KernelDensityEstimator::Evaluate(double x, double tolerance) const {
+  return Tree().DensitySum(sorted_, kernel_, bandwidth_, x, tolerance) /
+         (static_cast<double>(sorted_.size()) * bandwidth_);
+}
+
+void KernelDensityEstimator::EvaluateMany(std::span<const double> xs,
+                                          std::span<double> out,
+                                          double tolerance) const {
+  WDE_CHECK_EQ(xs.size(), out.size(), "EvaluateMany spans must match");
+  if (tolerance > 0.0) {
+    for (size_t i = 0; i < xs.size(); ++i) out[i] = Evaluate(xs[i], tolerance);
+    return;
+  }
+  const double radius = kernel_.support_radius() * bandwidth_;
+  const double norm = static_cast<double>(sorted_.size()) * bandwidth_;
+  std::vector<double>& us = ScratchArgs();
+  std::vector<double>& ks = ScratchVals();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    // Same window, same per-term arithmetic, same left-to-right sum as
+    // Evaluate(x) — only the kernel applications run through the gathered
+    // SIMD batch, which is elementwise bit-identical.
+    const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), x - radius);
+    const auto hi = std::upper_bound(lo, sorted_.end(), x + radius);
+    const size_t window = static_cast<size_t>(hi - lo);
+    us.resize(window);
+    ks.resize(window);
+    const double* base = sorted_.data() + (lo - sorted_.begin());
+    const double bandwidth = bandwidth_;
+    WDE_SIMD_LOOP
+    for (size_t m = 0; m < window; ++m) us[m] = (x - base[m]) / bandwidth;
+    kernel_.EvaluateMany(us, ks);
+    double acc = 0.0;
+    for (size_t m = 0; m < window; ++m) acc += ks[m];
+    out[i] = acc / norm;
+  }
 }
 
 std::vector<double> KernelDensityEstimator::EvaluateOnGrid(double lo, double hi,
@@ -63,17 +123,47 @@ double KernelDensityEstimator::CdfAt(double x) const {
   // Both split points use the very comparison the Cdf branches evaluate, and
   // the saturated prefix sums to its exact integer count, so the result is
   // bit-identical to the full per-sample sum of IntegrateRange(-inf, x).
+  // The window terms are gathered into contiguous scratch and evaluated by
+  // the SIMD batch CDF (elementwise bit-identical to Kernel::Cdf), then
+  // summed left to right exactly as the scalar loop did.
   const double radius = kernel_.support_radius();
   const auto ones_end = std::partition_point(
       sorted_.begin(), sorted_.end(),
       [&](double xi) { return (x - xi) / bandwidth_ >= radius; });
+  const auto zeros_begin = std::partition_point(
+      ones_end, sorted_.end(),
+      [&](double xi) { return (x - xi) / bandwidth_ > -radius; });
   double acc = static_cast<double>(ones_end - sorted_.begin());
-  for (auto it = ones_end; it != sorted_.end(); ++it) {
-    const double u = (x - *it) / bandwidth_;
-    if (u <= -radius) break;  // every remaining term is exactly 0.0
-    acc += kernel_.Cdf(u);
+  const size_t window = static_cast<size_t>(zeros_begin - ones_end);
+  if (window != 0) {
+    std::vector<double>& us = ScratchArgs();
+    std::vector<double>& ks = ScratchVals();
+    us.resize(window);
+    ks.resize(window);
+    const double* base = sorted_.data() + (ones_end - sorted_.begin());
+    const double bandwidth = bandwidth_;
+    WDE_SIMD_LOOP
+    for (size_t m = 0; m < window; ++m) us[m] = (x - base[m]) / bandwidth;
+    kernel_.CdfMany(us, ks);
+    for (size_t m = 0; m < window; ++m) acc += ks[m];
   }
   return acc / static_cast<double>(sorted_.size());
+}
+
+double KernelDensityEstimator::CdfAt(double x, double tolerance) const {
+  return Tree().CdfSum(sorted_, kernel_, bandwidth_, x, tolerance) /
+         static_cast<double>(sorted_.size());
+}
+
+void KernelDensityEstimator::CdfAtMany(std::span<const double> xs,
+                                       std::span<double> out,
+                                       double tolerance) const {
+  WDE_CHECK_EQ(xs.size(), out.size(), "CdfAtMany spans must match");
+  if (tolerance > 0.0) {
+    for (size_t i = 0; i < xs.size(); ++i) out[i] = CdfAt(xs[i], tolerance);
+  } else {
+    for (size_t i = 0; i < xs.size(); ++i) out[i] = CdfAt(xs[i]);
+  }
 }
 
 }  // namespace kernel

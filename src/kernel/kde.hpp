@@ -8,9 +8,11 @@
 #ifndef WDE_KERNEL_KDE_HPP_
 #define WDE_KERNEL_KDE_HPP_
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "kernel/kde_tree.hpp"
 #include "kernel/kernels.hpp"
 #include "util/result.hpp"
 
@@ -28,6 +30,20 @@ class KernelDensityEstimator {
 
   double Evaluate(double x) const;
 
+  /// Tree-pruned evaluation (always routed through the kd-tree, building it
+  /// lazily on first use). `tolerance` is a certified absolute error bound
+  /// on the returned density (see kde_tree.hpp for the derivation);
+  /// tolerance 0 is bit-identical to Evaluate(x) and only prunes exactly.
+  double Evaluate(double x, double tolerance) const;
+
+  /// out[i] = f̂(xs[i]). With tolerance 0 (the default), each query runs the
+  /// linear windowed pass with the kernel terms gathered into contiguous
+  /// scratch and evaluated by the SIMD batch kernel — bit-identical to
+  /// Evaluate(xs[i]). With a positive tolerance, queries run tree-pruned
+  /// under the certified bound.
+  void EvaluateMany(std::span<const double> xs, std::span<double> out,
+                    double tolerance = 0.0) const;
+
   /// Values on an inclusive uniform grid [lo, hi].
   std::vector<double> EvaluateOnGrid(double lo, double hi, size_t points) const;
 
@@ -44,16 +60,35 @@ class KernelDensityEstimator {
   /// of O(n). The one-sided/CDF query path of the selectivity layer.
   double CdfAt(double x) const;
 
+  /// Tree-pruned CDF (always routed through the kd-tree). tolerance 0 is
+  /// bit-identical to CdfAt(x); positive tolerances carry the certified
+  /// absolute bound of kde_tree.hpp.
+  double CdfAt(double x, double tolerance) const;
+
+  /// out[i] = CdfAt(xs[i]) — windowed + SIMD-gathered at tolerance 0
+  /// (bit-identical), tree-pruned otherwise.
+  void CdfAtMany(std::span<const double> xs, std::span<double> out,
+                 double tolerance = 0.0) const;
+
   double bandwidth() const { return bandwidth_; }
   const Kernel& kernel() const { return kernel_; }
   size_t sample_size() const { return sorted_.size(); }
+  std::span<const double> samples() const { return sorted_; }
 
  private:
   KernelDensityEstimator(Kernel kernel, double bandwidth, std::vector<double> sorted);
 
+  /// Lazily built on first pruned call and shared by copies (the tree stores
+  /// indices and aggregates only, so it is valid for any buffer with equal
+  /// contents). Never persisted: snapshot restore rebuilds on demand. Lazy
+  /// build follows the repo's warm-up contract — the first query through an
+  /// estimator refreshes lazy state before concurrent readers fan out.
+  const KdeEvalTree& Tree() const;
+
   Kernel kernel_;
   double bandwidth_;
   std::vector<double> sorted_;
+  mutable std::shared_ptr<const KdeEvalTree> tree_;
 };
 
 }  // namespace kernel

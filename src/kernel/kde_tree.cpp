@@ -1,0 +1,179 @@
+#include "kernel/kde_tree.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace kernel {
+
+KdeEvalTree::KdeEvalTree(std::span<const double> sorted) {
+  WDE_CHECK(!sorted.empty(), "kd-tree requires samples");
+  WDE_CHECK_LE(sorted.size(),
+               static_cast<size_t>(std::numeric_limits<uint32_t>::max()),
+               "kd-tree index type is 32-bit");
+  const auto n = static_cast<uint32_t>(sorted.size());
+  nodes_.reserve(2 * (static_cast<size_t>(n) / kLeafSize + 2));
+  nodes_.resize(1);
+  BuildAt(sorted, 0, 0, n);
+}
+
+void KdeEvalTree::BuildAt(std::span<const double> sorted, uint32_t idx,
+                          uint32_t begin, uint32_t end) {
+  Node node{begin, end, 0, sorted[begin], sorted[end - 1]};
+  if (end - begin > kLeafSize) {
+    // Children are allocated adjacently (right = left + 1) so the node only
+    // stores one child index; median-by-count split keeps the tree balanced
+    // even for heavily skewed or duplicate-laden data.
+    const auto left = static_cast<uint32_t>(nodes_.size());
+    node.left = left;
+    nodes_.resize(nodes_.size() + 2);
+    nodes_[idx] = node;
+    const uint32_t mid = begin + (end - begin) / 2;
+    BuildAt(sorted, left, begin, mid);
+    BuildAt(sorted, left + 1, mid, end);
+  } else {
+    nodes_[idx] = node;
+  }
+}
+
+// --- Density ---------------------------------------------------------------
+
+struct KdeEvalTree::DensityState {
+  const Kernel& kernel;
+  double bandwidth;
+  double x;
+  double window_lo;  // x - R·h: samples below never enter the linear window
+  double window_hi;  // x + R·h
+  double tolerance;
+  double acc = 0.0;
+};
+
+void KdeEvalTree::DensityNode(const Node& node, std::span<const double> sorted,
+                              DensityState& st) const {
+  // Exact prune: the node is entirely outside the kernel window. The
+  // comparisons mirror the per-sample window predicate below, so tolerance-0
+  // traversal visits exactly the samples of the linear windowed pass.
+  if (node.xmax < st.window_lo || node.xmin > st.window_hi) return;
+  const bool contained =
+      st.window_lo <= node.xmin && node.xmax <= st.window_hi;
+  if (st.tolerance > 0.0 && contained && !node.leaf()) {
+    // Bounded collapse: distances from x to the node's box span
+    // [dmin, dmax]; a kernel non-increasing in |u| then brackets every
+    // per-sample value in [K(dmax/h), K(dmin/h)]. Midpoint substitution is
+    // certified once the bracket is narrower than 2·tol·h (see header).
+    const double dmin =
+        std::max(0.0, std::max(node.xmin - st.x, st.x - node.xmax));
+    const double dmax = std::max(st.x - node.xmin, node.xmax - st.x);
+    const double k_hi = st.kernel.Evaluate(dmin / st.bandwidth);
+    const double k_lo = st.kernel.Evaluate(dmax / st.bandwidth);
+    if (k_hi - k_lo <= 2.0 * st.tolerance * st.bandwidth) {
+      st.acc += static_cast<double>(node.count()) * (0.5 * (k_lo + k_hi));
+      return;
+    }
+  }
+  if (node.leaf()) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const double xi = sorted[i];
+      if (xi >= st.window_lo && xi <= st.window_hi) {
+        st.acc += st.kernel.Evaluate((st.x - xi) / st.bandwidth);
+      }
+    }
+    return;
+  }
+  DensityNode(nodes_[node.left], sorted, st);
+  DensityNode(nodes_[node.left + 1], sorted, st);
+}
+
+double KdeEvalTree::DensitySum(std::span<const double> sorted,
+                               const Kernel& kernel, double bandwidth, double x,
+                               double tolerance) const {
+  WDE_CHECK_EQ(sorted.size(), sample_size(), "buffer/tree size mismatch");
+  const double radius = kernel.support_radius() * bandwidth;
+  DensityState st{kernel, bandwidth, x, x - radius, x + radius, tolerance};
+  DensityNode(nodes_[0], sorted, st);
+  return st.acc;
+}
+
+// --- CDF -------------------------------------------------------------------
+
+struct KdeEvalTree::CdfState {
+  const Kernel& kernel;
+  double bandwidth;
+  double x;
+  double radius;  // unscaled support radius R, as in the Cdf saturation tests
+  double tolerance;
+  uint64_t ones = 0;     // samples with u >= R: Cdf exactly 1, counted as ints
+  double acc = 0.0;      // running sum once the first non-saturated term lands
+  bool started = false;  // acc seeded from `ones` yet?
+};
+
+void KdeEvalTree::CdfNode(const Node& node, std::span<const double> sorted,
+                          CdfState& st) const {
+  // Exact saturation prunes. u = (x - xi)/h is non-increasing along the
+  // sorted buffer, so testing the node's extreme sample settles the whole
+  // subtree with the very comparisons Kernel::Cdf branches on.
+  if ((st.x - node.xmax) / st.bandwidth >= st.radius) {
+    // Whole node saturates at exactly 1.0. In exact mode this is always
+    // reached before any window term (saturation is a prefix property), so
+    // the integer count keeps the bitwise contract; after a bounded
+    // collapse, adding the exact count is still exact.
+    if (!st.started) {
+      st.ones += node.count();
+    } else {
+      st.acc += static_cast<double>(node.count());
+    }
+    return;
+  }
+  if ((st.x - node.xmin) / st.bandwidth <= -st.radius) return;  // all exactly 0
+  if (st.tolerance > 0.0 && !node.leaf()) {
+    // Bounded collapse: the kernel CDF is non-decreasing, so per-sample
+    // values lie in [Cdf((x-xmax)/h), Cdf((x-xmin)/h)] (see header).
+    const double c_lo = st.kernel.Cdf((st.x - node.xmax) / st.bandwidth);
+    const double c_hi = st.kernel.Cdf((st.x - node.xmin) / st.bandwidth);
+    if (c_hi - c_lo <= 2.0 * st.tolerance) {
+      if (!st.started) {
+        st.acc = static_cast<double>(st.ones);
+        st.started = true;
+      }
+      st.acc += static_cast<double>(node.count()) * (0.5 * (c_lo + c_hi));
+      return;
+    }
+  }
+  if (node.leaf()) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const double u = (st.x - sorted[i]) / st.bandwidth;
+      if (u >= st.radius) {
+        if (!st.started) {
+          ++st.ones;
+        } else {
+          st.acc += 1.0;
+        }
+      } else if (u <= -st.radius) {
+        return;  // u only decreases from here; every remaining term is 0.0
+      } else {
+        if (!st.started) {
+          st.acc = static_cast<double>(st.ones);
+          st.started = true;
+        }
+        st.acc += st.kernel.Cdf(u);
+      }
+    }
+    return;
+  }
+  CdfNode(nodes_[node.left], sorted, st);
+  CdfNode(nodes_[node.left + 1], sorted, st);
+}
+
+double KdeEvalTree::CdfSum(std::span<const double> sorted, const Kernel& kernel,
+                           double bandwidth, double x, double tolerance) const {
+  WDE_CHECK_EQ(sorted.size(), sample_size(), "buffer/tree size mismatch");
+  CdfState st{kernel, bandwidth, x, kernel.support_radius(), tolerance};
+  CdfNode(nodes_[0], sorted, st);
+  return st.started ? st.acc : static_cast<double>(st.ones);
+}
+
+}  // namespace kernel
+}  // namespace wde

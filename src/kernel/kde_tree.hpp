@@ -1,0 +1,112 @@
+/// \file kernel/kde_tree.hpp
+/// Tree-pruned evaluation over the KDE's sorted sample buffer.
+///
+/// A 1-D kd-tree (an interval tree over the sorted array: every node owns a
+/// contiguous index range plus cached weight/bounding-box aggregates) that
+/// accelerates kernel-density and kernel-CDF sums two ways:
+///
+///   * **Exact pruning** — subtrees entirely outside the kernel window (for
+///     density) or entirely inside a CDF saturation zone (for the CDF) are
+///     accepted or skipped wholesale using the *same comparison arithmetic*
+///     as the scalar per-sample branches, so tolerance-0 traversal is
+///     bit-identical to the linear windowed pass.
+///   * **Bounded collapse** — with a positive tolerance, a subtree whose
+///     min/max kernel-contribution bounds are close enough is replaced by
+///     `count · midpoint(bounds)` without expanding it.
+///
+/// Certified tolerance contract (requires the kernel to be symmetric and
+/// non-increasing in |u|, true of every shipped kernel; kernel CDFs are
+/// non-decreasing):
+///
+///   * Density: a node fully inside the window with distance range
+///     [dmin, dmax] to the query has per-sample kernel values in
+///     [K(dmax/h), K(dmin/h)]. Collapsing to the midpoint errs at most
+///     (K(dmin/h) − K(dmax/h))/2 per sample. The node is collapsed only when
+///     K(dmin/h) − K(dmax/h) ≤ 2·tol·h, so after the 1/(n·h) normalization
+///     the total error over all collapsed nodes is
+///     Σ mᵢ·gapᵢ/(2nh) ≤ n·(2·tol·h)/(2nh) = tol.
+///   * CDF: per-sample CDF values lie in [Cdf((x−xmax)/h), Cdf((x−xmin)/h)];
+///     collapse requires the gap ≤ 2·tol, so after the 1/n normalization the
+///     total error is ≤ tol.
+///
+/// Tolerance 0 never collapses (the gap test is strict), leaving only the
+/// exact prunes — that mode is asserted bitwise-equal to the linear pass by
+/// kde_tree_test and the perf_kernels --check gate.
+///
+/// The tree stores indices and aggregate values only — no pointers into the
+/// sample buffer — so it remains valid for any buffer with equal contents
+/// (copies of the owning estimator share it safely) and is rebuilt, not
+/// persisted, on snapshot restore.
+#ifndef WDE_KERNEL_KDE_TREE_HPP_
+#define WDE_KERNEL_KDE_TREE_HPP_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernel/kernels.hpp"
+
+namespace wde {
+namespace kernel {
+
+class KdeEvalTree {
+ public:
+  /// Leaves hold at most this many samples; below it, pruning bookkeeping
+  /// costs more than the scalar terms it could save.
+  static constexpr uint32_t kLeafSize = 32;
+
+  /// Builds over a sorted, non-empty buffer. Only the values are read at
+  /// build time; evaluation takes the buffer again by argument (it must have
+  /// the same contents, not necessarily the same storage).
+  explicit KdeEvalTree(std::span<const double> sorted);
+
+  /// Σ_{xᵢ ∈ [x−Rh, x+Rh]} K((x−xᵢ)/h) with bounded-node collapses; the
+  /// caller divides by n·h. tolerance is the certified absolute error bound
+  /// on the *normalized* density; 0 ⇒ bit-identical to the linear windowed
+  /// sum of KernelDensityEstimator::Evaluate.
+  double DensitySum(std::span<const double> sorted, const Kernel& kernel,
+                    double bandwidth, double x, double tolerance) const;
+
+  /// Σᵢ Cdf((x−xᵢ)/h) with saturation prunes and bounded-node collapses; the
+  /// caller divides by n. tolerance is the certified absolute error bound on
+  /// the *normalized* CDF; 0 ⇒ bit-identical to the windowed sum of
+  /// KernelDensityEstimator::CdfAt.
+  double CdfSum(std::span<const double> sorted, const Kernel& kernel,
+                double bandwidth, double x, double tolerance) const;
+
+  size_t sample_size() const { return nodes_.empty() ? 0 : nodes_[0].count(); }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    uint32_t begin;
+    uint32_t end;
+    /// Index of the left child; the right child is `left + 1`. 0 marks a
+    /// leaf (node 0 is the root, never anyone's child).
+    uint32_t left;
+    /// Bounding-box aggregates: sorted[begin] and sorted[end - 1], cached so
+    /// pruning never touches the sample buffer.
+    double xmin;
+    double xmax;
+
+    uint32_t count() const { return end - begin; }
+    bool leaf() const { return left == 0; }
+  };
+
+  void BuildAt(std::span<const double> sorted, uint32_t idx, uint32_t begin,
+               uint32_t end);
+
+  struct DensityState;
+  struct CdfState;
+  void DensityNode(const Node& node, std::span<const double> sorted,
+                   DensityState& st) const;
+  void CdfNode(const Node& node, std::span<const double> sorted,
+               CdfState& st) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kernel
+}  // namespace wde
+
+#endif  // WDE_KERNEL_KDE_TREE_HPP_

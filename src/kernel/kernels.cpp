@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "numerics/integration.hpp"
+#include "numerics/simd.hpp"
 #include "numerics/special_functions.hpp"
 #include "util/check.hpp"
 
@@ -75,10 +76,73 @@ Kernel::Kernel(KernelType type) : type_(type), radius_(RadiusFor(type)) {
 
 double Kernel::Evaluate(double u) const { return RawKernel(type_, u); }
 
+void Kernel::EvaluateMany(std::span<const double> us, std::span<double> out) const {
+  WDE_CHECK_EQ(us.size(), out.size(), "EvaluateMany spans must match");
+  const size_t n = us.size();
+  // One loop per kernel type so the dispatch is hoisted; each loop body is
+  // the corresponding RawKernel branch verbatim, hence bit-identical.
+  switch (type_) {
+    case KernelType::kEpanechnikov:
+      WDE_SIMD_LOOP
+      for (size_t i = 0; i < n; ++i) {
+        const double u = us[i];
+        out[i] = std::fabs(u) <= 1.0 ? 0.75 * (1.0 - u * u) : 0.0;
+      }
+      break;
+    case KernelType::kGaussian:
+      // exp() keeps this one scalar; the hoisted loop still drops the
+      // per-element type dispatch.
+      for (size_t i = 0; i < n; ++i) out[i] = numerics::NormalPdf(us[i]);
+      break;
+    case KernelType::kBiweight:
+      WDE_SIMD_LOOP
+      for (size_t i = 0; i < n; ++i) {
+        const double u = us[i];
+        out[i] =
+            std::fabs(u) <= 1.0 ? 0.9375 * (1.0 - u * u) * (1.0 - u * u) : 0.0;
+      }
+      break;
+    case KernelType::kTriangular:
+      WDE_SIMD_LOOP
+      for (size_t i = 0; i < n; ++i) {
+        const double au = std::fabs(us[i]);
+        out[i] = au <= 1.0 ? 1.0 - au : 0.0;
+      }
+      break;
+  }
+}
+
 double Kernel::Cdf(double u) const {
   if (u <= -radius_) return 0.0;
   if (u >= radius_) return 1.0;
   return cdf_table_->Evaluate(u);
+}
+
+void Kernel::CdfMany(std::span<const double> us, std::span<double> out) const {
+  WDE_CHECK_EQ(us.size(), out.size(), "CdfMany spans must match");
+  const double radius = radius_;
+  const double x0 = cdf_table_->x0();
+  const double dx = cdf_table_->dx();
+  const double* values = cdf_table_->values().data();
+  const size_t n = cdf_table_->values().size();
+  const double t_max = static_cast<double>(n - 1);
+  const size_t count = us.size();
+  WDE_SIMD_LOOP
+  for (size_t i = 0; i < count; ++i) {
+    const double u = us[i];
+    // Interior lanes reproduce UniformGridInterpolator::EvaluateOn bit for
+    // bit; saturated lanes compute a clamped (valid, discarded) lookup and
+    // are overridden by the same comparisons Cdf() branches on.
+    const double t = (u - x0) / dx;
+    const bool inside = t >= 0.0 && t <= t_max;
+    const double tc = inside ? t : 0.0;
+    size_t idx = static_cast<size_t>(tc);
+    idx = idx < n - 2 ? idx : n - 2;
+    const double frac = tc - static_cast<double>(idx);
+    const double v = values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+    const double interp = !inside ? 0.0 : (t >= t_max ? values[n - 1] : v);
+    out[i] = u <= -radius ? 0.0 : (u >= radius ? 1.0 : interp);
+  }
 }
 
 double Kernel::SelfConvolution(double t) const { return conv_table_->Evaluate(t); }

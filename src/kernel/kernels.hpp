@@ -2,6 +2,7 @@
 #define WDE_KERNEL_KERNELS_HPP_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "numerics/interpolation.hpp"
@@ -23,12 +24,23 @@ class Kernel {
 
   double Evaluate(double u) const;
 
+  /// out[i] = Evaluate(us[i]) bit-identically, with the kernel-type dispatch
+  /// hoisted out of the loop and the per-type loop SIMD-annotated (see
+  /// numerics/simd.hpp for the contract: elementwise, no re-association).
+  void EvaluateMany(std::span<const double> us, std::span<double> out) const;
+
   /// Radius R such that K vanishes outside [-R, R] (effective radius for the
   /// Gaussian).
   double support_radius() const { return radius_; }
 
   /// ∫_{-∞}^{u} K.
   double Cdf(double u) const;
+
+  /// out[i] = Cdf(us[i]) bit-identically. The scalar saturation branches are
+  /// rewritten as selects over clamped table indices so the loop is branch-
+  /// free and SIMD-annotated; interior lookups use the exact interpolation
+  /// arithmetic of UniformGridInterpolator::EvaluateOn.
+  void CdfMany(std::span<const double> us, std::span<double> out) const;
 
   /// (K*K)(t) = ∫ K(u) K(t-u) du, supported on [-2R, 2R].
   double SelfConvolution(double t) const;

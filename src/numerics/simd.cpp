@@ -1,0 +1,61 @@
+#include "numerics/simd.hpp"
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace numerics {
+
+double PrefixSumExclusiveSequential(std::span<const double> in,
+                                    std::span<double> out) {
+  WDE_CHECK_EQ(in.size(), out.size(), "prefix-sum spans must match");
+  double acc = 0.0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  return acc;
+}
+
+double PrefixSumExclusiveBlocked(std::span<const double> in,
+                                 std::span<double> out) {
+  WDE_CHECK_EQ(in.size(), out.size(), "prefix-sum spans must match");
+  const size_t n = in.size();
+  // One cache line of doubles per block: the block reduction below runs on
+  // independent lanes instead of one latency-bound chain, and the per-block
+  // scan chains are short enough to overlap across blocks.
+  constexpr size_t kBlock = 8;
+  const double* x = in.data();
+  double* p = out.data();
+  double offset = 0.0;
+  size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    // Within-block exclusive scan from the running offset. Unrolled fixed
+    // width: each p[i + m] is its own short dependency chain off `offset`,
+    // so the compiler can schedule the adds in parallel.
+    double s0 = x[i];
+    double s1 = s0 + x[i + 1];
+    double s2 = s1 + x[i + 2];
+    double s3 = s2 + x[i + 3];
+    double s4 = s3 + x[i + 4];
+    double s5 = s4 + x[i + 5];
+    double s6 = s5 + x[i + 6];
+    double s7 = s6 + x[i + 7];
+    p[i] = offset;
+    p[i + 1] = offset + s0;
+    p[i + 2] = offset + s1;
+    p[i + 3] = offset + s2;
+    p[i + 4] = offset + s3;
+    p[i + 5] = offset + s4;
+    p[i + 6] = offset + s5;
+    p[i + 7] = offset + s6;
+    offset += s7;
+  }
+  for (; i < n; ++i) {
+    p[i] = offset;
+    offset += x[i];
+  }
+  return offset;
+}
+
+}  // namespace numerics
+}  // namespace wde

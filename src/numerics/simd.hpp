@@ -1,0 +1,62 @@
+/// \file numerics/simd.hpp
+/// SIMD annotation + vector-friendly exact kernels shared by the hot paths.
+///
+/// `WDE_SIMD_LOOP` expands to `#pragma omp simd` when the compiler honors it
+/// (GCC/Clang with -fopenmp or -fopenmp-simd; the build adds -fopenmp-simd,
+/// which activates the pragma WITHOUT an OpenMP runtime dependency) and to
+/// nothing otherwise, so annotated kernels compile everywhere. The contract
+/// for every annotated loop in this codebase: iterations are independent and
+/// elementwise — the pragma may interleave *iterations* but never
+/// re-associates the arithmetic *within* one element, so annotated kernels
+/// stay bitwise-identical to their scalar per-element counterparts.
+/// Reductions (dot products, kernel sums) are deliberately NOT annotated
+/// when a bitwise contract covers them: a vectorized reduction re-associates
+/// the sum. Where re-association is provably exact (integer-valued doubles
+/// below 2^53, e.g. histogram bucket counts) the blocked kernels here exploit
+/// it and document the precondition.
+#ifndef WDE_NUMERICS_SIMD_HPP_
+#define WDE_NUMERICS_SIMD_HPP_
+
+#include <cstddef>
+#include <span>
+
+#if defined(_OPENMP) || defined(_OPENMP_SIMD)
+#define WDE_SIMD_LOOP _Pragma("omp simd")
+#elif defined(__clang__) || defined(__GNUC__)
+// GCC/Clang accept the pragma unconditionally under -fopenmp-simd; when the
+// flag is absent they warn-and-ignore, so gate on it having had an effect.
+// -fopenmp-simd defines _OPENMP_SIMD on neither compiler, hence this probe:
+// GCC defines _OPENMP only under -fopenmp; use the pragma anyway — both
+// compilers silently ignore unknown omp pragmas without -Werror=unknown-pragmas.
+#define WDE_SIMD_LOOP _Pragma("omp simd")
+#else
+#define WDE_SIMD_LOOP
+#endif
+
+namespace wde {
+namespace numerics {
+
+/// Exclusive prefix sum, reference form: out[i] = in[0] + ... + in[i-1]
+/// accumulated left to right in one dependent chain. Returns the total sum.
+double PrefixSumExclusiveSequential(std::span<const double> in,
+                                    std::span<double> out);
+
+/// Exclusive prefix sum, blocked/vectorizable form: per-block totals are
+/// reduced with a SIMD-friendly accumulator, block offsets are chained, and
+/// the within-block scan runs on independent short chains. ~one fused pass
+/// instead of one latency-bound add chain over the whole array.
+///
+/// Bitwise contract: for integer-valued inputs whose running sums stay below
+/// 2^53 (histogram bucket counts — the production use), every partial sum is
+/// exactly representable under ANY association, so the result is
+/// bit-identical to PrefixSumExclusiveSequential (asserted by numerics_test
+/// and the perf_kernels --check gate). For general doubles the blocked
+/// association is the definition of the table being built; callers needing
+/// sequential-association semantics use the reference form.
+double PrefixSumExclusiveBlocked(std::span<const double> in,
+                                 std::span<double> out);
+
+}  // namespace numerics
+}  // namespace wde
+
+#endif  // WDE_NUMERICS_SIMD_HPP_

@@ -34,7 +34,7 @@ class SelectivityEstimator;
 ///   "equi-width",
 ///   "equi-depth"     — buckets
 ///   "haar-synopsis"  — grid_log2, budget, refit_interval (rebuild cadence)
-///   "kde-rot"        — refit_interval
+///   "kde-rot"        — refit_interval, kde_eval_tolerance
 ///   "wavelet-cv"     — filter, table_levels, j0, j_max, soft_threshold,
 ///                      refit_interval
 ///   "reservoir"      — capacity, seed
@@ -67,6 +67,10 @@ struct EstimatorSpec {
   /// Refit pacing: the wavelet/KDE refit interval and the synopsis rebuild
   /// interval.
   size_t refit_interval = 1024;
+
+  /// KDE tree-pruned evaluation: certified absolute error budget per CDF
+  /// endpoint (KdeSelectivity::Options::eval_tolerance); 0 answers exactly.
+  double kde_eval_tolerance = 0.0;
 
   // Reservoir sample.
   size_t capacity = 256;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numerics/simd.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
 
@@ -32,12 +33,11 @@ void EquiWidthHistogram::Insert(double x) {
 
 void EquiWidthHistogram::RebuildPrefixIfStale() const {
   if (!prefix_.empty() && prefix_built_at_count_ == count_) return;
-  prefix_.assign(counts_.size(), 0.0);
-  double acc = 0.0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    prefix_[i] = acc;
-    acc += counts_[i];  // integer-valued doubles: exact up to 2^53
-  }
+  prefix_.resize(counts_.size());
+  // Blocked scan: bucket counts are integer-valued doubles (exact up to
+  // 2^53), so the blocked association is bit-identical to the sequential
+  // chain while breaking its per-element latency dependency.
+  numerics::PrefixSumExclusiveBlocked(counts_, prefix_);
   prefix_built_at_count_ = count_;
 }
 

@@ -38,6 +38,12 @@ void KdeSelectivity::RefitIfStale() const {
   }
 }
 
+double KdeSelectivity::FittedCdf(double x) const {
+  return options_.eval_tolerance > 0.0
+             ? kde_->CdfAt(x, options_.eval_tolerance)
+             : kde_->CdfAt(x);
+}
+
 double KdeSelectivity::EstimateRangeImpl(double a, double b) const {
   RefitIfStale();
   if (!kde_.has_value()) {
@@ -53,9 +59,14 @@ double KdeSelectivity::EstimateRangeImpl(double a, double b) const {
     // The Less/Cdf lowering: the windowed kernel antiderivative is
     // bit-identical to IntegrateRange(-inf, b) (see CdfAt) and touches only
     // the samples inside the kernel support around b.
-    return std::clamp(kde_->CdfAt(b), 0.0, 1.0);
+    return std::clamp(FittedCdf(b), 0.0, 1.0);
   }
-  return std::clamp(kde_->IntegrateRange(a, b), 0.0, 1.0);
+  // CDF difference instead of the per-sample IntegrateRange sum: each
+  // endpoint touches only its kernel window (O(log n + window) vs O(n));
+  // the difference-of-sums vs sum-of-differences reassociation moves the
+  // result by at most n·ulp, well inside every accuracy contract, and the
+  // batch path below uses the identical expression.
+  return std::clamp(FittedCdf(b) - FittedCdf(a), 0.0, 1.0);
 }
 
 std::unique_ptr<SelectivityEstimator> KdeSelectivity::CloneEmpty() const {
@@ -83,7 +94,11 @@ Status KdeSelectivity::SaveStateImpl(io::Sink& sink) const {
   WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_hi));
   WDE_RETURN_IF_ERROR(io::WriteU64(sink, options_.refit_interval));
   WDE_RETURN_IF_ERROR(io::WriteU64(sink, fitted_at_count_));
-  return io::WriteDoubleVector(sink, values_);
+  WDE_RETURN_IF_ERROR(io::WriteDoubleVector(sink, values_));
+  // Format v2 tail (the kd-tree itself is never persisted — it rebuilds
+  // lazily from the restored buffer); v1 payloads simply end at the vector
+  // and load with the tolerance defaulted to exact.
+  return io::WriteDouble(sink, options_.eval_tolerance);
 }
 
 Status KdeSelectivity::LoadStateImpl(io::Source& source) {
@@ -93,8 +108,12 @@ Status KdeSelectivity::LoadStateImpl(io::Source& source) {
   WDE_ASSIGN_OR_RETURN(options.refit_interval, io::ReadU64(source));
   WDE_ASSIGN_OR_RETURN(const uint64_t fitted_at_count, io::ReadU64(source));
   WDE_ASSIGN_OR_RETURN(std::vector<double> values, io::ReadDoubleVector(source));
+  if (source.remaining() != 0) {  // v2 tail; absent in v1 payloads
+    WDE_ASSIGN_OR_RETURN(options.eval_tolerance, io::ReadDouble(source));
+  }
   if (!std::isfinite(options.domain_lo) || !std::isfinite(options.domain_hi) ||
       !(options.domain_lo < options.domain_hi) || options.refit_interval == 0 ||
+      !std::isfinite(options.eval_tolerance) || options.eval_tolerance < 0.0 ||
       fitted_at_count > values.size() || source.remaining() != 0) {
     return Status::InvalidArgument("corrupt kde snapshot");
   }
@@ -134,14 +153,14 @@ void KdeSelectivity::AnswerImpl(std::span<const Query> queries,
     switch (q.kind) {
       case QueryKind::kLess:
       case QueryKind::kCdf:
-        out[i] = std::clamp(kde_->CdfAt(q.a), 0.0, 1.0);
+        out[i] = std::clamp(FittedCdf(q.a), 0.0, 1.0);
         break;
       case QueryKind::kQuantile:
         out[i] = QuantileByBisection(q.a);
         break;
       default: {
         const RangeQuery r = LowerToRange(q);
-        out[i] = std::clamp(kde_->IntegrateRange(r.lo, r.hi), 0.0, 1.0);
+        out[i] = std::clamp(FittedCdf(r.hi) - FittedCdf(r.lo), 0.0, 1.0);
         break;
       }
     }

@@ -12,10 +12,17 @@ namespace selectivity {
 
 /// Kernel-density selectivity baseline: buffers the stream (unlike the
 /// wavelet sketch it is NOT bounded-memory), rebuilds an Epanechnikov KDE
-/// with the rule-of-thumb bandwidth when stale, and answers ranges from the
-/// kernel CDF. One-sided and CDF kinds run the windowed kernel
-/// antiderivative (KernelDensityEstimator::CdfAt — O(log n + window) and
-/// bit-identical to the (-inf, x] range lowering).
+/// with the rule-of-thumb bandwidth when stale, and answers every range as a
+/// difference of windowed kernel antiderivatives
+/// (KernelDensityEstimator::CdfAt — O(log n + window) per endpoint instead
+/// of the former O(n) per-sample IntegrateRange sum; one-sided/CDF kinds use
+/// a single endpoint, bit-identical to the (-inf, x] lowering).
+///
+/// With `Options::eval_tolerance > 0` the endpoints run tree-pruned under
+/// the kd-tree's certified bound (kde_tree.hpp), so a range answer deviates
+/// from the exact kernel CDF difference by at most 2·eval_tolerance (one
+/// bound per endpoint) before clamping. Tolerance 0 — the default, and what
+/// every equivalence suite pins — is bit-identical to the exact path.
 ///
 /// Mergeable: the sample buffers concatenate in merge order and the KDE
 /// refits from the merged buffer. Merges that append in stream order
@@ -29,6 +36,10 @@ class KdeSelectivity : public SelectivityEstimator {
     double domain_lo = 0.0;
     double domain_hi = 1.0;
     size_t refit_interval = 1024;
+    /// Certified absolute error budget per CDF endpoint for tree-pruned
+    /// evaluation; 0 (default) answers exactly. Like refit_interval this is
+    /// an evaluation knob, not part of the merge-compatibility key.
+    double eval_tolerance = 0.0;
   };
 
   explicit KdeSelectivity(const Options& options) : options_(options) {}
@@ -60,8 +71,9 @@ class KdeSelectivity : public SelectivityEstimator {
   const char* snapshot_type_tag() const override { return "kde-rot"; }
 
  protected:
-  /// Ranges from the kernel CDF; a (-inf, x] range (the Less/Cdf lowering)
-  /// takes the windowed CdfAt path — bit-identical, O(log n + window).
+  /// clamp(F̂(b) − F̂(a)) from the windowed (or tree-pruned, when
+  /// eval_tolerance > 0) kernel CDF; a (-inf, x] range (the Less/Cdf
+  /// lowering) is a single endpoint.
   double EstimateRangeImpl(double a, double b) const override;
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
@@ -74,6 +86,8 @@ class KdeSelectivity : public SelectivityEstimator {
 
  private:
   void RefitIfStale() const;
+  /// Fitted kernel CDF at x, honoring eval_tolerance. Requires kde_.
+  double FittedCdf(double x) const;
 
   Options options_;
   std::vector<double> values_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "numerics/integration.hpp"
+#include "numerics/simd.hpp"
 #include "util/check.hpp"
 
 namespace wde {
@@ -102,15 +103,25 @@ void WaveletBasis::AntiderivativeMany(MotherFunction f, std::span<const double> 
   const size_t n = cdf.values().size();
   const double x1 = cdf.x1();
   const double last = cdf.values().back();
-  for (size_t i = 0; i < xs.size(); ++i) {
+  const double t_max = static_cast<double>(n - 1);
+  const size_t count = xs.size();
+  // Branch-free rewrite of the scalar ladder (0 left of the support, `last`
+  // right of it, EvaluateOn in between): every select uses exactly the
+  // comparisons the scalar branches evaluate, out-of-range lanes read a
+  // clamped valid cell and are overridden, so the loop vectorizes while
+  // staying bit-identical per element.
+  WDE_SIMD_LOOP
+  for (size_t i = 0; i < count; ++i) {
     const double x = xs[i];
-    if (x <= 0.0) {
-      out[i] = 0.0;
-    } else if (x >= x1) {
-      out[i] = last;
-    } else {
-      out[i] = numerics::UniformGridInterpolator::EvaluateOn(x0, dx, values, n, x);
-    }
+    const double t = (x - x0) / dx;
+    const bool on_grid = t >= 0.0 && t <= t_max;
+    const double tc = on_grid ? t : 0.0;
+    size_t idx = static_cast<size_t>(tc);
+    idx = idx < n - 2 ? idx : n - 2;
+    const double frac = tc - static_cast<double>(idx);
+    const double v = values[idx] * (1.0 - frac) + values[idx + 1] * frac;
+    const double interior = !on_grid ? 0.0 : (t >= t_max ? values[n - 1] : v);
+    out[i] = x <= 0.0 ? 0.0 : (x >= x1 ? last : interior);
   }
 }
 

@@ -132,6 +132,60 @@ class ScaledLevelEvaluator {
     }
   }
 
+  /// The batch-evaluation inner loop: adds Σ_k coeffs[k − coeff_k_lo] ·
+  /// δ_{j,k}(x) over PointWindow(x) ∩ [coeff_k_lo, coeff_k_lo + coeff_n) to
+  /// *acc, in ascending k. Bit-identical to the per-k scalar loop
+  /// `*acc += coeffs[k − coeff_k_lo] * Value(k, x)`: zero coefficients and
+  /// out-of-support translates contribute exactly ±0.0 to an accumulator
+  /// that is never −0.0 (it starts at +0.0 and IEEE sums of finite terms
+  /// only produce −0.0 from all-(−0.0) inputs), so skipping them never
+  /// changes a bit. Shares the interpolation weight pair across the window
+  /// via the same endpoint-identity fast path as AccumulateValueAndSquare;
+  /// the reduction itself stays in scalar order — vectorizing it would
+  /// re-associate the sum and break the bitwise contract.
+  void AccumulateWeighted(double x, const double* coeffs, int coeff_k_lo,
+                          int coeff_n, double* acc) const {
+    const TranslationWindow window = PointWindow(x);
+    const int lo = std::max(window.lo, coeff_k_lo);
+    const int hi = std::min(window.hi, coeff_k_lo + coeff_n - 1);
+    if (hi < lo) return;
+    const double sx = scale_ * x;
+    const double u_first = sx - static_cast<double>(lo);
+    const double span = static_cast<double>(hi - lo);
+    double local = *acc;
+    if (u_first - span == sx - static_cast<double>(hi)) {
+      const double t_first = (u_first - table_x0_) * table_inv_dx_;
+      const auto stride = static_cast<long>(table_inv_dx_);
+      long idx = static_cast<long>(t_first);
+      const double frac = t_first - static_cast<double>(idx);
+      const double omf = 1.0 - frac;
+      const long limit = static_cast<long>(table_n_);
+      const double* cp = coeffs + (lo - coeff_k_lo);
+      for (int k = lo; k <= hi; ++k, idx -= stride, ++cp) {
+        const double c = *cp;
+        if (c == 0.0) continue;
+        double value;
+        if (idx >= 0 && idx + 1 < limit) {
+          value = sqrt_scale_ *
+                  (table_values_[idx] * omf + table_values_[idx + 1] * frac);
+        } else if (idx == limit - 1 && frac == 0.0) {
+          value = sqrt_scale_ * table_values_[limit - 1];
+        } else {
+          continue;  // outside the mother support: scalar term is ±0.0
+        }
+        local += c * value;
+      }
+      *acc = local;
+      return;
+    }
+    for (int k = lo; k <= hi; ++k) {
+      const double c = coeffs[k - coeff_k_lo];
+      if (c == 0.0) continue;
+      local += c * Value(k, x);
+    }
+    *acc = local;
+  }
+
   int j() const { return j_; }
   /// 2^j as a double.
   double scale() const { return scale_; }

@@ -1,0 +1,178 @@
+// Property tests for the kd-tree-pruned KDE evaluation paths (kernel/kde_tree):
+//   - tolerance 0 is BIT-IDENTICAL to the linear windowed pass for every
+//     shipped kernel type, across sizes straddling the leaf width and on
+//     degenerate/duplicate-point data (the tree may prune exactly, never
+//     approximate);
+//   - positive tolerances carry the certified absolute bound derived in
+//     kde_tree.hpp, checked against the exact answer for random tolerances;
+//   - the batch entry points dispatch to the same paths bitwise;
+//   - copies share the lazily built tree safely (indices + aggregates only).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "kernel/kde.hpp"
+#include "kernel/kde_tree.hpp"
+#include "kernel/kernels.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace kernel {
+namespace {
+
+constexpr KernelType kAllTypes[] = {KernelType::kEpanechnikov,
+                                    KernelType::kGaussian, KernelType::kBiweight,
+                                    KernelType::kTriangular};
+
+KernelDensityEstimator MakeKde(KernelType type, const std::vector<double>& data,
+                               double bandwidth) {
+  Result<KernelDensityEstimator> kde =
+      KernelDensityEstimator::Create(Kernel(type), bandwidth, data);
+  WDE_CHECK(kde.ok(), kde.status().ToString().c_str());
+  return *std::move(kde);
+}
+
+// Queries spanning the data range, its exact edges, sample values themselves,
+// and points far outside the support (empty windows / saturated CDFs).
+std::vector<double> Probes(stats::Rng& rng, const std::vector<double>& data) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Uniform(-0.5, 1.5));
+  xs.push_back(-10.0);
+  xs.push_back(10.0);
+  xs.push_back(0.0);
+  xs.push_back(1.0);
+  for (size_t i = 0; i < data.size(); i += std::max<size_t>(1, data.size() / 8)) {
+    xs.push_back(data[i]);
+  }
+  return xs;
+}
+
+TEST(KdeTreeTest, ToleranceZeroBitIdenticalToLinearPassAcrossSizes) {
+  stats::Rng rng(11);
+  // Sizes straddling the leaf width (32) so root-is-leaf, one-split, and
+  // deep trees are all exercised.
+  for (size_t n : {1u, 2u, 31u, 32u, 33u, 100u, 1000u}) {
+    std::vector<double> data(n);
+    for (double& x : data) x = rng.UniformDouble();
+    for (KernelType type : kAllTypes) {
+      const KernelDensityEstimator kde = MakeKde(type, data, 0.05);
+      for (double x : Probes(rng, data)) {
+        EXPECT_EQ(kde.Evaluate(x, 0.0), kde.Evaluate(x))
+            << kde.kernel().name() << " n=" << n << " x=" << x;
+        EXPECT_EQ(kde.CdfAt(x, 0.0), kde.CdfAt(x))
+            << kde.kernel().name() << " n=" << n << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(KdeTreeTest, ToleranceZeroBitIdenticalOnDegenerateData) {
+  stats::Rng rng(13);
+  // All-equal samples: every tree node has xmin == xmax, so both the exact
+  // prunes and (at tolerance 0, forbidden) collapses sit on their edge cases.
+  std::vector<double> flat(257, 0.5);
+  // Heavy duplication: a few distinct values repeated across leaf boundaries.
+  std::vector<double> dup(300);
+  for (double& x : dup) x = 0.1 * static_cast<double>(rng.UniformDouble() * 5.0);
+  for (const std::vector<double>* data : {&flat, &dup}) {
+    for (KernelType type : kAllTypes) {
+      const KernelDensityEstimator kde = MakeKde(type, *data, 0.03);
+      for (double x : Probes(rng, *data)) {
+        EXPECT_EQ(kde.Evaluate(x, 0.0), kde.Evaluate(x))
+            << kde.kernel().name() << " x=" << x;
+        EXPECT_EQ(kde.CdfAt(x, 0.0), kde.CdfAt(x))
+            << kde.kernel().name() << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(KdeTreeTest, RandomTolerancesStayWithinCertifiedBound) {
+  stats::Rng rng(17);
+  std::vector<double> data(2000);
+  for (double& x : data) x = rng.UniformDouble();
+  for (KernelType type : kAllTypes) {
+    const KernelDensityEstimator kde = MakeKde(type, data, 0.04);
+    for (int rep = 0; rep < 100; ++rep) {
+      const double tol = std::pow(10.0, rng.Uniform(-8.0, -2.0));
+      const double x = rng.Uniform(-0.3, 1.3);
+      // 1e-12 slack: the bounds are certified in exact arithmetic; the
+      // accumulations themselves round.
+      EXPECT_LE(std::fabs(kde.Evaluate(x, tol) - kde.Evaluate(x)), tol + 1e-12)
+          << kde.kernel().name() << " tol=" << tol << " x=" << x;
+      EXPECT_LE(std::fabs(kde.CdfAt(x, tol) - kde.CdfAt(x)), tol + 1e-12)
+          << kde.kernel().name() << " tol=" << tol << " x=" << x;
+    }
+  }
+}
+
+TEST(KdeTreeTest, BatchEntryPointsDispatchBitwise) {
+  stats::Rng rng(19);
+  std::vector<double> data(500);
+  for (double& x : data) x = rng.UniformDouble();
+  for (KernelType type : kAllTypes) {
+    const KernelDensityEstimator kde = MakeKde(type, data, 0.05);
+    const std::vector<double> xs = Probes(rng, data);
+    std::vector<double> out(xs.size());
+    for (double tol : {0.0, 1e-4}) {
+      kde.EvaluateMany(xs, out, tol);
+      for (size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(out[i], kde.Evaluate(xs[i], tol))
+            << kde.kernel().name() << " tol=" << tol;
+      }
+      kde.CdfAtMany(xs, out, tol);
+      for (size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(out[i], kde.CdfAt(xs[i], tol))
+            << kde.kernel().name() << " tol=" << tol;
+      }
+    }
+  }
+}
+
+TEST(KdeTreeTest, CopiesShareTheLazilyBuiltTree) {
+  stats::Rng rng(23);
+  std::vector<double> data(300);
+  for (double& x : data) x = rng.UniformDouble();
+  const KernelDensityEstimator kde =
+      MakeKde(KernelType::kEpanechnikov, data, 0.05);
+  // Warm the tree on the original, then copy: the copy's buffer has equal
+  // contents, so the shared index-only tree must answer identically.
+  const double warmed = kde.Evaluate(0.37, 1e-3);
+  const KernelDensityEstimator copy = kde;
+  EXPECT_EQ(copy.Evaluate(0.37, 1e-3), warmed);
+  for (double x : Probes(rng, data)) {
+    EXPECT_EQ(copy.Evaluate(x, 0.0), kde.Evaluate(x));
+    EXPECT_EQ(copy.CdfAt(x, 0.0), kde.CdfAt(x));
+  }
+}
+
+TEST(KdeTreeTest, TreeStructureCoversTheBuffer) {
+  stats::Rng rng(29);
+  std::vector<double> data(257);
+  for (double& x : data) x = rng.UniformDouble();
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const KdeEvalTree tree{std::span<const double>(sorted)};
+  EXPECT_EQ(tree.sample_size(), sorted.size());
+  EXPECT_GT(tree.node_count(), 1u);
+  // DensitySum at tolerance 0 over the whole support equals the plain sum of
+  // kernel terms (normalization is the caller's).
+  const Kernel kernel(KernelType::kBiweight);
+  const double bandwidth = 0.07;
+  const double x = 0.5;
+  double expected = 0.0;
+  const double radius = kernel.support_radius() * bandwidth;
+  for (double xi : sorted) {
+    if (xi >= x - radius && xi <= x + radius) {
+      expected += kernel.Evaluate((x - xi) / bandwidth);
+    }
+  }
+  EXPECT_EQ(tree.DensitySum(sorted, kernel, bandwidth, x, 0.0), expected);
+}
+
+}  // namespace
+}  // namespace kernel
+}  // namespace wde

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "kernel/bandwidth.hpp"
 #include "kernel/kde.hpp"
@@ -36,6 +37,30 @@ TEST_P(KernelSweepTest, CdfEndpointsAndMidpoint) {
   EXPECT_DOUBLE_EQ(k.Cdf(-k.support_radius() - 1.0), 0.0);
   EXPECT_DOUBLE_EQ(k.Cdf(k.support_radius() + 1.0), 1.0);
   EXPECT_NEAR(k.Cdf(0.0), 0.5, 1e-6);
+}
+
+TEST_P(KernelSweepTest, EvaluateManyBitIdenticalToScalar) {
+  const Kernel k(GetParam());
+  stats::Rng rng(71);
+  std::vector<double> us;
+  for (int i = 0; i < 500; ++i) {
+    us.push_back(rng.Uniform(-k.support_radius() - 1.0, k.support_radius() + 1.0));
+  }
+  // The exact branch points of the scalar paths.
+  us.push_back(-k.support_radius());
+  us.push_back(k.support_radius());
+  us.push_back(-1.0);
+  us.push_back(0.0);
+  us.push_back(1.0);
+  std::vector<double> batch(us.size());
+  k.EvaluateMany(us, batch);
+  for (size_t i = 0; i < us.size(); ++i) {
+    EXPECT_EQ(batch[i], k.Evaluate(us[i])) << k.name() << " u=" << us[i];
+  }
+  k.CdfMany(us, batch);
+  for (size_t i = 0; i < us.size(); ++i) {
+    EXPECT_EQ(batch[i], k.Cdf(us[i])) << k.name() << " u=" << us[i];
+  }
 }
 
 TEST_P(KernelSweepTest, SelfConvolutionIsADensity) {

@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <complex>
+#include <cstdint>
 
 #include "numerics/integration.hpp"
 #include "numerics/interpolation.hpp"
 #include "numerics/matrix.hpp"
 #include "numerics/optimize.hpp"
 #include "numerics/polynomial.hpp"
+#include "numerics/simd.hpp"
 #include "numerics/special_functions.hpp"
 
 namespace wde {
@@ -241,6 +243,41 @@ TEST(IntegrationTest, CumulativeTrapezoidEndpoints) {
   EXPECT_DOUBLE_EQ(cum[0], 0.0);
   EXPECT_DOUBLE_EQ(cum[1], 0.5);
   EXPECT_DOUBLE_EQ(cum[2], 1.0);
+}
+
+// -------------------------------------------------------------- prefix sums
+
+TEST(PrefixSumTest, SequentialDefinition) {
+  const std::vector<double> in{3.0, 1.0, 4.0, 1.0, 5.0};
+  std::vector<double> out(in.size());
+  const double total = PrefixSumExclusiveSequential(in, out);
+  EXPECT_DOUBLE_EQ(total, 14.0);
+  const std::vector<double> want{0.0, 3.0, 4.0, 8.0, 9.0};
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], want[i]);
+}
+
+TEST(PrefixSumTest, BlockedBitIdenticalToSequentialOnIntegerCounts) {
+  // The production input: histogram bucket counts — integer-valued doubles
+  // whose running sums stay far below 2^53, where any association is exact.
+  // Sizes straddle the block width (8) and include the empty/tiny edges.
+  uint64_t state = 0x2545F4914F6CDD1DULL;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 255u, 256u, 1000u}) {
+    std::vector<double> in(n);
+    for (double& v : in) v = static_cast<double>(next() % 100000);
+    std::vector<double> seq(n), blocked(n);
+    const double total_seq = PrefixSumExclusiveSequential(in, seq);
+    const double total_blocked = PrefixSumExclusiveBlocked(in, blocked);
+    EXPECT_EQ(total_blocked, total_seq) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(blocked[i], seq[i]) << "n=" << n << " i=" << i;
+    }
+  }
 }
 
 // ------------------------------------------------------------ interpolation
