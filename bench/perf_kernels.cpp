@@ -11,8 +11,11 @@
 //   kde_range_batch      CdfAt(b)−CdfAt(a) vs IntegrateRange — same windowed
 //                        terms reassociated, gated at 1e-9 abs; guarded.
 //   kde_tree_density     Epanechnikov Evaluate(x, 1e-3) vs exact — certified
-//                        |err| <= tol gate; NOT speedup-guarded (pruning
-//                        wins depend on tolerance/kernel, see kde_tree.hpp).
+//                        |err| <= tol gate; NOT speedup-guarded: the exact
+//                        Epanechnikov path is already windowed by compact
+//                        support, so after the kLeafSize 32→128 retune this
+//                        row hovers ~0.9-1.0x (pruning wins depend on
+//                        tolerance/kernel, see kde_tree.hpp).
 //   kde_tree_cdf         Gaussian CdfAt(x, 1e-6) vs exact — certified gate;
 //                        NOT speedup-guarded.
 //   wavelet_evaluate_many WaveletEstimate::EvaluateMany vs scalar Evaluate

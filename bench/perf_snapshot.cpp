@@ -1,10 +1,17 @@
 // Snapshot-subsystem bench: per registered estimator, ingest a stream, then
 // measure snapshot size and save/load throughput through the registry's
-// whole-snapshot path (in-memory sinks/sources — the wire format, not the
-// disk, is under test). Produces the committed BENCH_snapshot.json artifact
-// (see docs/BENCHMARKS.md) with a per-row round-trip verdict: answers of the
-// restored estimator must be bit-identical to the saved one on a range
-// workload.
+// whole-snapshot paths — the portable element-wise encoding AND the fast
+// arena encoding (in-memory and the mmap file restore). Produces the
+// committed BENCH_snapshot.json artifact (see docs/BENCHMARKS.md) with a
+// per-row round-trip verdict: answers of every restored estimator (portable,
+// fast, mmapped) must be bit-identical to the saved one on a range workload.
+//
+// Besides throughput, each row records the restore *latency* of the mmapped
+// fast path (the warm-standby metric: how long until a restored estimator
+// can answer) and the peak-RSS delta of loading (portable decode
+// materializes every buffer; the mmap path touches only headers until
+// queries fault pages in). RSS deltas come from /proc/self/status VmHWM
+// around a clear_refs peak reset — Linux-only, reported as 0 elsewhere.
 //
 // No google-benchmark dependency: plain steady_clock timing, best of
 // --repeats runs, so the binary builds everywhere and CI can always produce
@@ -13,12 +20,17 @@
 // Usage: perf_snapshot [--n=200000] [--queries=256] [--repeats=5]
 //                      [--out=BENCH_snapshot.json] [--check]
 //
-// --check: exit 1 if any estimator fails to round-trip bit-identically —
+// --check: exit 1 if any estimator fails to round-trip bit-identically on
+// any path, or if any fast restore disagrees with the portable restore —
 // the fidelity contract at bench scale, not just test sizes.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,14 +100,68 @@ std::vector<std::unique_ptr<selectivity::SelectivityEstimator>> MakeEstimators()
   return estimators;
 }
 
+/// Reads one "Key:   <n> kB" line of /proc/self/status; 0 off-Linux.
+size_t ProcStatusBytes(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t bytes = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      bytes = std::strtoull(line + key_len + 1, nullptr, 10) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+/// Resets the process peak-RSS high-water mark to the current RSS (Linux
+/// clear_refs); no-op elsewhere. Lets one process measure per-phase peaks.
+void ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return;
+  std::fputs("5", f);
+  std::fclose(f);
+}
+
+/// Peak-RSS delta of running fn() once: how much extra memory the load path
+/// needs beyond what is already resident. Trims the allocator first so pages
+/// freed by earlier phases do not mask the allocation under test.
+template <typename Fn>
+size_t PeakRssDeltaOf(Fn&& fn) {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+  ResetPeakRss();
+  const size_t before = ProcStatusBytes("VmRSS");
+  fn();
+  const size_t peak = ProcStatusBytes("VmHWM");
+  return peak > before ? peak - before : 0;
+}
+
+struct PathStats {
+  size_t bytes = 0;
+  double save_seconds = 0.0;
+  double load_seconds = 0.0;
+};
+
 struct Row {
   std::string tag;
   std::string name;
-  size_t snapshot_bytes = 0;
-  double save_seconds = 0.0;
-  double load_seconds = 0.0;
-  bool roundtrip_bit_identical = false;
+  PathStats portable;             // in-memory, element-wise encoding
+  PathStats fast;                 // in-memory, arena (ARNA) encoding
+  double mmap_load_seconds = 0.0; // restore latency from the mmapped file
+  size_t portable_peak_rss_bytes = 0;
+  size_t mmap_peak_rss_bytes = 0;
+  bool roundtrip_bit_identical = false;  // portable restore == saved
+  bool fast_equals_portable = false;     // fast + mmap restores == saved
 };
+
+double MbPerS(size_t bytes, double seconds) {
+  return static_cast<double>(bytes) / 1e6 / seconds;
+}
 
 }  // namespace
 
@@ -105,6 +171,7 @@ int main(int argc, char** argv) {
   const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 5));
   const std::string out_path =
       ArgString(argc, argv, "out", "BENCH_snapshot.json");
+  const std::string tmp_path = out_path + ".fastsnap.tmp";
 
   stats::Rng data_rng(1);
   std::vector<double> stream(n);
@@ -123,42 +190,94 @@ int main(int argc, char** argv) {
     row.tag = estimator->snapshot_type_tag();
     row.name = estimator->name();
 
-    std::vector<uint8_t> bytes;
-    for (size_t r = 0; r < repeats; ++r) {
+    // ---- portable encoding, in-memory ----
+    std::vector<uint8_t> portable_bytes;
+    row.portable.save_seconds = bench::perf::BestOfSeconds(repeats, [&] {
       io::VectorSink sink;
-      const auto start = std::chrono::steady_clock::now();
       WDE_CHECK_OK(selectivity::SaveEstimatorSnapshot(*estimator, sink));
-      const auto end = std::chrono::steady_clock::now();
-      const double seconds = bench::perf::SecondsBetween(start, end);
-      if (r == 0 || seconds < row.save_seconds) row.save_seconds = seconds;
-      bytes = sink.TakeBytes();
-    }
-    row.snapshot_bytes = bytes.size();
+      portable_bytes = sink.TakeBytes();
+    });
+    row.portable.bytes = portable_bytes.size();
 
     std::unique_ptr<selectivity::SelectivityEstimator> restored;
-    for (size_t r = 0; r < repeats; ++r) {
-      io::SpanSource source(bytes);
-      const auto start = std::chrono::steady_clock::now();
+    row.portable.load_seconds = bench::perf::BestOfSeconds(repeats, [&] {
+      io::SpanSource source(portable_bytes);
       Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
           selectivity::LoadEstimatorSnapshot(source);
-      const auto end = std::chrono::steady_clock::now();
       WDE_CHECK(loaded.ok(), loaded.status().ToString().c_str());
-      const double seconds = bench::perf::SecondsBetween(start, end);
-      if (r == 0 || seconds < row.load_seconds) row.load_seconds = seconds;
       restored = std::move(loaded).value();
-    }
+    });
+    row.portable_peak_rss_bytes = PeakRssDeltaOf([&] {
+      io::SpanSource source(portable_bytes);
+      Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+          selectivity::LoadEstimatorSnapshot(source);
+      WDE_CHECK(loaded.ok());
+      std::vector<double> probe(queries.size());
+      (*loaded)->EstimateBatch(queries, probe);
+    });
 
     std::vector<double> after(queries.size());
     restored->EstimateBatch(queries, after);
     row.roundtrip_bit_identical =
         restored->count() == estimator->count() && after == before;
+
+    // ---- fast (arena) encoding, in-memory ----
+    std::vector<uint8_t> fast_bytes;
+    row.fast.save_seconds = bench::perf::BestOfSeconds(repeats, [&] {
+      io::VectorSink sink;
+      WDE_CHECK_OK(selectivity::SaveEstimatorSnapshotFast(*estimator, sink));
+      fast_bytes = sink.TakeBytes();
+    });
+    row.fast.bytes = fast_bytes.size();
+
+    std::unique_ptr<selectivity::SelectivityEstimator> fast_restored;
+    row.fast.load_seconds = bench::perf::BestOfSeconds(repeats, [&] {
+      io::SpanSource source(fast_bytes);
+      Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+          selectivity::LoadEstimatorSnapshot(source);
+      WDE_CHECK(loaded.ok(), loaded.status().ToString().c_str());
+      fast_restored = std::move(loaded).value();
+    });
+    std::vector<double> fast_after(queries.size());
+    fast_restored->EstimateBatch(queries, fast_after);
+
+    // ---- fast encoding, mmapped file restore (the warm-standby path) ----
+    WDE_CHECK_OK(selectivity::SaveEstimatorSnapshotFastFile(*estimator, tmp_path));
+    std::unique_ptr<selectivity::SelectivityEstimator> mapped_restored;
+    row.mmap_load_seconds = bench::perf::BestOfSeconds(repeats, [&] {
+      Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+          selectivity::LoadEstimatorSnapshotFileMapped(tmp_path);
+      WDE_CHECK(loaded.ok(), loaded.status().ToString().c_str());
+      mapped_restored = std::move(loaded).value();
+    });
+    std::vector<double> mapped_after(queries.size());
+    mapped_restored->EstimateBatch(queries, mapped_after);
+    mapped_restored.reset();
+    row.mmap_peak_rss_bytes = PeakRssDeltaOf([&] {
+      Result<std::unique_ptr<selectivity::SelectivityEstimator>> loaded =
+          selectivity::LoadEstimatorSnapshotFileMapped(tmp_path);
+      WDE_CHECK(loaded.ok());
+      std::vector<double> probe(queries.size());
+      (*loaded)->EstimateBatch(queries, probe);
+    });
+    std::remove(tmp_path.c_str());
+
+    row.fast_equals_portable = fast_after == before && mapped_after == before;
     rows.push_back(row);
     std::printf(
-        "%-28s %9zu bytes  save %8.3f MB/s  load %8.3f MB/s  roundtrip %s\n",
-        row.name.c_str(), row.snapshot_bytes,
-        static_cast<double>(row.snapshot_bytes) / 1e6 / row.save_seconds,
-        static_cast<double>(row.snapshot_bytes) / 1e6 / row.load_seconds,
-        row.roundtrip_bit_identical ? "bit-identical" : "MISMATCH");
+        "%-28s portable %9zu B  save %8.1f MB/s  load %8.1f MB/s | "
+        "fast %9zu B  load %8.1f MB/s  mmap-restore %8.1f us  "
+        "rss %5.1f -> %5.1f MB | %s\n",
+        row.name.c_str(), row.portable.bytes,
+        MbPerS(row.portable.bytes, row.portable.save_seconds),
+        MbPerS(row.portable.bytes, row.portable.load_seconds), row.fast.bytes,
+        MbPerS(row.fast.bytes, row.fast.load_seconds),
+        row.mmap_load_seconds * 1e6,
+        static_cast<double>(row.portable_peak_rss_bytes) / 1e6,
+        static_cast<double>(row.mmap_peak_rss_bytes) / 1e6,
+        row.roundtrip_bit_identical && row.fast_equals_portable
+            ? "bit-identical"
+            : "MISMATCH");
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -171,17 +290,39 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
+    std::fprintf(out, "    {\"tag\": \"%s\", \"estimator\": \"%s\",\n",
+                 row.tag.c_str(), row.name.c_str());
     std::fprintf(out,
-                 "    {\"tag\": \"%s\", \"estimator\": \"%s\", "
-                 "\"snapshot_bytes\": %zu, \"save_seconds\": %.6e, "
+                 "     \"portable\": {\"bytes\": %zu, \"save_seconds\": %.6e, "
                  "\"save_mb_per_s\": %.1f, \"load_seconds\": %.6e, "
-                 "\"load_mb_per_s\": %.1f, \"roundtrip_bit_identical\": %s}%s\n",
-                 row.tag.c_str(), row.name.c_str(), row.snapshot_bytes,
-                 row.save_seconds,
-                 static_cast<double>(row.snapshot_bytes) / 1e6 / row.save_seconds,
-                 row.load_seconds,
-                 static_cast<double>(row.snapshot_bytes) / 1e6 / row.load_seconds,
+                 "\"load_mb_per_s\": %.1f, \"load_peak_rss_bytes\": %zu},\n",
+                 row.portable.bytes, row.portable.save_seconds,
+                 MbPerS(row.portable.bytes, row.portable.save_seconds),
+                 row.portable.load_seconds,
+                 MbPerS(row.portable.bytes, row.portable.load_seconds),
+                 row.portable_peak_rss_bytes);
+    std::fprintf(out,
+                 "     \"fast\": {\"bytes\": %zu, \"save_seconds\": %.6e, "
+                 "\"save_mb_per_s\": %.1f, \"load_seconds\": %.6e, "
+                 "\"load_mb_per_s\": %.1f},\n",
+                 row.fast.bytes, row.fast.save_seconds,
+                 MbPerS(row.fast.bytes, row.fast.save_seconds),
+                 row.fast.load_seconds,
+                 MbPerS(row.fast.bytes, row.fast.load_seconds));
+    std::fprintf(out,
+                 "     \"mmap\": {\"load_seconds\": %.6e, "
+                 "\"load_mb_per_s\": %.1f, \"load_peak_rss_bytes\": %zu},\n",
+                 row.mmap_load_seconds,
+                 MbPerS(row.fast.bytes, row.mmap_load_seconds),
+                 row.mmap_peak_rss_bytes);
+    std::fprintf(out,
+                 "     \"load_speedup_fast_vs_portable\": %.2f, "
+                 "\"roundtrip_bit_identical\": %s, "
+                 "\"fast_equals_portable\": %s}%s\n",
+                 MbPerS(row.fast.bytes, row.fast.load_seconds) /
+                     MbPerS(row.portable.bytes, row.portable.load_seconds),
                  row.roundtrip_bit_identical ? "true" : "false",
+                 row.fast_equals_portable ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -192,13 +333,21 @@ int main(int argc, char** argv) {
     int violations = 0;
     for (const Row& row : rows) {
       if (!row.roundtrip_bit_identical) {
-        std::fprintf(stderr, "CHECK FAILED: %s did not round-trip bit-identically\n",
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s did not round-trip bit-identically\n",
+                     row.name.c_str());
+        ++violations;
+      }
+      if (!row.fast_equals_portable) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s fast/mmap restore disagrees with the "
+                     "portable restore\n",
                      row.name.c_str());
         ++violations;
       }
     }
     if (violations > 0) return 1;
-    std::printf("round-trip fidelity checks passed\n");
+    std::printf("round-trip fidelity checks passed (portable, fast, mmap)\n");
   }
   return 0;
 }

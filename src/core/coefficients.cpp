@@ -1,7 +1,10 @@
 #include "core/coefficients.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "numerics/simd.hpp"
 #include "util/string_util.hpp"
 
 namespace wde {
@@ -25,19 +28,69 @@ int DefaultTopLevel(size_t n) {
 EmpiricalCoefficients::EmpiricalCoefficients(wavelet::WaveletBasis basis, int j0,
                                              int j_max)
     : basis_(std::move(basis)), j0_(j0), j_max_(j_max) {
-  const auto init_level = [this](int j, bool is_scaling) {
+  std::vector<memory::ColumnSpec> specs;
+  const auto init_level = [this, &specs](int j, bool is_scaling) {
     CoefficientLevel level;
     level.j = j;
     level.is_scaling = is_scaling;
     const wavelet::TranslationWindow window = basis_.LevelWindow(j);
     level.k_lo = window.lo;
-    level.s1.assign(static_cast<size_t>(window.size()), 0.0);
-    level.s2.assign(static_cast<size_t>(window.size()), 0.0);
+    const auto count = static_cast<uint64_t>(window.size());
+    specs.push_back({memory::ColumnKind::kF64, count});  // s1
+    specs.push_back({memory::ColumnKind::kF64, count});  // s2
     return level;
   };
   scaling_ = init_level(j0_, true);
   details_.reserve(static_cast<size_t>(j_max_ - j0_ + 1));
   for (int j = j0_; j <= j_max_; ++j) details_.push_back(init_level(j, false));
+  sums_ = memory::Arena::Create(specs);  // zero-initialized
+  BindLevels();
+}
+
+EmpiricalCoefficients::EmpiricalCoefficients(const EmpiricalCoefficients& other)
+    : basis_(other.basis_),
+      j0_(other.j0_),
+      j_max_(other.j_max_),
+      count_(other.count_),
+      sums_(other.sums_),  // CoW share
+      scaling_(other.scaling_),
+      details_(other.details_) {
+  BindLevels();
+}
+
+EmpiricalCoefficients& EmpiricalCoefficients::operator=(
+    const EmpiricalCoefficients& other) {
+  if (this != &other) {
+    basis_ = other.basis_;
+    j0_ = other.j0_;
+    j_max_ = other.j_max_;
+    count_ = other.count_;
+    sums_ = other.sums_;
+    scaling_ = other.scaling_;
+    details_ = other.details_;
+    BindLevels();
+  }
+  return *this;
+}
+
+void EmpiricalCoefficients::BindLevels() {
+  // Shallow bind: the spans view the current storage, which may be shared or
+  // borrowed. Every mutator funnels through EnsureOwnedSums first, so writes
+  // never reach storage another accumulator (or a published view) can see.
+  const auto bind = [this](CoefficientLevel* level, size_t column) {
+    const std::span<const double> s1 = sums_.F64(column);
+    const std::span<const double> s2 = sums_.F64(column + 1);
+    level->s1 = {const_cast<double*>(s1.data()), s1.size()};
+    level->s2 = {const_cast<double*>(s2.data()), s2.size()};
+  };
+  bind(&scaling_, 0);
+  for (size_t i = 0; i < details_.size(); ++i) bind(&details_[i], 2 + 2 * i);
+}
+
+void EmpiricalCoefficients::EnsureOwnedSums() {
+  const uint8_t* before = sums_.payload();
+  sums_.EnsureWritable();
+  if (sums_.payload() != before) BindLevels();
 }
 
 Result<EmpiricalCoefficients> EmpiricalCoefficients::Create(
@@ -63,6 +116,7 @@ void EmpiricalCoefficients::AddToLevel(CoefficientLevel* level, double x) {
 
 void EmpiricalCoefficients::Add(double x) {
   WDE_CHECK(x >= 0.0 && x <= 1.0, "observation outside the unit interval");
+  EnsureOwnedSums();
   AddToLevel(&scaling_, x);
   for (CoefficientLevel& level : details_) AddToLevel(&level, x);
   ++count_;
@@ -89,6 +143,7 @@ void EmpiricalCoefficients::AddAll(std::span<const double> xs) {
   for (double x : xs) {
     WDE_CHECK(x >= 0.0 && x <= 1.0, "observation outside the unit interval");
   }
+  EnsureOwnedSums();
   AccumulateLevel(&scaling_, xs);
   for (CoefficientLevel& level : details_) AccumulateLevel(&level, xs);
   count_ += xs.size();
@@ -116,12 +171,21 @@ Status EmpiricalCoefficients::Merge(const EmpiricalCoefficients& other) {
                g.name().c_str()));
   }
   if (other.count_ == 0) return Status::OK();  // exact (bitwise) no-op
+  EnsureOwnedSums();
   const auto merge_level = [](CoefficientLevel* into, const CoefficientLevel& from) {
     WDE_CHECK_EQ(into->k_lo, from.k_lo, "merge: level window origin mismatch");
     WDE_CHECK_EQ(into->size(), from.size(), "merge: level window size mismatch");
-    for (size_t i = 0; i < into->s1.size(); ++i) {
-      into->s1[i] += from.s1[i];
-      into->s2[i] += from.s2[i];
+    // Independent element-wise adds over flat aligned columns: vectorizes
+    // without reassociating any per-slot sum.
+    double* s1 = into->s1.data();
+    double* s2 = into->s2.data();
+    const double* f1 = from.s1.data();
+    const double* f2 = from.s2.data();
+    const size_t n = into->s1.size();
+    WDE_SIMD_LOOP
+    for (size_t i = 0; i < n; ++i) {
+      s1[i] += f1[i];
+      s2[i] += f2[i];
     }
   };
   merge_level(&scaling_, other.scaling_);
@@ -167,8 +231,8 @@ Status DeserializeLevelInto(io::Source& source, CoefficientLevel* level) {
     return Status::InvalidArgument(
         Format("corrupt coefficient level j=%d: window mismatch", level->j));
   }
-  level->s1 = std::move(s1);
-  level->s2 = std::move(s2);
+  std::copy(s1.begin(), s1.end(), level->s1.begin());
+  std::copy(s2.begin(), s2.end(), level->s2.begin());
   return Status::OK();
 }
 
@@ -202,6 +266,40 @@ Result<EmpiricalCoefficients> EmpiricalCoefficients::Deserialize(
   }
   coeffs->count_ = static_cast<size_t>(count);
   return coeffs;
+}
+
+Status EmpiricalCoefficients::RestoreSums(
+    uint64_t count, std::span<const std::span<const double>> sums) {
+  if (sums.size() != 2 * (details_.size() + 1)) {
+    return Status::InvalidArgument(
+        Format("restored sums carry %zu columns, accumulator has %zu",
+               sums.size(), 2 * (details_.size() + 1)));
+  }
+  const auto check_level = [&sums](const CoefficientLevel& level,
+                                   size_t column) {
+    return sums[column].size() == level.s1.size() &&
+           sums[column + 1].size() == level.s2.size();
+  };
+  bool sizes_ok = check_level(scaling_, 0);
+  for (size_t i = 0; i < details_.size(); ++i) {
+    sizes_ok = sizes_ok && check_level(details_[i], 2 + 2 * i);
+  }
+  if (!sizes_ok) {
+    return Status::InvalidArgument(
+        "restored sums do not match the level geometry of this basis");
+  }
+  EnsureOwnedSums();
+  const auto fill_level = [&sums](CoefficientLevel* level, size_t column) {
+    std::copy(sums[column].begin(), sums[column].end(), level->s1.begin());
+    std::copy(sums[column + 1].begin(), sums[column + 1].end(),
+              level->s2.begin());
+  };
+  fill_level(&scaling_, 0);
+  for (size_t i = 0; i < details_.size(); ++i) {
+    fill_level(&details_[i], 2 + 2 * i);
+  }
+  count_ = static_cast<size_t>(count);
+  return Status::OK();
 }
 
 const CoefficientLevel& EmpiricalCoefficients::detail_level(int j) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "io/serialize.hpp"
+#include "memory/arena.hpp"
 #include "util/result.hpp"
 #include "wavelet/scaled_function.hpp"
 
@@ -20,12 +21,16 @@ namespace core {
 /// (which need Σ_{i≠h} δ(X_i)δ(X_h) = S1² − S2), so the whole adaptive
 /// estimator is streaming-updatable — the property the selectivity layer
 /// builds on.
+///
+/// The sums are views into the owning accumulator's columnar arena (two
+/// 64-byte-aligned columns per level): flat element-wise buffers the merge
+/// loop vectorizes over and the snapshot fast path serializes verbatim.
 struct CoefficientLevel {
   int j = 0;
   bool is_scaling = false;
   int k_lo = 0;  // first translation index
-  std::vector<double> s1;
-  std::vector<double> s2;
+  std::span<double> s1;
+  std::span<double> s2;
 
   int size() const { return static_cast<int>(s1.size()); }
   int k_hi() const { return k_lo + size() - 1; }
@@ -96,8 +101,30 @@ class EmpiricalCoefficients {
   /// = β̂² − 2 (S1² − S2)/(n(n−1)).
   double CrossValidationTerm(int j, int k) const;
 
+  /// Copies share the sums arena copy-on-write (publishing an immutable view
+  /// of an accumulator costs O(levels), not O(coefficients)); the first
+  /// mutation through Add/AddAll/Merge un-shares it.
+  EmpiricalCoefficients(const EmpiricalCoefficients& other);
+  EmpiricalCoefficients& operator=(const EmpiricalCoefficients& other);
+  EmpiricalCoefficients(EmpiricalCoefficients&&) noexcept = default;
+  EmpiricalCoefficients& operator=(EmpiricalCoefficients&&) noexcept = default;
+
+  /// Snapshot fast path: overwrites the running sums and count with
+  /// persisted values. `sums` holds [scaling.s1, scaling.s2, detail_{j0}.s1,
+  /// detail_{j0}.s2, ...]; every span's size must match the level geometry
+  /// this accumulator derived from its basis (checked — hostile sizes yield
+  /// a Status).
+  Status RestoreSums(uint64_t count,
+                     std::span<const std::span<const double>> sums);
+
  private:
   EmpiricalCoefficients(wavelet::WaveletBasis basis, int j0, int j_max);
+
+  /// Un-shares the sums arena (CoW) and rebinds every level's spans; must
+  /// run before any mutation of s1/s2.
+  void EnsureOwnedSums();
+  /// Points the level spans at the current arena storage.
+  void BindLevels();
 
   void AddToLevel(CoefficientLevel* level, double x);
   void AccumulateLevel(CoefficientLevel* level, std::span<const double> xs);
@@ -106,6 +133,8 @@ class EmpiricalCoefficients {
   int j0_;
   int j_max_;
   size_t count_ = 0;
+  /// Columns: [scaling s1, scaling s2, detail_{j0} s1, detail_{j0} s2, ...].
+  memory::Arena sums_;
   CoefficientLevel scaling_;
   std::vector<CoefficientLevel> details_;  // index j - j0
 };

@@ -35,8 +35,11 @@ uint32_t Crc32(std::span<const uint8_t> bytes);
 /// writers), and reject newer ones with a descriptive error — forward
 /// compatibility is explicit, never silent misparsing.
 /// History: v1 — initial format; v2 — the kde-rot payload grew an optional
-/// eval-tolerance tail (readers parse both tails, so v1 payloads still load).
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// eval-tolerance tail (readers parse both tails, so v1 payloads still load);
+/// v3 — estimator state may travel as one arena fast-path chunk (tag "ARNA",
+/// columnar image restored by pointer fixup) instead of the portable "STAT"
+/// chunk — readers dispatch on the tag, so v1/v2 payloads still load.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Writes the 12-byte snapshot header (magic + format version).
 Status WriteSnapshotHeader(Sink& sink);
@@ -59,6 +62,22 @@ Result<Chunk> ReadChunk(Source& source);
 
 /// Reads the next chunk and requires its tag; returns the payload.
 Result<std::vector<uint8_t>> ReadChunkExpecting(Source& source, uint32_t tag);
+
+/// One framed chunk whose payload is a *view* when the source supports
+/// zero-copy (Source::View) and an owned copy otherwise. Either way the CRC
+/// is verified before the payload is handed out. A viewed payload lives as
+/// long as the source's buffer — anchor it with Source::backing(); an owned
+/// payload moves with the struct (`payload` tracks `owned`'s heap buffer).
+struct ChunkRef {
+  uint32_t tag = 0;
+  std::span<const uint8_t> payload;
+  std::vector<uint8_t> owned;
+};
+
+/// Zero-copy counterpart of ReadChunk: identical validation, but avoids the
+/// payload copy for memory-backed sources (mmap'ed snapshots restore without
+/// ever duplicating the column region).
+Result<ChunkRef> ReadChunkRef(Source& source);
 
 }  // namespace io
 }  // namespace wde

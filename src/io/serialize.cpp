@@ -3,6 +3,13 @@
 #include <bit>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "util/string_util.hpp"
 
 namespace wde {
@@ -88,33 +95,98 @@ Status SpanSource::Read(void* out, size_t size) {
   return Status::OK();
 }
 
+const uint8_t* SpanSource::View(size_t size) {
+  if (size > remaining()) return nullptr;
+  const uint8_t* view = bytes_.data() + offset_;
+  offset_ += size;
+  return view;
+}
+
 Result<FileSource> FileSource::Open(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound(Format("cannot open '%s' for reading", path.c_str()));
   }
-  std::vector<uint8_t> buffer;
+  auto buffer = std::make_shared<std::vector<uint8_t>>();
   uint8_t block[1 << 16];
   size_t got;
   while ((got = std::fread(block, 1, sizeof(block), file)) > 0) {
-    buffer.insert(buffer.end(), block, block + got);
+    buffer->insert(buffer->end(), block, block + got);
   }
   const bool failed = std::ferror(file) != 0;
   std::fclose(file);
   if (failed) {
     return Status::Internal(Format("error reading '%s'", path.c_str()));
   }
-  return FileSource(std::move(buffer));
+  const uint8_t* data = buffer->data();
+  const size_t size = buffer->size();
+  return FileSource(std::move(buffer), data, size, /*mapped=*/false);
 }
+
+#ifndef _WIN32
+namespace {
+
+/// Owns one live mmap region; shared_ptr aliasing keeps it alive for every
+/// zero-copy view carved out of the snapshot.
+struct FileMapping {
+  void* base = nullptr;
+  size_t length = 0;
+
+  ~FileMapping() {
+    if (base != nullptr) ::munmap(base, length);
+  }
+};
+
+}  // namespace
+
+Result<FileSource> FileSource::OpenMapped(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(Format("cannot open '%s' for reading", path.c_str()));
+  }
+  struct ::stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal(Format("cannot stat '%s'", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; an empty artifact needs no backing.
+    ::close(fd);
+    return FileSource(nullptr, nullptr, 0, /*mapped=*/true);
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::Internal(Format("cannot mmap '%s'", path.c_str()));
+  }
+  auto mapping = std::make_shared<FileMapping>();
+  mapping->base = base;
+  mapping->length = size;
+  const uint8_t* data = static_cast<const uint8_t*>(base);
+  return FileSource(std::move(mapping), data, size, /*mapped=*/true);
+}
+#else
+Result<FileSource> FileSource::OpenMapped(const std::string& path) {
+  return Open(path);
+}
+#endif
 
 Status FileSource::Read(void* out, size_t size) {
   if (size > remaining()) {
     return Status::OutOfRange(
         Format("truncated input: need %zu bytes, have %zu", size, remaining()));
   }
-  if (size != 0) std::memcpy(out, buffer_.data() + offset_, size);
+  if (size != 0) std::memcpy(out, data_ + offset_, size);
   offset_ += size;
   return Status::OK();
+}
+
+const uint8_t* FileSource::View(size_t size) {
+  if (size > remaining()) return nullptr;
+  const uint8_t* view = data_ + offset_;
+  offset_ += size;
+  return view;
 }
 
 Status WriteU8(Sink& sink, uint8_t value) { return sink.Append(&value, 1); }

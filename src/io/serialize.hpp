@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -81,37 +82,80 @@ class Source {
   /// Reads exactly `size` bytes into `out`, or returns OutOfRange on
   /// truncated input without consuming anything.
   virtual Status Read(void* out, size_t size) = 0;
+
+  /// Zero-copy variant of Read for memory-backed sources: returns a pointer
+  /// to the next `size` bytes and consumes them, or nullptr when the source
+  /// cannot vend stable views (streaming source, or fewer than `size` bytes
+  /// remain — the caller falls back to Read, which reports the truncation).
+  /// The pointer stays valid as long as the underlying buffer; anchor it
+  /// beyond the source's lifetime with backing().
+  virtual const uint8_t* View(size_t size) {
+    (void)size;
+    return nullptr;
+  }
+
+  /// Shared handle keeping any View() pointers alive independently of this
+  /// source object; nullptr when the source has no shareable backing (then
+  /// views die with the buffer the caller handed in).
+  virtual std::shared_ptr<const void> backing() const { return nullptr; }
 };
 
 /// Source over caller-owned bytes (e.g. a VectorSink buffer or one chunk's
-/// payload). Does not copy; the span must outlive the source.
+/// payload). Does not copy; the span must outlive the source. The optional
+/// keepalive is surfaced through backing() so nested decoders (the sharded
+/// estimator parsing per-replica envelopes out of a column) can anchor
+/// zero-copy views of a mapped snapshot.
 class SpanSource final : public Source {
  public:
   explicit SpanSource(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+  SpanSource(std::span<const uint8_t> bytes,
+             std::shared_ptr<const void> keepalive)
+      : bytes_(bytes), keepalive_(std::move(keepalive)) {}
 
   size_t remaining() const override { return bytes_.size() - offset_; }
   Status Read(void* out, size_t size) override;
+  const uint8_t* View(size_t size) override;
+  std::shared_ptr<const void> backing() const override { return keepalive_; }
 
  private:
   std::span<const uint8_t> bytes_;
   size_t offset_ = 0;
+  std::shared_ptr<const void> keepalive_;
 };
 
-/// Source over a whole file, loaded into memory at Open (snapshots are
+/// Source over a whole file. Open() loads it into memory (snapshots are
 /// bounded artifacts; loading up front gives every decoder an exact
-/// remaining() to validate hostile length prefixes against).
+/// remaining() to validate hostile length prefixes against); OpenMapped()
+/// maps it instead, so restoring a snapshot touches only the pages it
+/// actually reads and zero-copy consumers (the arena fast path) borrow the
+/// mapping directly. Both modes share the buffer via backing(), so views
+/// outlive the source.
 class FileSource final : public Source {
  public:
   static Result<FileSource> Open(const std::string& path);
+  /// mmap-backed on POSIX; transparently falls back to Open() elsewhere
+  /// (mapped() reports which one you got).
+  static Result<FileSource> OpenMapped(const std::string& path);
 
-  size_t remaining() const override { return buffer_.size() - offset_; }
+  size_t remaining() const override { return size_ - offset_; }
   Status Read(void* out, size_t size) override;
+  const uint8_t* View(size_t size) override;
+  std::shared_ptr<const void> backing() const override { return backing_; }
+
+  /// True when the bytes come from a live file mapping.
+  bool mapped() const { return mapped_; }
 
  private:
-  explicit FileSource(std::vector<uint8_t> buffer) : buffer_(std::move(buffer)) {}
+  FileSource(std::shared_ptr<const void> backing, const uint8_t* data,
+             size_t size, bool mapped)
+      : backing_(std::move(backing)), data_(data), size_(size),
+        mapped_(mapped) {}
 
-  std::vector<uint8_t> buffer_;
+  std::shared_ptr<const void> backing_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
   size_t offset_ = 0;
+  bool mapped_ = false;
 };
 
 // ------------------------------------------------------------- primitives

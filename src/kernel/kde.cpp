@@ -26,8 +26,11 @@ std::vector<double>& ScratchVals() {
 }  // namespace
 
 KernelDensityEstimator::KernelDensityEstimator(Kernel kernel, double bandwidth,
-                                               std::vector<double> sorted)
-    : kernel_(std::move(kernel)), bandwidth_(bandwidth), sorted_(std::move(sorted)) {}
+                                               memory::Arena samples)
+    : kernel_(std::move(kernel)),
+      bandwidth_(bandwidth),
+      samples_(std::move(samples)),
+      sorted_(samples_.F64(0)) {}
 
 Result<KernelDensityEstimator> KernelDensityEstimator::Create(
     Kernel kernel, double bandwidth, std::span<const double> data) {
@@ -35,9 +38,33 @@ Result<KernelDensityEstimator> KernelDensityEstimator::Create(
   if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
     return Status::InvalidArgument("bandwidth must be positive and finite");
   }
-  std::vector<double> sorted(data.begin(), data.end());
-  std::sort(sorted.begin(), sorted.end());
-  return KernelDensityEstimator(std::move(kernel), bandwidth, std::move(sorted));
+  const memory::ColumnSpec specs[] = {{memory::ColumnKind::kF64, data.size()}};
+  memory::Arena samples = memory::Arena::Create(specs);
+  std::span<double> dst = samples.MutableF64(0);
+  std::copy(data.begin(), data.end(), dst.begin());
+  std::sort(dst.begin(), dst.end());
+  return KernelDensityEstimator(std::move(kernel), bandwidth, std::move(samples));
+}
+
+Result<KernelDensityEstimator> KernelDensityEstimator::FromSorted(
+    Kernel kernel, double bandwidth, std::span<const double> sorted,
+    std::shared_ptr<const void> keepalive) {
+  if (sorted.empty()) return Status::InvalidArgument("KDE requires data");
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument("bandwidth must be positive and finite");
+  }
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1] > sorted[i]) {
+      return Status::InvalidArgument("FromSorted: samples are not ascending");
+    }
+  }
+  const std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(sorted.data()), sorted.size_bytes());
+  const memory::ColumnSpec specs[] = {
+      {memory::ColumnKind::kF64, sorted.size()}};
+  WDE_ASSIGN_OR_RETURN(memory::Arena samples,
+                       memory::Arena::FromImage(specs, bytes, std::move(keepalive)));
+  return KernelDensityEstimator(std::move(kernel), bandwidth, std::move(samples));
 }
 
 double KernelDensityEstimator::Evaluate(double x) const {
@@ -58,6 +85,9 @@ const KdeEvalTree& KernelDensityEstimator::Tree() const {
 }
 
 double KernelDensityEstimator::Evaluate(double x, double tolerance) const {
+  // Small buffers: the exact linear pass beats even one level of traversal
+  // and satisfies any tolerance trivially (it is the tolerance-0 answer).
+  if (sorted_.size() <= KdeEvalTree::kLinearCutover) return Evaluate(x);
   return Tree().DensitySum(sorted_, kernel_, bandwidth_, x, tolerance) /
          (static_cast<double>(sorted_.size()) * bandwidth_);
 }
@@ -151,6 +181,7 @@ double KernelDensityEstimator::CdfAt(double x) const {
 }
 
 double KernelDensityEstimator::CdfAt(double x, double tolerance) const {
+  if (sorted_.size() <= KdeEvalTree::kLinearCutover) return CdfAt(x);
   return Tree().CdfSum(sorted_, kernel_, bandwidth_, x, tolerance) /
          static_cast<double>(sorted_.size());
 }

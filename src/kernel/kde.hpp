@@ -14,6 +14,7 @@
 
 #include "kernel/kde_tree.hpp"
 #include "kernel/kernels.hpp"
+#include "memory/arena.hpp"
 #include "util/result.hpp"
 
 namespace wde {
@@ -28,12 +29,24 @@ class KernelDensityEstimator {
   static Result<KernelDensityEstimator> Create(Kernel kernel, double bandwidth,
                                                std::span<const double> data);
 
+  /// Snapshot fast path: adopts an already-sorted sample buffer without
+  /// re-sorting. When `sorted` is 64-byte-aligned and `keepalive` anchors its
+  /// backing storage (an mmapped snapshot image), the estimator borrows the
+  /// bytes zero-copy; otherwise it copies them once. Ascending order is
+  /// verified in O(n) — out-of-order input yields a Status, never a silently
+  /// wrong estimator.
+  static Result<KernelDensityEstimator> FromSorted(
+      Kernel kernel, double bandwidth, std::span<const double> sorted,
+      std::shared_ptr<const void> keepalive);
+
   double Evaluate(double x) const;
 
-  /// Tree-pruned evaluation (always routed through the kd-tree, building it
-  /// lazily on first use). `tolerance` is a certified absolute error bound
-  /// on the returned density (see kde_tree.hpp for the derivation);
-  /// tolerance 0 is bit-identical to Evaluate(x) and only prunes exactly.
+  /// Tree-pruned evaluation (routed through the kd-tree, built lazily on
+  /// first use; buffers at or below KdeEvalTree::kLinearCutover run the
+  /// exact linear pass instead, which satisfies any tolerance). `tolerance`
+  /// is a certified absolute error bound on the returned density (see
+  /// kde_tree.hpp for the derivation); tolerance 0 is bit-identical to
+  /// Evaluate(x) and only prunes exactly.
   double Evaluate(double x, double tolerance) const;
 
   /// out[i] = f̂(xs[i]). With tolerance 0 (the default), each query runs the
@@ -76,7 +89,7 @@ class KernelDensityEstimator {
   std::span<const double> samples() const { return sorted_; }
 
  private:
-  KernelDensityEstimator(Kernel kernel, double bandwidth, std::vector<double> sorted);
+  KernelDensityEstimator(Kernel kernel, double bandwidth, memory::Arena samples);
 
   /// Lazily built on first pruned call and shared by copies (the tree stores
   /// indices and aggregates only, so it is valid for any buffer with equal
@@ -87,7 +100,11 @@ class KernelDensityEstimator {
 
   Kernel kernel_;
   double bandwidth_;
-  std::vector<double> sorted_;
+  /// One F64 column holding the ascending samples. Never mutated after
+  /// construction, so the cached view below stays valid across copies (which
+  /// share the storage) and moves.
+  memory::Arena samples_;
+  std::span<const double> sorted_;
   mutable std::shared_ptr<const KdeEvalTree> tree_;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "util/check.hpp"
 
@@ -15,27 +17,40 @@ KdeEvalTree::KdeEvalTree(std::span<const double> sorted) {
                static_cast<size_t>(std::numeric_limits<uint32_t>::max()),
                "kd-tree index type is 32-bit");
   const auto n = static_cast<uint32_t>(sorted.size());
-  nodes_.reserve(2 * (static_cast<size_t>(n) / kLeafSize + 2));
-  nodes_.resize(1);
-  BuildAt(sorted, 0, 0, n);
+  // Build into a growable scratch vector (the recursion appends child pairs),
+  // then pack the finished node array into one aligned arena column.
+  std::vector<Node> nodes;
+  nodes.reserve(2 * (static_cast<size_t>(n) / kLeafSize + 2));
+  nodes.resize(1);
+  BuildAt(nodes, sorted, 0, 0, n);
+  static_assert(std::is_trivially_copyable_v<Node>,
+                "nodes are memcpy'd into the arena column");
+  const memory::ColumnSpec specs[] = {
+      {memory::ColumnKind::kU8, nodes.size() * sizeof(Node)}};
+  storage_ = memory::Arena::Create(specs);
+  std::memcpy(storage_.MutableU8(0).data(), nodes.data(),
+              nodes.size() * sizeof(Node));
+  nodes_ = std::span<const Node>(
+      reinterpret_cast<const Node*>(storage_.U8(0).data()), nodes.size());
 }
 
-void KdeEvalTree::BuildAt(std::span<const double> sorted, uint32_t idx,
+void KdeEvalTree::BuildAt(std::vector<Node>& nodes,
+                          std::span<const double> sorted, uint32_t idx,
                           uint32_t begin, uint32_t end) {
   Node node{begin, end, 0, sorted[begin], sorted[end - 1]};
   if (end - begin > kLeafSize) {
     // Children are allocated adjacently (right = left + 1) so the node only
     // stores one child index; median-by-count split keeps the tree balanced
     // even for heavily skewed or duplicate-laden data.
-    const auto left = static_cast<uint32_t>(nodes_.size());
+    const auto left = static_cast<uint32_t>(nodes.size());
     node.left = left;
-    nodes_.resize(nodes_.size() + 2);
-    nodes_[idx] = node;
+    nodes.resize(nodes.size() + 2);
+    nodes[idx] = node;
     const uint32_t mid = begin + (end - begin) / 2;
-    BuildAt(sorted, left, begin, mid);
-    BuildAt(sorted, left + 1, mid, end);
+    BuildAt(nodes, sorted, left, begin, mid);
+    BuildAt(nodes, sorted, left + 1, mid, end);
   } else {
-    nodes_[idx] = node;
+    nodes[idx] = node;
   }
 }
 

@@ -10,13 +10,24 @@ namespace numerics {
 
 UniformGridInterpolator::UniformGridInterpolator(double x0, double dx,
                                                  std::vector<double> values)
-    : x0_(x0), dx_(dx), values_(std::move(values)) {
+    : x0_(x0),
+      dx_(dx),
+      owned_(std::make_shared<const std::vector<double>>(std::move(values))) {
+  view_ = *owned_;
   WDE_CHECK_GT(dx_, 0.0, "grid spacing must be positive");
-  WDE_CHECK_GE(values_.size(), 2u, "need at least two grid points");
+  WDE_CHECK_GE(view_.size(), 2u, "need at least two grid points");
+}
+
+UniformGridInterpolator::UniformGridInterpolator(
+    double x0, double dx, std::span<const double> values,
+    std::shared_ptr<const void> keepalive)
+    : x0_(x0), dx_(dx), view_(values), keepalive_(std::move(keepalive)) {
+  WDE_CHECK_GT(dx_, 0.0, "grid spacing must be positive");
+  WDE_CHECK_GE(view_.size(), 2u, "need at least two grid points");
 }
 
 double UniformGridInterpolator::x1() const {
-  return x0_ + dx_ * static_cast<double>(values_.size() - 1);
+  return x0_ + dx_ * static_cast<double>(view_.size() - 1);
 }
 
 void UniformGridInterpolator::EvaluateMany(std::span<const double> xs,
@@ -24,8 +35,8 @@ void UniformGridInterpolator::EvaluateMany(std::span<const double> xs,
   WDE_CHECK_EQ(xs.size(), out.size(), "EvaluateMany spans must match");
   const double x0 = x0_;
   const double dx = dx_;
-  const double* values = values_.data();
-  const size_t n = values_.size();
+  const double* values = view_.data();
+  const size_t n = view_.size();
   const double t_max = static_cast<double>(n - 1);
   const size_t count = xs.size();
   // Branch-free rewrite of EvaluateOn: out-of-span lanes index a clamped

@@ -2,6 +2,7 @@
 #define WDE_NUMERICS_INTERPOLATION_HPP_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,19 +12,28 @@ namespace numerics {
 /// Piecewise-linear interpolant over a uniform grid x0, x0+dx, ...
 /// Evaluates to 0 outside the grid span (matching compactly supported
 /// functions, the main use case).
+///
+/// The grid values are immutable and either owned (shared between copies) or
+/// *borrowed* from external storage — a snapshot-restored table viewing an
+/// arena column zero-copy — with a keepalive handle anchoring the bytes.
+/// Copies are cheap either way and never dangle.
 class UniformGridInterpolator {
  public:
   UniformGridInterpolator() : x0_(0.0), dx_(1.0) {}
   UniformGridInterpolator(double x0, double dx, std::vector<double> values);
+  /// Borrows `values` without copying; `keepalive` must anchor them for the
+  /// interpolator's lifetime (and that of all copies).
+  UniformGridInterpolator(double x0, double dx, std::span<const double> values,
+                          std::shared_ptr<const void> keepalive);
 
   double x0() const { return x0_; }
   double dx() const { return dx_; }
-  const std::vector<double>& values() const { return values_; }
+  std::span<const double> values() const { return view_; }
   /// Right end of the grid span.
   double x1() const;
 
   double Evaluate(double x) const {
-    return EvaluateOn(x0_, dx_, values_.data(), values_.size(), x);
+    return EvaluateOn(x0_, dx_, view_.data(), view_.size(), x);
   }
 
   /// Raw-array core of Evaluate. Batch loops hoist the member loads by
@@ -46,7 +56,12 @@ class UniformGridInterpolator {
  private:
   double x0_;
   double dx_;
-  std::vector<double> values_;
+  /// Owned mode: the table, shared so default copy/move keep `view_` valid.
+  std::shared_ptr<const std::vector<double>> owned_;
+  /// Always the authoritative view (into `owned_` or the borrowed storage).
+  std::span<const double> view_;
+  /// Borrowed mode: anchors the external storage behind `view_`.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace numerics

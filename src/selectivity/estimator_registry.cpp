@@ -277,15 +277,17 @@ Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshot(
   return estimator;
 }
 
-Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
-                                 const std::string& path) {
-  // Write-then-rename so the save is crash-safe: a kill or disk-full midway
-  // leaves the previous snapshot at `path` intact instead of a truncated
-  // file (checkpoint loops overwrite the same path).
+namespace {
+
+/// Shared write-then-rename wrapper so every file save is crash-safe: a kill
+/// or disk-full midway leaves the previous snapshot at `path` intact instead
+/// of a truncated file (checkpoint loops overwrite the same path).
+template <typename Saver>
+Status SaveSnapshotFileWith(const std::string& path, Saver&& saver) {
   const std::string tmp_path = path + ".tmp";
   Result<io::FileSink> sink = io::FileSink::Open(tmp_path);
   if (!sink.ok()) return sink.status();
-  Status written = SaveEstimatorSnapshot(estimator, *sink);
+  Status written = saver(*sink);
   if (written.ok()) written = sink->Close();
   if (!written.ok()) {
     std::remove(tmp_path.c_str());
@@ -296,6 +298,41 @@ Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
     return Status::Internal("cannot move finished snapshot over '" + path + "'");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveEstimatorSnapshotFile(const SelectivityEstimator& estimator,
+                                 const std::string& path) {
+  return SaveSnapshotFileWith(path, [&estimator](io::Sink& sink) {
+    return SaveEstimatorSnapshot(estimator, sink);
+  });
+}
+
+Status SaveEstimatorSnapshotFast(const SelectivityEstimator& estimator,
+                                 io::Sink& sink) {
+  WDE_RETURN_IF_ERROR(io::WriteSnapshotHeader(sink));
+  // The envelope begins right after the 12-byte snapshot header; the offset
+  // lets the fast frame pad its column region to an absolute 64-byte file
+  // offset (see SelectivityEstimator::SaveStateFast).
+  return estimator.SaveStateFast(sink, 12);
+}
+
+Status SaveEstimatorSnapshotFastFile(const SelectivityEstimator& estimator,
+                                     const std::string& path) {
+  return SaveSnapshotFileWith(path, [&estimator](io::Sink& sink) {
+    return SaveEstimatorSnapshotFast(estimator, sink);
+  });
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFileMapped(
+    const std::string& path) {
+  Result<io::FileSource> source = io::FileSource::OpenMapped(path);
+  if (!source.ok()) return source.status();
+  // The ordinary loader dispatches on the state chunk kind; with a mapped
+  // source the fast path borrows the mapping zero-copy, anchored by the
+  // source's backing handle for the estimator's lifetime.
+  return LoadEstimatorSnapshot(*source);
 }
 
 Result<std::unique_ptr<SelectivityEstimator>> LoadEstimatorSnapshotFile(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "memory/fast_state.hpp"
 #include "numerics/simd.hpp"
 #include "util/check.hpp"
 #include "util/string_util.hpp"
@@ -14,42 +15,49 @@ EquiWidthHistogram::EquiWidthHistogram(double lo, double hi, int buckets) : lo_(
   WDE_CHECK_LT(lo, hi);
   WDE_CHECK_GT(buckets, 0);
   width_ = (hi - lo) / static_cast<double>(buckets);
-  counts_.assign(static_cast<size_t>(buckets), 0.0);
+  buckets_ = static_cast<size_t>(buckets);
+  const memory::ColumnSpec specs[] = {{memory::ColumnKind::kF64, buckets_},
+                                      {memory::ColumnKind::kF64, buckets_}};
+  bins_ = memory::Arena::Create(specs);
 }
 
 RangeQuery EquiWidthHistogram::Domain() const {
-  return RangeQuery{lo_, lo_ + width_ * static_cast<double>(counts_.size())};
+  return RangeQuery{lo_, lo_ + width_ * static_cast<double>(buckets_)};
 }
 
 void EquiWidthHistogram::Insert(double x) {
   if (!std::isfinite(x)) return;
-  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
+  const double hi = lo_ + width_ * static_cast<double>(buckets_);
   x = std::clamp(x, lo_, hi);
   auto bucket = static_cast<long>((x - lo_) / width_);
-  bucket = std::clamp(bucket, 0L, static_cast<long>(counts_.size()) - 1);
-  counts_[static_cast<size_t>(bucket)] += 1.0;
+  bucket = std::clamp(bucket, 0L, static_cast<long>(buckets_) - 1);
+  bins_.MutableF64(0)[static_cast<size_t>(bucket)] += 1.0;
   ++count_;
 }
 
 void EquiWidthHistogram::RebuildPrefixIfStale() const {
-  if (!prefix_.empty() && prefix_built_at_count_ == count_) return;
-  prefix_.resize(counts_.size());
+  if (prefix_valid_ && prefix_built_at_count_ == count_) return;
+  // Un-share first (MutableF64 may relocate the arena), then read the counts
+  // span from the post-relocation storage.
+  std::span<double> prefix = bins_.MutableF64(1);
+  std::span<const double> counts = bins_.F64(0);
   // Blocked scan: bucket counts are integer-valued doubles (exact up to
   // 2^53), so the blocked association is bit-identical to the sequential
   // chain while breaking its per-element latency dependency.
-  numerics::PrefixSumExclusiveBlocked(counts_, prefix_);
+  numerics::PrefixSumExclusiveBlocked(counts, prefix);
+  prefix_valid_ = true;
   prefix_built_at_count_ = count_;
 }
 
 double EquiWidthHistogram::CdfAt(double x) const {
-  const double hi = lo_ + width_ * static_cast<double>(counts_.size());
+  const double hi = lo_ + width_ * static_cast<double>(buckets_);
   x = std::clamp(x, lo_, hi);
   const double t = (x - lo_) / width_;
   const auto bucket = std::clamp(static_cast<long>(t), 0L,
-                                 static_cast<long>(counts_.size()) - 1);
+                                 static_cast<long>(buckets_) - 1);
   const double frac = t - static_cast<double>(bucket);
-  return (prefix_[static_cast<size_t>(bucket)] +
-          counts_[static_cast<size_t>(bucket)] * frac) /
+  return (bins_.F64(1)[static_cast<size_t>(bucket)] +
+          bins_.F64(0)[static_cast<size_t>(bucket)] * frac) /
          static_cast<double>(count_);
 }
 
@@ -95,9 +103,11 @@ std::unique_ptr<SelectivityEstimator> EquiWidthHistogram::CloneEmpty() const {
   // (re-deriving hi from lo + width * buckets could round differently and
   // make the clone spuriously merge-incompatible).
   auto clone = std::make_unique<EquiWidthHistogram>(*this);
-  std::fill(clone->counts_.begin(), clone->counts_.end(), 0.0);
+  const memory::ColumnSpec specs[] = {{memory::ColumnKind::kF64, buckets_},
+                                      {memory::ColumnKind::kF64, buckets_}};
+  clone->bins_ = memory::Arena::Create(specs);
   clone->count_ = 0;
-  clone->prefix_.clear();
+  clone->prefix_valid_ = false;
   clone->prefix_built_at_count_ = 0;
   return clone;
 }
@@ -106,15 +116,20 @@ Status EquiWidthHistogram::MergeFrom(const SelectivityEstimator& other) {
   Status peer = CheckMergePeer(other);
   if (!peer.ok()) return peer;
   const auto& rhs = static_cast<const EquiWidthHistogram&>(other);
-  if (lo_ != rhs.lo_ || width_ != rhs.width_ ||
-      counts_.size() != rhs.counts_.size()) {
+  if (lo_ != rhs.lo_ || width_ != rhs.width_ || buckets_ != rhs.buckets_) {
     return Status::FailedPrecondition("MergeFrom: " + name() +
                                       " domain/bucket mismatch with " +
                                       rhs.name());
   }
-  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += rhs.counts_[i];
+  // Bulk element-wise fold over the contiguous, 64-byte-aligned count
+  // columns; un-share before taking the raw pointers.
+  double* dst = bins_.MutableF64(0).data();
+  const double* src = rhs.bins_.F64(0).data();
+  const size_t n = buckets_;
+  WDE_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
   count_ += rhs.count_;
-  prefix_.clear();  // stale; rebuilt at the next query
+  prefix_valid_ = false;  // stale; rebuilt at the next query
   prefix_built_at_count_ = 0;
   return Status::OK();
 }
@@ -123,7 +138,7 @@ Status EquiWidthHistogram::SaveStateImpl(io::Sink& sink) const {
   WDE_RETURN_IF_ERROR(io::WriteDouble(sink, lo_));
   WDE_RETURN_IF_ERROR(io::WriteDouble(sink, width_));
   WDE_RETURN_IF_ERROR(io::WriteU64(sink, count_));
-  return io::WriteDoubleVector(sink, counts_);
+  return io::WriteDoubleVector(sink, bins_.F64(0));
 }
 
 Status EquiWidthHistogram::LoadStateImpl(io::Source& source) {
@@ -138,11 +153,59 @@ Status EquiWidthHistogram::LoadStateImpl(io::Source& source) {
   lo_ = lo;
   width_ = width;
   count_ = static_cast<size_t>(count);
-  counts_ = std::move(counts);
+  buckets_ = counts.size();
+  const memory::ColumnSpec specs[] = {{memory::ColumnKind::kF64, buckets_},
+                                      {memory::ColumnKind::kF64, buckets_}};
+  bins_ = memory::Arena::Create(specs);
+  std::copy(counts.begin(), counts.end(), bins_.MutableF64(0).begin());
   // The prefix table is derived state: rebuilding from identical counts at
   // the first query reproduces identical answers.
-  prefix_.clear();
+  prefix_valid_ = false;
   prefix_built_at_count_ = 0;
+  return Status::OK();
+}
+
+Status EquiWidthHistogram::SaveFastStateImpl(memory::FastStateWriter& writer) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), width_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), buckets_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), count_));
+  WDE_RETURN_IF_ERROR(io::WriteU8(writer.head(), prefix_valid_ ? 1 : 0));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), prefix_built_at_count_));
+  // Both columns travel verbatim: the counts are the data, the prefix table
+  // is the derived cache (always defined bytes — Create zero-fills) that
+  // spares the restored histogram its first rebuild pass.
+  writer.AddF64(bins_.F64(0));
+  writer.AddF64(bins_.F64(1));
+  return Status::OK();
+}
+
+Status EquiWidthHistogram::LoadFastStateImpl(memory::FastStateReader& reader) {
+  WDE_ASSIGN_OR_RETURN(const double lo, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const double width, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t buckets, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t count, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint8_t prefix_valid, io::ReadU8(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t prefix_built_at, io::ReadU64(reader.head()));
+  const memory::ColumnSpec expected[] = {
+      {memory::ColumnKind::kF64, static_cast<size_t>(buckets)},
+      {memory::ColumnKind::kF64, static_cast<size_t>(buckets)}};
+  if (!std::isfinite(lo) || !std::isfinite(width) || !(width > 0.0) ||
+      buckets == 0 || buckets > (1u << 26) || prefix_valid > 1 ||
+      (prefix_valid != 0 && prefix_built_at > count) ||
+      !memory::ColumnsMatch(reader.arena(), expected) ||
+      reader.head().remaining() != 0) {
+    return Status::InvalidArgument("corrupt equi-width fast state");
+  }
+  lo_ = lo;
+  width_ = width;
+  buckets_ = static_cast<size_t>(buckets);
+  count_ = static_cast<size_t>(count);
+  // Adopt the parsed arena wholesale — borrowed zero-copy from an mmapped
+  // image, in which case the first insert (not load) pays the un-share copy.
+  bins_ = std::move(reader.arena());
+  prefix_valid_ = prefix_valid != 0;
+  prefix_built_at_count_ = static_cast<size_t>(prefix_built_at);
   return Status::OK();
 }
 
@@ -275,6 +338,66 @@ Status EquiDepthHistogram::LoadStateImpl(io::Source& source) {
   values_ = std::move(values);
   boundaries_.clear();
   built_at_count_ = 0;
+  return Status::OK();
+}
+
+Status EquiDepthHistogram::SaveFastStateImpl(memory::FastStateWriter& writer) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), lo_));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), hi_));
+  WDE_RETURN_IF_ERROR(io::WriteI32(writer.head(), buckets_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), values_.size()));
+  const bool has_boundaries = !boundaries_.empty();
+  WDE_RETURN_IF_ERROR(io::WriteU8(writer.head(), has_boundaries ? 1 : 0));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), built_at_count_));
+  writer.AddF64(values_);
+  // The derived boundary cache rides along when built: restore then skips
+  // the O(n log n) quantile sort the portable load pays at its first query.
+  if (has_boundaries) writer.AddF64(boundaries_);
+  return Status::OK();
+}
+
+Status EquiDepthHistogram::LoadFastStateImpl(memory::FastStateReader& reader) {
+  WDE_ASSIGN_OR_RETURN(const double lo, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const double hi, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const int32_t buckets, io::ReadI32(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t n_values, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint8_t has_boundaries, io::ReadU8(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t built_at, io::ReadU64(reader.head()));
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi) || buckets <= 0 ||
+      buckets > (1 << 26) || has_boundaries > 1 || built_at > n_values ||
+      reader.head().remaining() != 0) {
+    return Status::InvalidArgument("corrupt equi-depth fast state");
+  }
+  std::vector<memory::ColumnSpec> expected = {
+      {memory::ColumnKind::kF64, static_cast<size_t>(n_values)}};
+  if (has_boundaries != 0) {
+    expected.push_back({memory::ColumnKind::kF64,
+                        static_cast<size_t>(buckets) + 1});
+  }
+  if (!memory::ColumnsMatch(reader.arena(), expected)) {
+    return Status::InvalidArgument("corrupt equi-depth fast state columns");
+  }
+  std::vector<double> boundaries;
+  if (has_boundaries != 0) {
+    const std::span<const double> cached = reader.arena().F64(1);
+    // The boundary cache is consumed by binary search; a non-monotone or
+    // non-finite hostile cache must be rejected, not served.
+    for (size_t i = 0; i < cached.size(); ++i) {
+      if (!std::isfinite(cached[i]) || (i > 0 && cached[i] < cached[i - 1])) {
+        return Status::InvalidArgument("corrupt equi-depth boundary cache");
+      }
+    }
+    boundaries.assign(cached.begin(), cached.end());
+  }
+  // Values are append-mutated by Insert, so they stay a vector: one bulk
+  // copy out of the column, no element-wise decode.
+  const std::span<const double> values = reader.arena().F64(0);
+  lo_ = lo;
+  hi_ = hi;
+  buckets_ = buckets;
+  values_.assign(values.begin(), values.end());
+  boundaries_ = std::move(boundaries);
+  built_at_count_ = static_cast<size_t>(built_at);
   return Status::OK();
 }
 

@@ -1,8 +1,10 @@
 #ifndef WDE_SELECTIVITY_HISTOGRAM_HPP_
 #define WDE_SELECTIVITY_HISTOGRAM_HPP_
 
+#include <span>
 #include <vector>
 
+#include "memory/arena.hpp"
 #include "selectivity/selectivity_estimator.hpp"
 
 namespace wde {
@@ -40,7 +42,18 @@ class EquiWidthHistogram : public SelectivityEstimator {
   WDE_SELECTIVITY_MERGE_TAG()
   const char* snapshot_type_tag() const override { return "equi-width"; }
 
-  int buckets() const { return static_cast<int>(counts_.size()); }
+  int buckets() const { return static_cast<int>(buckets_); }
+
+  /// Bucket counts (column 0 of the fitted-state arena); the snapshot fast
+  /// path serializes this span verbatim.
+  std::span<const double> bucket_counts() const { return bins_.F64(0); }
+
+  bool supports_fast_snapshot() const override { return true; }
+
+  /// O(1) + O(columns): the copy shares the bins arena copy-on-write.
+  std::unique_ptr<SelectivityEstimator> CloneForView() const override {
+    return std::make_unique<EquiWidthHistogram>(*this);
+  }
 
  protected:
   double EstimateRangeImpl(double a, double b) const override;
@@ -52,6 +65,11 @@ class EquiWidthHistogram : public SelectivityEstimator {
                   std::span<double> out) const override;
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
+  /// Fast state: both arena columns travel verbatim — including the derived
+  /// prefix table, so a restored histogram serves its first Less/Cdf query
+  /// without the rebuild pass the portable load pays.
+  Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
+  Status LoadFastStateImpl(memory::FastStateReader& reader) override;
 
  private:
   void RebuildPrefixIfStale() const;
@@ -61,9 +79,13 @@ class EquiWidthHistogram : public SelectivityEstimator {
 
   double lo_;
   double width_;
-  std::vector<double> counts_;
+  size_t buckets_ = 0;
   size_t count_ = 0;
-  mutable std::vector<double> prefix_;  // prefix_[i] = Σ counts_[0..i)
+  /// Columns: [0] bucket counts, [1] exclusive prefix sums (derived cache,
+  /// lazily rebuilt). Copies share the arena copy-on-write; the first
+  /// mutation (insert, merge, load, or a prefix rebuild) un-shares it.
+  mutable memory::Arena bins_;
+  mutable bool prefix_valid_ = false;
   mutable size_t prefix_built_at_count_ = 0;
 };
 
@@ -89,6 +111,12 @@ class EquiDepthHistogram : public SelectivityEstimator {
   }
   RangeQuery Domain() const override { return RangeQuery{lo_, hi_}; }
 
+  bool supports_fast_snapshot() const override { return true; }
+
+  std::unique_ptr<SelectivityEstimator> CloneForView() const override {
+    return std::make_unique<EquiDepthHistogram>(*this);
+  }
+
   std::unique_ptr<SelectivityEstimator> CloneEmpty() const override;
   /// Appends `other`'s retained values and invalidates the boundary cache;
   /// requires identical domain and bucket count.
@@ -109,6 +137,11 @@ class EquiDepthHistogram : public SelectivityEstimator {
   /// boundaries at its first query.
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
+  /// Fast state additionally persists the derived quantile boundaries (when
+  /// built), so a restored histogram skips the O(n log n) sort its portable
+  /// sibling pays at the first query.
+  Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
+  Status LoadFastStateImpl(memory::FastStateReader& reader) override;
 
  private:
   void RebuildIfStale() const;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "kernel/bandwidth.hpp"
+#include "memory/fast_state.hpp"
 
 namespace wde {
 namespace selectivity {
@@ -135,6 +136,71 @@ Status KdeSelectivity::LoadStateImpl(io::Source& source) {
       fitted_at_count_ = static_cast<size_t>(fitted_at_count);
     }
   }
+  return Status::OK();
+}
+
+Status KdeSelectivity::SaveFastStateImpl(memory::FastStateWriter& writer) const {
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), options_.domain_lo));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), options_.domain_hi));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), options_.refit_interval));
+  WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), options_.eval_tolerance));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), fitted_at_count_));
+  WDE_RETURN_IF_ERROR(io::WriteU64(writer.head(), values_.size()));
+  const bool has_kde = kde_.has_value();
+  WDE_RETURN_IF_ERROR(io::WriteU8(writer.head(), has_kde ? 1 : 0));
+  writer.AddF64(values_);
+  if (has_kde) {
+    // The already-sorted fitted buffer plus its bandwidth: restore adopts
+    // both verbatim instead of re-sorting and re-deriving.
+    WDE_RETURN_IF_ERROR(io::WriteDouble(writer.head(), kde_->bandwidth()));
+    writer.AddF64(kde_->samples());
+  }
+  return Status::OK();
+}
+
+Status KdeSelectivity::LoadFastStateImpl(memory::FastStateReader& reader) {
+  Options options;
+  WDE_ASSIGN_OR_RETURN(options.domain_lo, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(options.domain_hi, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(options.refit_interval, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(options.eval_tolerance, io::ReadDouble(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t fitted_at, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint64_t n_values, io::ReadU64(reader.head()));
+  WDE_ASSIGN_OR_RETURN(const uint8_t has_kde, io::ReadU8(reader.head()));
+  double bandwidth = 0.0;
+  if (has_kde == 1) {
+    WDE_ASSIGN_OR_RETURN(bandwidth, io::ReadDouble(reader.head()));
+  }
+  std::vector<memory::ColumnSpec> expected = {
+      {memory::ColumnKind::kF64, static_cast<size_t>(n_values)}};
+  if (has_kde == 1) {
+    expected.push_back({memory::ColumnKind::kF64, static_cast<size_t>(fitted_at)});
+  }
+  if (!std::isfinite(options.domain_lo) || !std::isfinite(options.domain_hi) ||
+      !(options.domain_lo < options.domain_hi) || options.refit_interval == 0 ||
+      !std::isfinite(options.eval_tolerance) || options.eval_tolerance < 0.0 ||
+      has_kde > 1 || fitted_at > n_values ||
+      (has_kde == 1 && !(std::isfinite(bandwidth) && bandwidth > 0.0)) ||
+      reader.head().remaining() != 0 ||
+      !memory::ColumnsMatch(reader.arena(), expected)) {
+    return Status::InvalidArgument("corrupt kde fast state");
+  }
+  std::optional<kernel::KernelDensityEstimator> kde;
+  if (has_kde == 1) {
+    // FromSorted verifies ascending order in O(n) — the only scan the fast
+    // restore pays — and borrows the column zero-copy; the arena's storage
+    // keepalive anchors the bytes whether they live in an mmapped image or
+    // in the reader's own heap copy.
+    WDE_ASSIGN_OR_RETURN(
+        kde, kernel::KernelDensityEstimator::FromSorted(
+                 kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth,
+                 reader.arena().F64(1), reader.arena().storage_keepalive()));
+  }
+  const std::span<const double> values = reader.arena().F64(0);
+  options_ = options;
+  values_.assign(values.begin(), values.end());
+  kde_ = std::move(kde);
+  fitted_at_count_ = kde_.has_value() ? static_cast<size_t>(fitted_at) : 0;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "io/chunk.hpp"
+#include "memory/fast_state.hpp"
 #include "numerics/optimize.hpp"
 
 namespace wde {
@@ -152,6 +153,34 @@ Status SelectivityEstimator::SaveState(io::Sink& sink) const {
   return io::WriteChunk(sink, internal::kChunkEstimatorState, state.bytes());
 }
 
+Status SelectivityEstimator::SaveStateFast(io::Sink& sink,
+                                           uint64_t base_offset) const {
+  // The fast encoding is an optimization, never a capability: estimators
+  // without a fast impl — and big-endian hosts, whose column bytes would not
+  // be the wire's little-endian — transparently write the portable envelope,
+  // which every reader accepts through the same LoadState dispatch.
+  if (!supports_fast_snapshot() || !memory::FastStateSupportedOnHost()) {
+    return SaveState(sink);
+  }
+  if (!snapshotable()) {
+    return Status::FailedPrecondition(name() + " does not support snapshots");
+  }
+  const std::string_view tag = snapshot_type_tag();
+  WDE_RETURN_IF_ERROR(io::WriteChunk(
+      sink, internal::kChunkEstimatorType,
+      std::span(reinterpret_cast<const uint8_t*>(tag.data()), tag.size())));
+  memory::FastStateWriter writer;
+  WDE_RETURN_IF_ERROR(SaveFastStateImpl(writer));
+  // The ARNA payload starts after the TYPE chunk (16 bytes of framing + the
+  // tag) and the ARNA chunk's own 12-byte tag/size header; the writer pads
+  // its column region to a 64-byte offset relative to that absolute
+  // position, so an mmapped artifact presents the columns aligned.
+  const uint64_t payload_offset = base_offset + 16 + tag.size() + 12;
+  io::VectorSink frame;
+  WDE_RETURN_IF_ERROR(writer.Finish(frame, payload_offset));
+  return io::WriteChunk(sink, internal::kChunkEstimatorArena, frame.bytes());
+}
+
 Status SelectivityEstimator::LoadState(io::Source& source) {
   if (!snapshotable()) {
     return Status::FailedPrecondition(name() + " does not support snapshots");
@@ -168,15 +197,41 @@ Status SelectivityEstimator::LoadState(io::Source& source) {
 }
 
 Status SelectivityEstimator::LoadEnvelopeState(io::Source& source) {
-  WDE_ASSIGN_OR_RETURN(
-      const std::vector<uint8_t> payload,
-      io::ReadChunkExpecting(source, internal::kChunkEstimatorState));
-  io::SpanSource state(payload);
-  // Payload exhaustion is part of the LoadStateImpl contract and must be
-  // validated there BEFORE committing (a wrapper-side check here would fire
-  // only after the implementation already replaced the estimator's state,
-  // silently breaking the untouched-on-error guarantee).
-  return LoadStateImpl(state);
+  // Zero-copy read: for memory-backed sources (SpanSource over a blob, the
+  // mmapped FileSource) the payload is a view into the source's buffer,
+  // anchored below by source.backing(); only byte-stream sources pay a copy.
+  WDE_ASSIGN_OR_RETURN(io::ChunkRef chunk, io::ReadChunkRef(source));
+  if (chunk.tag == internal::kChunkEstimatorState) {
+    io::SpanSource state(chunk.payload);
+    // Payload exhaustion is part of the LoadStateImpl contract and must be
+    // validated there BEFORE committing (a wrapper-side check here would fire
+    // only after the implementation already replaced the estimator's state,
+    // silently breaking the untouched-on-error guarantee).
+    return LoadStateImpl(state);
+  }
+  if (chunk.tag == internal::kChunkEstimatorArena) {
+    // Anchor the payload bytes for the life of the restored estimator: the
+    // fast path hands column spans straight into fitted state, so the image
+    // must outlive this call. A viewed payload borrows the source's backing
+    // (the mmap or caller-owned blob); a copied payload is promoted into a
+    // shared buffer the reader keeps alive.
+    std::shared_ptr<const void> keepalive;
+    if (!chunk.owned.empty()) {
+      // Moving the vector relocates the struct, not the heap buffer, so
+      // chunk.payload keeps pointing at the promoted bytes.
+      keepalive = std::make_shared<const std::vector<uint8_t>>(
+          std::move(chunk.owned));
+    } else {
+      keepalive = source.backing();
+    }
+    WDE_ASSIGN_OR_RETURN(
+        memory::FastStateReader reader,
+        memory::FastStateReader::Parse(chunk.payload, std::move(keepalive)));
+    // Same parse-validate-commit contract as the portable branch, including
+    // full consumption of reader.head().
+    return LoadFastStateImpl(reader);
+  }
+  return Status::InvalidArgument("estimator envelope has an unknown state chunk");
 }
 
 Status SelectivityEstimator::SaveStateImpl(io::Sink& sink) const {
@@ -187,6 +242,19 @@ Status SelectivityEstimator::SaveStateImpl(io::Sink& sink) const {
 Status SelectivityEstimator::LoadStateImpl(io::Source& source) {
   (void)source;
   return Status::FailedPrecondition(name() + " does not implement LoadStateImpl");
+}
+
+Status SelectivityEstimator::SaveFastStateImpl(
+    memory::FastStateWriter& writer) const {
+  (void)writer;
+  return Status::FailedPrecondition(name() +
+                                    " does not implement SaveFastStateImpl");
+}
+
+Status SelectivityEstimator::LoadFastStateImpl(memory::FastStateReader& reader) {
+  (void)reader;
+  return Status::FailedPrecondition(name() +
+                                    " does not implement LoadFastStateImpl");
 }
 
 }  // namespace selectivity

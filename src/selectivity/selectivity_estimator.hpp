@@ -42,6 +42,12 @@
 #include "util/result.hpp"
 
 namespace wde {
+
+namespace memory {
+class FastStateReader;
+class FastStateWriter;
+}  // namespace memory
+
 namespace selectivity {
 
 class SelectivityEstimator;
@@ -49,9 +55,15 @@ class SelectivityEstimator;
 namespace internal {
 /// Chunk tags of the estimator envelope (see io/chunk.hpp for the framing):
 /// a type-tag chunk naming the concrete estimator, then one state chunk
-/// whose payload is the estimator's own serialized configuration + data.
+/// whose payload is the estimator's own serialized configuration + data. The
+/// state chunk comes in two interchangeable encodings: STAT carries the
+/// portable io-primitive stream (any host), ARNA carries the zero-copy
+/// fast-state frame of memory/fast_state.hpp (little-endian hosts; restores
+/// by header validation + pointer fixup instead of element-wise decoding).
+/// Every estimator reads both; which one a save emits is the caller's choice.
 inline constexpr uint32_t kChunkEstimatorType = 0x45505954;   // "TYPE"
 inline constexpr uint32_t kChunkEstimatorState = 0x54415453;  // "STAT"
+inline constexpr uint32_t kChunkEstimatorArena = 0x414E5241;  // "ARNA"
 }  // namespace internal
 
 /// Restores one estimator envelope through the tag → factory registry; see
@@ -267,8 +279,38 @@ class SelectivityEstimator {
 
   /// Restores an envelope written by SaveState. The envelope's type tag must
   /// match this estimator's; configuration and data are then fully replaced.
-  /// On any error the estimator is untouched.
+  /// On any error the estimator is untouched. Accepts both state encodings
+  /// (portable STAT and fast ARNA); when the source is backed by stable bytes
+  /// (SpanSource with a keepalive, mmapped FileSource), the fast path adopts
+  /// column buffers zero-copy instead of decoding them.
   Status LoadState(io::Source& source);
+
+  /// Saves this estimator's envelope with the fast ARNA state encoding:
+  /// TYPE chunk, then one fast-state frame (memory/fast_state.hpp) holding
+  /// the fitted buffers verbatim plus re-derivation products (bandwidths,
+  /// prefix/boundary tables, basis tables) that the portable load would
+  /// recompute. `base_offset` is the absolute artifact offset at which this
+  /// envelope begins (a whole-file snapshot's header is 12 bytes, so the
+  /// registry passes 12); the frame pads its column region to a 64-byte
+  /// absolute offset so an mmapped artifact restores zero-copy. Answers
+  /// restore bit-identically to SaveState. Falls back to the portable
+  /// SaveState when the estimator has no fast impl or the host is
+  /// big-endian — either way the artifact loads through LoadState.
+  Status SaveStateFast(io::Sink& sink, uint64_t base_offset) const;
+
+  /// True when the concrete estimator implements the fast-state impls.
+  virtual bool supports_fast_snapshot() const { return false; }
+
+  /// A deep, independent copy of this estimator carrying all fitted state —
+  /// the cheap view-extraction path the serving layer publishes epochs from.
+  /// Estimators whose fitted buffers live in a memory::Arena share them
+  /// copy-on-write, so the clone costs O(columns), not O(data); the first
+  /// mutation on either side un-shares. Returns nullptr when unsupported
+  /// (callers fall back to CloneViaSnapshot, which is equivalent but pays a
+  /// full serialize + parse).
+  virtual std::unique_ptr<SelectivityEstimator> CloneForView() const {
+    return nullptr;
+  }
 
   /// Restores any registered estimator from a whole snapshot (header +
   /// envelope) and folds it into this one via MergeFrom — the cross-process
@@ -286,6 +328,18 @@ class SelectivityEstimator {
   /// estimator untouched. Defaults report unsupported.
   virtual Status SaveStateImpl(io::Sink& sink) const;
   virtual Status LoadStateImpl(io::Source& source);
+
+  /// Fast-state extension points (see memory/fast_state.hpp). SaveFastStateImpl
+  /// writes scalar configuration into writer.head() with io primitives and
+  /// registers each bulk fitted buffer as one arena column; LoadFastStateImpl
+  /// reads the head back (consuming it fully), validates, and adopts the
+  /// reader's arena columns — zero-copy when the frame's keepalive anchors
+  /// them (mmapped snapshot), copied otherwise. Same parse-validate-commit
+  /// discipline as the portable impls: hostile bytes yield a Status and leave
+  /// the estimator untouched. Defaults report unsupported; estimators that
+  /// override both also override supports_fast_snapshot().
+  virtual Status SaveFastStateImpl(memory::FastStateWriter& writer) const;
+  virtual Status LoadFastStateImpl(memory::FastStateReader& reader);
 
  private:
   /// Reads the state chunk and dispatches to LoadStateImpl (shared by

@@ -131,6 +131,8 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// rebuild, because it runs the exact same merge in the exact same order.
   std::unique_ptr<SelectivityEstimator> ExtractMergedView() const;
 
+  bool supports_fast_snapshot() const override { return true; }
+
  protected:
   double EstimateRangeImpl(double a, double b) const override;
 
@@ -152,6 +154,13 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// optional merged view through the registry's envelope framing.
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
+  /// Fast state: partition metadata and the (config-only) prototype envelope
+  /// in the head; each replica — and the merged view when present — rides as
+  /// one U8 column holding that estimator's own fast envelope, so the per-
+  /// shard columns restore through the same zero-copy path as a standalone
+  /// snapshot.
+  Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
+  Status LoadFastStateImpl(memory::FastStateReader& reader) override;
 
  private:
   ShardedSelectivityEstimator(const Options& options,

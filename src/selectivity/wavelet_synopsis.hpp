@@ -62,6 +62,13 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   /// Number of non-zero retained coefficients after the last rebuild.
   size_t RetainedCoefficients() const;
 
+  bool supports_fast_snapshot() const override { return true; }
+
+  std::unique_ptr<SelectivityEstimator> CloneForView() const override {
+    return std::unique_ptr<SelectivityEstimator>(
+        new WaveletSynopsisSelectivity(*this));
+  }
+
  protected:
   double EstimateRangeImpl(double a, double b) const override;
   /// Persists the integer count grid bit-exactly plus, when present, the
@@ -70,6 +77,11 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   /// possibly stale — answers the saved synopsis was serving.
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
+  /// Fast state: grid and reconstruction cache as bulk F64 columns (the
+  /// cache rides along just as in the portable format — it cannot be
+  /// re-derived once the grid has moved on).
+  Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
+  Status LoadFastStateImpl(memory::FastStateReader& reader) override;
 
  private:
   explicit WaveletSynopsisSelectivity(const Options& options);

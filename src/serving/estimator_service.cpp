@@ -89,6 +89,9 @@ uint64_t EstimatorService::PublishLocked(uint64_t epoch_floor) {
   std::unique_ptr<selectivity::SelectivityEstimator> fresh;
   if (sharded_ != nullptr) {
     fresh = sharded_->ExtractMergedView();
+  } else if ((fresh = writer_->CloneForView()) != nullptr) {
+    // The cheap path: a CoW copy sharing the writer's fitted arenas — no
+    // serialize/parse round trip on the publish cadence.
   } else {
     Result<std::unique_ptr<selectivity::SelectivityEstimator>> clone =
         selectivity::CloneViaSnapshot(*writer_);

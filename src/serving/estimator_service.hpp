@@ -102,7 +102,8 @@ class EstimatorService {
   /// does) and publishes its empty state as epoch 1. When the writer is the
   /// sharded engine, views are extracted with ExtractMergedView (one merged
   /// single-estimator copy, cheaper to query than the wrapper); any other
-  /// estimator publishes via the CloneViaSnapshot deep-copy path.
+  /// estimator publishes via CloneForView (a copy-on-write arena share) when
+  /// it offers one, falling back to the CloneViaSnapshot deep-copy path.
   static Result<std::unique_ptr<EstimatorService>> Create(
       std::unique_ptr<selectivity::SelectivityEstimator> writer,
       const ServiceOptions& options);

@@ -7,6 +7,8 @@
 ///
 ///   util        — Status/Result error model, WDE_CHECK, string helpers
 ///   io          — versioned snapshot wire format (sinks/sources, CRC chunks)
+///   memory      — columnar copy-on-write arenas + the mmap-able fast-state
+///                 frame under every estimator's fitted buffers
 ///   parallel    — the shared ThreadPool executor behind every parallel path
 ///   numerics    — integration, interpolation, linear algebra, optimisation
 ///   stats       — RNG, descriptive stats, empirical CDF, losses, bootstrap
@@ -42,6 +44,11 @@
 // encodings, CRC-framed chunks.
 #include "io/chunk.hpp"
 #include "io/serialize.hpp"
+
+// memory — depends on io, util. Columnar copy-on-write arenas and the ARN1
+// fast-state frame behind the zero-copy snapshot path.
+#include "memory/arena.hpp"
+#include "memory/fast_state.hpp"
 
 // parallel — depends on util.
 #include "parallel/thread_pool.hpp"

@@ -52,9 +52,9 @@ std::vector<double> Probes(stats::Rng& rng, const std::vector<double>& data) {
 
 TEST(KdeTreeTest, ToleranceZeroBitIdenticalToLinearPassAcrossSizes) {
   stats::Rng rng(11);
-  // Sizes straddling the leaf width (32) so root-is-leaf, one-split, and
-  // deep trees are all exercised.
-  for (size_t n : {1u, 2u, 31u, 32u, 33u, 100u, 1000u}) {
+  // Sizes straddling the linear cutover and the leaf width so the direct
+  // pass, root-is-leaf, one-split, and deep trees are all exercised.
+  for (size_t n : {1u, 2u, 31u, 100u, 512u, 513u, 1000u, 5000u}) {
     std::vector<double> data(n);
     for (double& x : data) x = rng.UniformDouble();
     for (KernelType type : kAllTypes) {

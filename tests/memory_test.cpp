@@ -1,0 +1,365 @@
+// Tier-1 tests for the memory module (arena + snapshot fast path): canonical
+// column layout, 64-byte alignment of every column, zero-initialization,
+// copy-on-write sharing and first-mutation divergence, zero-copy borrowing
+// from aligned images with keepalive (and the copy fallback), bitwise
+// relocation, the ARN1 fast-state frame (round trip, absolute-offset
+// alignment of the column region, hostile-input rejection), zero-copy chunk
+// reads, the slicing-by-8 CRC's equivalence to the bytewise definition, and
+// the mmap-backed FileSource. Run under ASan in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/chunk.hpp"
+#include "io/serialize.hpp"
+#include "memory/arena.hpp"
+#include "memory/fast_state.hpp"
+
+namespace wde {
+namespace {
+
+using memory::Arena;
+using memory::ColumnKind;
+using memory::ColumnSpec;
+using memory::kColumnAlignment;
+
+bool Aligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % kColumnAlignment == 0;
+}
+
+TEST(ColumnLayout, CanonicalOffsetsAndTotal) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 3},
+                              {ColumnKind::kU8, 1},
+                              {ColumnKind::kI64, 10}};
+  uint64_t total = 0;
+  auto columns = memory::ComputeColumnLayout(specs, &total);
+  ASSERT_TRUE(columns.ok());
+  ASSERT_EQ(columns->size(), 3u);
+  EXPECT_EQ((*columns)[0].offset, 0u);
+  EXPECT_EQ((*columns)[1].offset, 64u);   // 24 bytes rounded up
+  EXPECT_EQ((*columns)[2].offset, 128u);  // 65 bytes rounded up
+  EXPECT_EQ(total, 128u + 80u);           // unpadded end of the last column
+}
+
+TEST(ColumnLayout, EmptyAndZeroCountColumns) {
+  uint64_t total = 1;
+  auto none = memory::ComputeColumnLayout({}, &total);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(total, 0u);
+
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 0}, {ColumnKind::kU8, 5}};
+  auto columns = memory::ComputeColumnLayout(specs, &total);
+  ASSERT_TRUE(columns.ok());
+  EXPECT_EQ((*columns)[0].offset, 0u);
+  EXPECT_EQ((*columns)[1].offset, 0u);  // empty column consumes no space
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(ColumnLayout, RejectsOverflowingCounts) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, UINT64_MAX / 4}};
+  uint64_t total = 0;
+  EXPECT_FALSE(memory::ComputeColumnLayout(specs, &total).ok());
+}
+
+TEST(Arena, CreateAlignsAndZeroInitializes) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 7},
+                              {ColumnKind::kI64, 3},
+                              {ColumnKind::kU8, 100}};
+  Arena arena = Arena::Create(specs);
+  EXPECT_TRUE(Aligned(arena.payload()));
+  EXPECT_TRUE(Aligned(arena.F64(0).data()));
+  EXPECT_TRUE(Aligned(arena.I64(1).data()));
+  EXPECT_TRUE(Aligned(arena.U8(2).data()));
+  for (double v : arena.F64(0)) EXPECT_EQ(v, 0.0);
+  for (int64_t v : arena.I64(1)) EXPECT_EQ(v, 0);
+  for (uint8_t v : arena.U8(2)) EXPECT_EQ(v, 0);
+}
+
+TEST(Arena, CopySharesUntilMutation) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 4}};
+  Arena a = Arena::Create(specs);
+  std::iota(a.MutableF64(0).begin(), a.MutableF64(0).end(), 1.0);
+
+  Arena b = a;  // CoW share: publishing a view costs two pointer copies
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(a.payload(), b.payload());
+
+  b.MutableF64(0)[2] = 99.0;  // first mutation un-shares
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(a.F64(0)[2], 3.0);
+  EXPECT_EQ(b.F64(0)[2], 99.0);
+  EXPECT_EQ(b.F64(0)[0], 1.0);  // relocation preserved the other elements
+}
+
+TEST(Arena, EnsureWritableIsNoOpForSoleOwner) {
+  const ColumnSpec specs[] = {{ColumnKind::kU8, 16}};
+  Arena arena = Arena::Create(specs);
+  const uint8_t* before = arena.payload();
+  arena.EnsureWritable();
+  arena.MutableU8(0)[0] = 42;
+  EXPECT_EQ(arena.payload(), before);
+}
+
+TEST(Arena, FromImageBorrowsAlignedAnchoredBytes) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 2}, {ColumnKind::kF64, 2}};
+  Arena source = Arena::Create(specs);
+  std::iota(source.MutableF64(0).begin(), source.MutableF64(0).end(), 1.0);
+  std::iota(source.MutableF64(1).begin(), source.MutableF64(1).end(), 3.0);
+
+  std::span<const uint8_t> image(source.payload(), source.payload_bytes());
+  auto borrowed = Arena::FromImage(specs, image, source.storage_keepalive());
+  ASSERT_TRUE(borrowed.ok());
+  EXPECT_TRUE(borrowed->borrowed());
+  EXPECT_EQ(borrowed->payload(), source.payload());  // zero-copy
+  EXPECT_EQ(borrowed->F64(1)[1], 4.0);
+
+  // First mutation relocates away from the image, bitwise.
+  borrowed->MutableF64(0)[0] = -1.0;
+  EXPECT_FALSE(borrowed->borrowed());
+  EXPECT_NE(borrowed->payload(), source.payload());
+  EXPECT_EQ(borrowed->F64(1)[1], 4.0);
+  EXPECT_EQ(source.F64(0)[0], 1.0);  // the image never changes
+}
+
+TEST(Arena, FromImageCopiesUnanchoredOrMisalignedBytes) {
+  const ColumnSpec specs[] = {{ColumnKind::kU8, 8}};
+  std::vector<uint8_t> image = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copied = Arena::FromImage(specs, image, nullptr);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_FALSE(copied->borrowed());
+  EXPECT_TRUE(Aligned(copied->payload()));
+  EXPECT_EQ(copied->U8(0)[7], 8);
+
+  // Anchored but misaligned: the copy fallback still restores alignment.
+  auto misaligned_holder = std::make_shared<std::vector<uint8_t>>(
+      kColumnAlignment + image.size(), 0);
+  uint8_t* base = misaligned_holder->data();
+  while (Aligned(base)) ++base;  // guaranteed misaligned within one line
+  std::memcpy(base, image.data(), image.size());
+  auto fixed = Arena::FromImage(specs, {base, image.size()}, misaligned_holder);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_FALSE(fixed->borrowed());
+  EXPECT_TRUE(Aligned(fixed->payload()));
+  EXPECT_EQ(fixed->U8(0)[0], 1);
+}
+
+TEST(Arena, FromImageRejectsSizeMismatch) {
+  const ColumnSpec specs[] = {{ColumnKind::kF64, 4}};
+  std::vector<uint8_t> image(31, 0);  // needs 32
+  EXPECT_FALSE(Arena::FromImage(specs, image, nullptr).ok());
+}
+
+// ------------------------------------------------------------- fast state
+
+/// Builds a writer with a recognizable head and three columns.
+void FillWriter(memory::FastStateWriter& writer,
+                const std::vector<double>& f64s,
+                const std::vector<int64_t>& i64s,
+                const std::vector<uint8_t>& u8s) {
+  EXPECT_TRUE(io::WriteU32(writer.head(), 0xFEEDBEEF).ok());
+  EXPECT_TRUE(io::WriteDouble(writer.head(), 2.5).ok());
+  writer.AddF64(f64s);
+  writer.AddI64(i64s);
+  writer.AddU8(u8s);
+}
+
+TEST(FastState, RoundTripsHeadAndColumns) {
+  const std::vector<double> f64s = {1.0, -2.0, 3.5};
+  const std::vector<int64_t> i64s = {-7, 1 << 20};
+  const std::vector<uint8_t> u8s = {9, 8, 7, 6};
+
+  memory::FastStateWriter writer;
+  FillWriter(writer, f64s, i64s, u8s);
+  io::VectorSink sink;
+  const uint64_t payload_offset = 24;  // an arbitrary artifact position
+  ASSERT_TRUE(writer.Finish(sink, payload_offset).ok());
+
+  auto reader = memory::FastStateReader::Parse(sink.bytes(), nullptr);
+  ASSERT_TRUE(reader.ok());
+  auto magic = io::ReadU32(reader->head());
+  auto scale = io::ReadDouble(reader->head());
+  ASSERT_TRUE(magic.ok() && scale.ok());
+  EXPECT_EQ(*magic, 0xFEEDBEEFu);
+  EXPECT_EQ(*scale, 2.5);
+  EXPECT_EQ(reader->head().remaining(), 0u);
+
+  const Arena& arena = reader->arena();
+  ASSERT_EQ(arena.num_columns(), 3u);
+  EXPECT_TRUE(std::equal(f64s.begin(), f64s.end(), arena.F64(0).begin()));
+  EXPECT_TRUE(std::equal(i64s.begin(), i64s.end(), arena.I64(1).begin()));
+  EXPECT_TRUE(std::equal(u8s.begin(), u8s.end(), arena.U8(2).begin()));
+}
+
+TEST(FastState, ColumnRegionLandsAtAlignedArtifactOffset) {
+  for (uint64_t payload_offset : {0ull, 1ull, 24ull, 63ull, 64ull, 1000ull}) {
+    memory::FastStateWriter writer;
+    std::vector<double> f64s = {1.0};
+    writer.AddF64(f64s);
+    io::VectorSink sink;
+    ASSERT_TRUE(writer.Finish(sink, payload_offset).ok());
+
+    // The first column's bytes must sit at a 64-byte absolute offset, so a
+    // page-aligned mapping presents them aligned in memory.
+    auto reader = memory::FastStateReader::Parse(sink.bytes(), nullptr);
+    ASSERT_TRUE(reader.ok());
+    uint64_t region_pos = 0;
+    while (region_pos + sizeof(double) <= sink.bytes().size()) {
+      double v;
+      std::memcpy(&v, sink.bytes().data() + region_pos, sizeof v);
+      if (v == 1.0) break;
+      ++region_pos;
+    }
+    EXPECT_EQ((payload_offset + region_pos) % kColumnAlignment, 0u)
+        << "payload_offset=" << payload_offset;
+  }
+}
+
+TEST(FastState, BorrowsWhenImageIsAnchoredAndAligned) {
+  memory::FastStateWriter writer;
+  std::vector<double> f64s(100, 0.5);
+  writer.AddF64(f64s);
+  io::VectorSink sink;
+  // Offset 0 + a 64-byte-aligned base below makes the region aligned.
+  ASSERT_TRUE(writer.Finish(sink, 0).ok());
+
+  auto holder = std::make_shared<std::vector<uint8_t>>(
+      sink.bytes().size() + kColumnAlignment, 0);
+  uint8_t* base = holder->data();
+  while (!Aligned(base)) ++base;
+  std::memcpy(base, sink.bytes().data(), sink.bytes().size());
+
+  auto reader = memory::FastStateReader::Parse({base, sink.bytes().size()},
+                                               holder);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->arena().borrowed());
+  EXPECT_GE(reader->arena().F64(0).data(),
+            reinterpret_cast<const double*>(base));  // points into the image
+  EXPECT_EQ(reader->arena().F64(0)[99], 0.5);
+}
+
+TEST(FastState, RejectsHostileFrames) {
+  memory::FastStateWriter writer;
+  std::vector<double> f64s = {1.0, 2.0};
+  writer.AddF64(f64s);
+  io::VectorSink sink;
+  ASSERT_TRUE(writer.Finish(sink, 0).ok());
+  const std::vector<uint8_t> good(sink.bytes().begin(), sink.bytes().end());
+
+  // Bad magic.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(memory::FastStateReader::Parse(bad, nullptr).ok());
+  }
+  // Truncation at every prefix length must degrade into a Status.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::span<const uint8_t> prefix(good.data(), len);
+    EXPECT_FALSE(memory::FastStateReader::Parse(prefix, nullptr).ok());
+  }
+  // Invalid column kind in the directory (kind byte follows the count u32
+  // after magic + head-length prefix + empty head).
+  {
+    std::vector<uint8_t> bad = good;
+    const size_t kind_pos = 4 + 4 + 0 + 4;
+    bad[kind_pos] = 0x7F;
+    EXPECT_FALSE(memory::FastStateReader::Parse(bad, nullptr).ok());
+  }
+  // Oversized pad.
+  {
+    std::vector<uint8_t> bad = good;
+    const size_t pad_pos = 4 + 4 + 0 + 4 + 9 + 8;
+    bad[pad_pos] = 0xFF;
+    EXPECT_FALSE(memory::FastStateReader::Parse(bad, nullptr).ok());
+  }
+}
+
+// ----------------------------------------------------- chunk + crc + mmap
+
+TEST(ChunkRef, ViewsPayloadZeroCopyAndValidatesCrc) {
+  io::VectorSink artifact;
+  const std::vector<uint8_t> payload = {10, 20, 30, 40, 50};
+  ASSERT_TRUE(io::WriteChunk(artifact, 0x41424344, payload).ok());
+
+  io::SpanSource source(artifact.bytes());
+  auto chunk = io::ReadChunkRef(source);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->tag, 0x41424344u);
+  ASSERT_EQ(chunk->payload.size(), payload.size());
+  EXPECT_TRUE(chunk->owned.empty());  // zero-copy: views the artifact buffer
+  EXPECT_GE(chunk->payload.data(), artifact.bytes().data());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         chunk->payload.begin()));
+
+  // Any flipped payload bit must fail the CRC.
+  std::vector<uint8_t> corrupt(artifact.bytes().begin(),
+                               artifact.bytes().end());
+  corrupt[4 + 8 + 2] ^= 0x01;
+  io::SpanSource corrupt_source(corrupt);
+  EXPECT_FALSE(io::ReadChunkRef(corrupt_source).ok());
+}
+
+TEST(Crc32, SlicedImplementationMatchesBytewiseDefinition) {
+  std::vector<uint8_t> bytes(4099);
+  uint32_t state = 0x12345678;
+  for (uint8_t& b : bytes) {
+    state = state * 1664525u + 1013904223u;
+    b = static_cast<uint8_t>(state >> 24);
+  }
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 4099u}) {
+    std::span<const uint8_t> view(bytes.data(), len);
+    // Bytewise reference straight from the CRC-32 definition.
+    uint32_t crc = 0xFFFFFFFFu;
+    for (uint8_t byte : view) {
+      crc ^= byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+    }
+    EXPECT_EQ(io::Crc32(view), crc ^ 0xFFFFFFFFu) << "len=" << len;
+  }
+}
+
+TEST(FileSource, MappedModeReadsViewsAndAnchors) {
+  const std::string path = "wde_memory_test_mapped.bin";
+  std::vector<uint8_t> bytes(1000);
+  for (size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<uint8_t>(i);
+  {
+    auto sink = io::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(sink->Append(bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE(sink->Close().ok());
+  }
+
+  auto source = io::FileSource::OpenMapped(path);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->remaining(), bytes.size());
+
+  uint8_t first[10];
+  ASSERT_TRUE(source->Read(first, sizeof first).ok());
+  EXPECT_TRUE(std::equal(first, first + sizeof first, bytes.begin()));
+
+  const uint8_t* view = source->View(100);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view[0], bytes[10]);
+
+  // The backing handle keeps viewed bytes alive past the source object.
+  std::shared_ptr<const void> keepalive = source->backing();
+  source = io::FileSource::OpenMapped(path);  // drop the original source
+  ASSERT_TRUE(source.ok());
+  if (keepalive != nullptr) {
+    EXPECT_EQ(view[89], bytes[99]);
+  }
+
+  EXPECT_FALSE(io::FileSource::OpenMapped("does_not_exist.bin").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wde

@@ -151,6 +151,43 @@ TEST(EstimatorServiceTest, HeldViewsAreImmutableAcrossLaterPublishes) {
   EXPECT_EQ(service->CurrentView().estimator->count(), 12000u);
 }
 
+// Non-sharded writers publish through CloneForView: the view shares the
+// writer's fitted arenas copy-on-write. Continuing to ingest into the writer
+// must un-share — never mutate — the held view's storage, and the next
+// publish must reflect the new data.
+TEST(EstimatorServiceTest, CowClonedViewsStayBitStableWhileWriterMutates) {
+  const std::vector<selectivity::Query> queries = MixedWorkload(21, 64);
+  for (const char* tag :
+       {"equi-width", "equi-depth", "wavelet-cv", "kde-rot", "haar-synopsis",
+        "reservoir"}) {
+    SCOPED_TRACE(tag);
+    selectivity::EstimatorSpec spec;
+    spec.tag = tag;
+    serving::ServiceOptions options;
+    options.publish_interval = 0;
+    std::unique_ptr<serving::EstimatorService> service =
+        MakeService(options, spec);
+
+    service->InsertBatch(UnitStream(22, 4000));
+    service->Publish();
+    const serving::EstimatorService::View held = service->CurrentView();
+    const std::vector<double> before = Answers(*held.estimator, queries);
+
+    // Hammer the writer's shared arenas after the publish: more inserts, a
+    // forced refit (publish), more inserts again.
+    service->InsertBatch(UnitStream(23, 4000));
+    service->Publish();
+    service->InsertBatch(UnitStream(24, 4000));
+    service->Publish();
+
+    EXPECT_EQ(Answers(*held.estimator, queries), before);
+    EXPECT_EQ(held.estimator->count(), 4000u);
+    const serving::EstimatorService::View current = service->CurrentView();
+    EXPECT_GT(current.epoch, held.epoch);
+    EXPECT_EQ(current.estimator->count(), 12000u);
+  }
+}
+
 TEST(EstimatorServiceTest, ReaderAnswersMatchQuiescedMergedViewAtSameEpoch) {
   serving::ServiceOptions options;
   options.publish_interval = 0;
