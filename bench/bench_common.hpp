@@ -126,13 +126,69 @@ inline const char* CompilerVersion() {
 #endif
 }
 
+/// Whether this binary is an optimized build. NDEBUG is the one signal the
+/// toolchain gives portably, and it is the one that matters: assertions-on
+/// builds spend their time in WDE_CHECKs, not the measured kernels.
+inline constexpr bool kReleaseBuild =
+#if defined(NDEBUG)
+    true;
+#else
+    false;
+#endif
+
+inline const char* BuildType() { return kReleaseBuild ? "release" : "debug"; }
+
+/// Build-type gate every chrono driver runs first. A debug binary refuses
+/// --check outright (its timings would gate CI on assertion overhead, and a
+/// committed JSON regenerated from it would be silently wrong) and loudly
+/// stamps plain timing runs. Returns false when the driver must exit
+/// non-zero.
+inline bool CheckBuildForTiming(bool check_mode) {
+  if (kReleaseBuild) return true;
+  if (check_mode) {
+    std::fprintf(stderr,
+                 "FAIL: --check requires a release (NDEBUG) build; this "
+                 "binary is a debug build. Rebuild with --preset release.\n");
+    return false;
+  }
+  std::fprintf(stderr,
+               "WARNING: debug (assertions-on) build; timings below are NOT "
+               "comparable to committed BENCH_*.json numbers.\n");
+  return true;
+}
+
+/// Build-type gate for the google-benchmark drivers, which have no --check
+/// mode: writing a JSON baseline (--benchmark_out=...) is how committed
+/// BENCH_*.json artifacts are produced, so a debug binary refuses it outright
+/// — the stale debug BENCH_selectivity_batch.json this guards against was
+/// committed exactly that way — and loudly stamps plain timing runs. Returns
+/// false when the driver must exit non-zero.
+inline bool CheckBuildForBaseline(int argc, char** argv) {
+  if (kReleaseBuild) return true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --benchmark_out requires a release (NDEBUG) build; "
+                   "this binary is a debug build and its numbers must never "
+                   "become a committed baseline. Rebuild with "
+                   "--preset release.\n");
+      return false;
+    }
+  }
+  std::fprintf(stderr,
+               "WARNING: debug (assertions-on) build; timings below are NOT "
+               "comparable to committed BENCH_*.json numbers.\n");
+  return true;
+}
+
 /// Writes the uniform `"host": {...},` JSON line (with trailing comma).
 inline void WriteHostJson(std::FILE* out) {
   std::fprintf(out,
                "  \"host\": {\"hardware_concurrency\": %u, "
-               "\"compiler\": \"%s\", \"build_flags\": \"%s\"},\n",
+               "\"compiler\": \"%s\", \"build_flags\": \"%s\", "
+               "\"build_type\": \"%s\"},\n",
                std::thread::hardware_concurrency(), CompilerVersion(),
-               WDE_BENCH_BUILD_FLAGS);
+               WDE_BENCH_BUILD_FLAGS, BuildType());
 }
 
 }  // namespace perf

@@ -5,6 +5,8 @@
 // by contract; tests/batch_equivalence_test.cpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <span>
 
 #include "core/adaptive.hpp"
@@ -170,4 +172,15 @@ BENCHMARK(BM_IntegrateRangeManyBatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): the build-type gate must run before benchmark
+// registration parses --benchmark_out, so a debug binary can never write a
+// JSON baseline (see bench_common.hpp).
+int main(int argc, char** argv) {
+  if (!wde::bench::perf::CheckBuildForBaseline(argc, argv)) return 2;
+  benchmark::AddCustomContext("build_type", wde::bench::perf::BuildType());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,330 @@
+// Steady-state ingest bench for the incremental refit engine: stream n
+// values into each refit-carrying estimator in fixed-size chunks, forcing a
+// refit after every chunk (ForceRefit — exactly the insert+refit cost, no
+// query-path dilution), under both RefitModes. kScratch rebuilds fitted
+// state from zero each refit (the oracle); kIncremental delta-merges the
+// previous fit (sorted-prefix merge for the KDE and equi-depth buffers,
+// warm-started cross-validation for the wavelet sketch). Produces the
+// committed BENCH_ingest.json artifact: per-mode amortized insert+refit
+// throughput, per-refit latency percentiles, the incremental-vs-scratch
+// speedup, and the bitwise-equivalence evidence (a mixed query workload
+// answered by both modes after ingest must match bit-for-bit).
+//
+// A second section times the sharded engine's merged-view refresh after a
+// delta of Δ = n/100 inserts: per-replica high-water tail merges + one
+// incremental refit (kIncremental) vs the from-zero CloneEmpty + K MergeFrom
+// rebuild + full refit (kScratch), over several cycles.
+//
+// No google-benchmark dependency: plain steady_clock timing, like the other
+// chrono drivers. Single-threaded except the sharded section's ingest.
+//
+// Usage: perf_ingest [--n=1000000] [--chunk=8192] [--cycles=12]
+//                    [--repeats=2] [--out=BENCH_ingest.json] [--check]
+//
+// --check turns the contracts into gates: exit 1 if any mode pair loses
+// bitwise equivalence, if the kde-rot amortized insert+refit speedup falls
+// below 2x, or if the sharded delta refresh is less than 5x faster than the
+// full rebuild. CI runs with --check on the release build; debug binaries
+// refuse --check outright (see bench_common.hpp).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/estimator_spec.hpp"
+#include "selectivity/query_workload.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+#include "stats/rng.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace wde;
+
+std::unique_ptr<selectivity::SelectivityEstimator> Make(
+    const selectivity::EstimatorSpec& spec) {
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> estimator =
+      selectivity::MakeEstimator(spec);
+  WDE_CHECK(estimator.ok(), estimator.status().ToString().c_str());
+  return std::move(estimator).value();
+}
+
+selectivity::EstimatorSpec SpecFor(const std::string& tag,
+                                   selectivity::RefitMode mode) {
+  selectivity::EstimatorSpec spec;
+  spec.tag = tag;
+  spec.refit_mode = mode;
+  // The cadence is driven by ForceRefit below, not the interval; a huge
+  // interval keeps the insert paths from refitting a second time mid-chunk.
+  spec.refit_interval = ~size_t{0} >> 1;
+  if (tag == "sharded") spec.sharded_inner_tag = "kde-rot";
+  return spec;
+}
+
+std::vector<double> Answers(const selectivity::SelectivityEstimator& estimator,
+                            const std::vector<selectivity::Query>& queries) {
+  std::vector<double> out(queries.size());
+  estimator.Answer(queries, out);
+  return out;
+}
+
+double PercentileMs(std::vector<double> seconds, double p) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const size_t idx = std::min(
+      seconds.size() - 1, static_cast<size_t>(p * static_cast<double>(seconds.size())));
+  return seconds[idx] * 1e3;
+}
+
+struct IngestRun {
+  double seconds = 0.0;             // whole insert+refit loop
+  std::vector<double> refit_laps;   // per-cycle (chunk insert + forced refit)
+  std::vector<double> answers;      // mixed workload after ingest
+};
+
+/// The steady-state loop: InsertBatch(chunk) then ForceRefit(), over the
+/// whole stream. Every cycle pays one full refit in kScratch and one
+/// delta-merge refit in kIncremental; the answers afterwards must be
+/// bit-identical between the modes.
+IngestRun RunIngest(selectivity::SelectivityEstimator& estimator,
+                    const std::vector<double>& stream, size_t chunk,
+                    const std::vector<selectivity::Query>& queries) {
+  IngestRun run;
+  const std::span<const double> all(stream);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t offset = 0; offset < all.size(); offset += chunk) {
+    const auto lap = std::chrono::steady_clock::now();
+    estimator.InsertBatch(all.subspan(offset, std::min(chunk, all.size() - offset)));
+    estimator.ForceRefit();
+    run.refit_laps.push_back(bench::perf::SecondsSince(lap));
+  }
+  run.seconds = bench::perf::SecondsSince(start);
+  run.answers = Answers(estimator, queries);
+  return run;
+}
+
+struct IngestRow {
+  std::string estimator;
+  std::string mode;
+  size_t refits = 0;
+  double seconds = 0.0;
+  double items_per_second = 0.0;
+  double refit_p50_ms = 0.0;
+  double refit_p95_ms = 0.0;
+  double refit_max_ms = 0.0;
+  double speedup_vs_scratch = 1.0;  // 1.0 on the scratch row itself
+  bool bitwise_equal_to_scratch = true;
+};
+
+struct RefreshRow {
+  std::string mode;
+  size_t delta = 0;
+  size_t cycles = 0;
+  double refresh_total_seconds = 0.0;
+  double refresh_p50_ms = 0.0;
+  double refresh_max_ms = 0.0;
+  double speedup_vs_scratch = 1.0;
+  bool bitwise_equal_to_scratch = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Build-type gate first: a debug binary must never gate CI or regenerate
+  // committed numbers (see bench_common.hpp).
+  if (!bench::perf::CheckBuildForTiming(ArgBool(argc, argv, "check"))) {
+    return 2;
+  }
+  const size_t n = ArgSize(argc, argv, "n", 1000000);
+  const size_t chunk = std::max<size_t>(1, ArgSize(argc, argv, "chunk", 8192));
+  const size_t cycles = std::max<size_t>(1, ArgSize(argc, argv, "cycles", 12));
+  const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 2));
+  const std::string out_path = ArgString(argc, argv, "out", "BENCH_ingest.json");
+
+  stats::Rng data_rng(1);
+  std::vector<double> stream(n);
+  for (double& x : stream) x = data_rng.UniformDouble();
+  stats::Rng query_rng(5);
+  const std::vector<selectivity::Query> queries =
+      selectivity::MixedQueryWorkload(query_rng, 256, 0.0, 1.0);
+
+  // -------------------------------------------------------------------------
+  // Section 1: steady-state insert+refit, scratch vs incremental, per tag.
+  // -------------------------------------------------------------------------
+  std::vector<IngestRow> ingest_rows;
+  for (const char* tag : {"kde-rot", "equi-depth", "wavelet-cv"}) {
+    IngestRun scratch;
+    IngestRun incremental;
+    for (size_t r = 0; r < repeats; ++r) {
+      std::unique_ptr<selectivity::SelectivityEstimator> scr =
+          Make(SpecFor(tag, selectivity::RefitMode::kScratch));
+      IngestRun run = RunIngest(*scr, stream, chunk, queries);
+      if (r == 0 || run.seconds < scratch.seconds) scratch = std::move(run);
+      std::unique_ptr<selectivity::SelectivityEstimator> inc =
+          Make(SpecFor(tag, selectivity::RefitMode::kIncremental));
+      run = RunIngest(*inc, stream, chunk, queries);
+      if (r == 0 || run.seconds < incremental.seconds) incremental = std::move(run);
+    }
+    const bool bitwise = incremental.answers == scratch.answers;
+    for (const IngestRun* run : {&scratch, &incremental}) {
+      IngestRow row;
+      row.estimator = tag;
+      row.mode = run == &scratch ? "scratch" : "incremental";
+      row.refits = run->refit_laps.size();
+      row.seconds = run->seconds;
+      row.items_per_second = static_cast<double>(n) / run->seconds;
+      row.refit_p50_ms = PercentileMs(run->refit_laps, 0.50);
+      row.refit_p95_ms = PercentileMs(run->refit_laps, 0.95);
+      row.refit_max_ms = PercentileMs(run->refit_laps, 1.0);
+      row.speedup_vs_scratch =
+          run == &scratch ? 1.0 : scratch.seconds / run->seconds;
+      row.bitwise_equal_to_scratch = bitwise;
+      ingest_rows.push_back(row);
+      std::printf(
+          "%-10s %-11s %4zu refits  %.3fs  %.3g items/s  "
+          "p50 %.2fms p95 %.2fms max %.2fms  speedup %.2fx  bitwise %s\n",
+          row.estimator.c_str(), row.mode.c_str(), row.refits, row.seconds,
+          row.items_per_second, row.refit_p50_ms, row.refit_p95_ms,
+          row.refit_max_ms, row.speedup_vs_scratch, bitwise ? "true" : "false");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Section 2: sharded merged-view refresh after Δ = n/100 inserts.
+  // -------------------------------------------------------------------------
+  const size_t delta = std::max<size_t>(1, n / 100);
+  std::vector<RefreshRow> refresh_rows;
+  {
+    std::unique_ptr<selectivity::SelectivityEstimator> inc =
+        Make(SpecFor("sharded", selectivity::RefitMode::kIncremental));
+    std::unique_ptr<selectivity::SelectivityEstimator> scr =
+        Make(SpecFor("sharded", selectivity::RefitMode::kScratch));
+    inc->InsertBatch(stream);
+    scr->InsertBatch(stream);
+    inc->ForceRefit();  // both start from a current, fitted merged view
+    scr->ForceRefit();
+
+    stats::Rng delta_rng(9);
+    std::vector<double> tail(delta);
+    std::vector<double> inc_laps, scr_laps;
+    bool bitwise = true;
+    for (size_t c = 0; c < cycles; ++c) {
+      for (double& x : tail) x = delta_rng.UniformDouble();
+      inc->InsertBatch(tail);
+      scr->InsertBatch(tail);
+      const auto inc_start = std::chrono::steady_clock::now();
+      inc->ForceRefit();
+      inc_laps.push_back(bench::perf::SecondsSince(inc_start));
+      const auto scr_start = std::chrono::steady_clock::now();
+      scr->ForceRefit();
+      scr_laps.push_back(bench::perf::SecondsSince(scr_start));
+      bitwise = bitwise && Answers(*inc, queries) == Answers(*scr, queries);
+    }
+    double inc_total = 0.0, scr_total = 0.0;
+    for (double s : inc_laps) inc_total += s;
+    for (double s : scr_laps) scr_total += s;
+    for (const bool is_scratch : {true, false}) {
+      RefreshRow row;
+      row.mode = is_scratch ? "scratch" : "incremental";
+      row.delta = delta;
+      row.cycles = cycles;
+      row.refresh_total_seconds = is_scratch ? scr_total : inc_total;
+      row.refresh_p50_ms = PercentileMs(is_scratch ? scr_laps : inc_laps, 0.50);
+      row.refresh_max_ms = PercentileMs(is_scratch ? scr_laps : inc_laps, 1.0);
+      row.speedup_vs_scratch = is_scratch ? 1.0 : scr_total / inc_total;
+      row.bitwise_equal_to_scratch = bitwise;
+      refresh_rows.push_back(row);
+      std::printf(
+          "sharded-refresh %-11s Δ=%zu ×%zu  total %.3fs  p50 %.2fms  "
+          "max %.2fms  speedup %.2fx  bitwise %s\n",
+          row.mode.c_str(), row.delta, row.cycles, row.refresh_total_seconds,
+          row.refresh_p50_ms, row.refresh_max_ms, row.speedup_vs_scratch,
+          bitwise ? "true" : "false");
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  WDE_CHECK(out != nullptr, "cannot open --out path for writing");
+  std::fprintf(out, "{\n  \"bench\": \"perf_ingest\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"n\": %zu, \"chunk\": %zu, "
+               "\"refresh_delta\": %zu, \"refresh_cycles\": %zu, "
+               "\"queries\": %zu, \"repeats\": %zu},\n",
+               n, chunk, delta, cycles, queries.size(), repeats);
+  bench::perf::WriteHostJson(out);
+  std::fprintf(out, "  \"ingest\": [\n");
+  for (size_t i = 0; i < ingest_rows.size(); ++i) {
+    const IngestRow& row = ingest_rows[i];
+    std::fprintf(out,
+                 "    {\"estimator\": \"%s\", \"mode\": \"%s\", "
+                 "\"refits\": %zu, \"seconds\": %.6f, "
+                 "\"items_per_second\": %.1f, \"refit_p50_ms\": %.4f, "
+                 "\"refit_p95_ms\": %.4f, \"refit_max_ms\": %.4f, "
+                 "\"speedup_vs_scratch\": %.4f, "
+                 "\"bitwise_equal_to_scratch\": %s}%s\n",
+                 row.estimator.c_str(), row.mode.c_str(), row.refits,
+                 row.seconds, row.items_per_second, row.refit_p50_ms,
+                 row.refit_p95_ms, row.refit_max_ms, row.speedup_vs_scratch,
+                 row.bitwise_equal_to_scratch ? "true" : "false",
+                 i + 1 < ingest_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"sharded_refresh\": [\n");
+  for (size_t i = 0; i < refresh_rows.size(); ++i) {
+    const RefreshRow& row = refresh_rows[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"delta\": %zu, \"cycles\": %zu, "
+                 "\"refresh_total_seconds\": %.6f, \"refresh_p50_ms\": %.4f, "
+                 "\"refresh_max_ms\": %.4f, \"speedup_vs_scratch\": %.4f, "
+                 "\"bitwise_equal_to_scratch\": %s}%s\n",
+                 row.mode.c_str(), row.delta, row.cycles,
+                 row.refresh_total_seconds, row.refresh_p50_ms,
+                 row.refresh_max_ms, row.speedup_vs_scratch,
+                 row.bitwise_equal_to_scratch ? "true" : "false",
+                 i + 1 < refresh_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (ArgBool(argc, argv, "check")) {
+    int violations = 0;
+    for (const IngestRow& row : ingest_rows) {
+      if (!row.bitwise_equal_to_scratch) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: %s %s answers differ from scratch\n",
+                     row.estimator.c_str(), row.mode.c_str());
+        ++violations;
+      }
+      if (row.estimator == "kde-rot" && row.mode == "incremental" &&
+          row.speedup_vs_scratch < 2.0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: kde-rot incremental insert+refit speedup "
+                     "%.2fx < 2x\n",
+                     row.speedup_vs_scratch);
+        ++violations;
+      }
+    }
+    for (const RefreshRow& row : refresh_rows) {
+      if (!row.bitwise_equal_to_scratch) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: sharded %s refresh answers differ\n",
+                     row.mode.c_str());
+        ++violations;
+      }
+      if (row.mode == "incremental" && row.speedup_vs_scratch < 5.0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: sharded delta refresh speedup %.2fx < 5x\n",
+                     row.speedup_vs_scratch);
+        ++violations;
+      }
+    }
+    if (violations > 0) return 1;
+    std::printf("incremental-refit contract checks passed\n");
+  }
+  return 0;
+}

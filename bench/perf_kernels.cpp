@@ -126,6 +126,11 @@ bool TreeTol0BitwiseAllKernels(const std::vector<double>& data,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Build-type gate first: a debug binary must never gate CI or
+  // regenerate committed numbers (see bench_common.hpp).
+  if (!bench::perf::CheckBuildForTiming(ArgBool(argc, argv, "check"))) {
+    return 2;
+  }
   const size_t n = ArgSize(argc, argv, "n", 200000);
   const size_t query_count = ArgSize(argc, argv, "queries", 1024);
   const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 3));

@@ -10,6 +10,8 @@
 // docs/BENCHMARKS.md for the exact command.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <span>
 #include <vector>
 
@@ -246,4 +248,15 @@ BENCHMARK(BM_WaveletRefit)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): the build-type gate must run before benchmark
+// registration parses --benchmark_out, so a debug binary can never write a
+// JSON baseline (see bench_common.hpp).
+int main(int argc, char** argv) {
+  if (!wde::bench::perf::CheckBuildForBaseline(argc, argv)) return 2;
+  benchmark::AddCustomContext("build_type", wde::bench::perf::BuildType());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

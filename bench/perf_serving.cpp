@@ -249,6 +249,11 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Build-type gate first: a debug binary must never gate CI or
+  // regenerate committed numbers (see bench_common.hpp).
+  if (!bench::perf::CheckBuildForTiming(ArgBool(argc, argv, "check"))) {
+    return 2;
+  }
   const size_t n = ArgSize(argc, argv, "n", 2000000);
   const int readers = static_cast<int>(ArgSize(argc, argv, "readers", 4));
   const int writers = static_cast<int>(ArgSize(argc, argv, "writers", 2));

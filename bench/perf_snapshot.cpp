@@ -166,6 +166,11 @@ double MbPerS(size_t bytes, double seconds) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Build-type gate first: a debug binary must never gate CI or
+  // regenerate committed numbers (see bench_common.hpp).
+  if (!bench::perf::CheckBuildForTiming(ArgBool(argc, argv, "check"))) {
+    return 2;
+  }
   const size_t n = ArgSize(argc, argv, "n", 200000);
   const size_t query_count = ArgSize(argc, argv, "queries", 256);
   const size_t repeats = std::max<size_t>(1, ArgSize(argc, argv, "repeats", 5));

@@ -3,6 +3,8 @@
 // Daubechies-Lagarias), batch vs scalar table walks, and DWT round trips.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <algorithm>
 
 #include "stats/rng.hpp"
@@ -163,4 +165,15 @@ BENCHMARK(BM_DwtRoundTrip)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): the build-type gate must run before benchmark
+// registration parses --benchmark_out, so a debug binary can never write a
+// JSON baseline (see bench_common.hpp).
+int main(int argc, char** argv) {
+  if (!wde::bench::perf::CheckBuildForBaseline(argc, argv)) return 2;
+  benchmark::AddCustomContext("build_type", wde::bench::perf::BuildType());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

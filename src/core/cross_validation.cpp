@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <span>
 
 #include "util/check.hpp"
 
@@ -10,41 +12,91 @@ namespace wde {
 namespace core {
 namespace {
 
-struct RankedCoefficient {
-  double magnitude;  // |β̂_{j,k}|
-  double cv_term;    // β̂² − 2(S1² − S2)/(n(n−1))
+/// The canonical coefficient ranking of one level: indices i = k − k_lo
+/// ordered by (|S1[i]| desc, i asc) — a strict total order on the raw
+/// running sums (see the LevelCvCache comment for why raw S1, not |S1|/n:
+/// |S1|/n is monotone in |S1| for fixed n, so this order also sweeps the
+/// magnitudes |β̂| non-increasingly, but it is reusable across refits).
+/// The k-ascending tie-break replaces the previous unstable sort's
+/// unspecified tie order, making the ranking — and therefore the CV optimum
+/// at tied magnitudes — a deterministic function of the sums alone.
+struct CanonicalLess {
+  std::span<const double> s1;
+  bool operator()(int32_t a, int32_t b) const {
+    const double ma = std::fabs(s1[static_cast<size_t>(a)]);
+    const double mb = std::fabs(s1[static_cast<size_t>(b)]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  }
 };
 
+/// Produces the canonical ranking, warm-starting from `cache` when it holds
+/// the previous refit's state for this level: coefficients whose S1 is
+/// bitwise-unchanged keep their cached relative order (the comparator reads
+/// only S1 and the index, both unchanged), so only the changed ones are
+/// sorted and merged back in. Updates the cache in place.
+std::vector<int32_t> CanonicalOrder(std::span<const double> s1,
+                                    LevelCvCache* cache) {
+  const size_t size = s1.size();
+  const CanonicalLess less{s1};
+  std::vector<int32_t> order;
+  const bool warm = cache != nullptr && cache->prev_s1.size() == size &&
+                    cache->order.size() == size;
+  if (warm) {
+    std::vector<int32_t> changed;
+    for (size_t i = 0; i < size; ++i) {
+      if (!(s1[i] == cache->prev_s1[i])) changed.push_back(static_cast<int32_t>(i));
+    }
+    if (changed.empty()) {
+      order = cache->order;
+    } else {
+      std::vector<char> is_changed(size, 0);
+      for (int32_t i : changed) is_changed[static_cast<size_t>(i)] = 1;
+      std::vector<int32_t> unchanged;
+      unchanged.reserve(size - changed.size());
+      for (int32_t i : cache->order) {
+        if (is_changed[static_cast<size_t>(i)] == 0) unchanged.push_back(i);
+      }
+      std::sort(changed.begin(), changed.end(), less);
+      order.resize(size);
+      std::merge(unchanged.begin(), unchanged.end(), changed.begin(),
+                 changed.end(), order.begin(), less);
+    }
+  } else {
+    order.resize(size);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), less);
+  }
+  if (cache != nullptr) {
+    cache->order = order;
+    cache->prev_s1.assign(s1.begin(), s1.end());
+  }
+  return order;
+}
+
 LevelCvResult MinimizeLevel(const EmpiricalCoefficients& coefficients, int j,
-                            ThresholdKind kind, double lambda_floor) {
+                            ThresholdKind kind, double lambda_floor,
+                            LevelCvCache* cache) {
   const CoefficientLevel& level = coefficients.detail_level(j);
   const double n = static_cast<double>(coefficients.count());
-
-  std::vector<RankedCoefficient> ranked;
-  ranked.reserve(level.s1.size());
-  for (int k = level.k_lo; k <= level.k_hi(); ++k) {
-    RankedCoefficient rc;
-    rc.magnitude = std::fabs(level.s1[static_cast<size_t>(k - level.k_lo)] / n);
-    rc.cv_term = coefficients.CrossValidationTerm(j, k);
-    ranked.push_back(rc);
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedCoefficient& a, const RankedCoefficient& b) {
-              return a.magnitude > b.magnitude;
-            });
+  const std::vector<int32_t> order = CanonicalOrder(level.s1, cache);
 
   // Candidate m = number of kept coefficients (the m largest magnitudes).
   // m = 0 corresponds to λ = +inf with criterion value 0. A stabilization
   // floor truncates the candidate set: only thresholds λ = |β̂|_(m) at or
-  // above the floor are eligible.
+  // above the floor are eligible. CV terms are evaluated lazily in ranked
+  // order, so the scan stops paying for them at the first break.
   double best_value = 0.0;
   int best_m = 0;
+  double lambda_best = std::numeric_limits<double>::infinity();
   double prefix = 0.0;
-  for (size_t m = 1; m <= ranked.size(); ++m) {
-    const double lambda = ranked[m - 1].magnitude;
+  for (size_t m = 1; m <= order.size(); ++m) {
+    const auto i = static_cast<size_t>(order[m - 1]);
+    const double lambda = std::fabs(level.s1[i] / n);
     if (lambda == 0.0) break;  // zero coefficients cannot be "kept" by |β̂| ≥ λ > 0
     if (lambda < lambda_floor) break;
-    prefix += ranked[m - 1].cv_term;
+    prefix += coefficients.CrossValidationTerm(
+        j, level.k_lo + static_cast<int>(i));
     double value = prefix;
     if (kind == ThresholdKind::kSoft) {
       value += static_cast<double>(m) * lambda * lambda;
@@ -52,6 +104,7 @@ LevelCvResult MinimizeLevel(const EmpiricalCoefficients& coefficients, int j,
     if (value < best_value) {
       best_value = value;
       best_m = static_cast<int>(m);
+      lambda_best = lambda;
     }
   }
 
@@ -60,9 +113,11 @@ LevelCvResult MinimizeLevel(const EmpiricalCoefficients& coefficients, int j,
   out.total = level.size();
   out.kept = best_m;
   out.cv_value = best_value;
-  out.lambda_hat = best_m > 0 ? ranked[static_cast<size_t>(best_m - 1)].magnitude
-                              : std::numeric_limits<double>::infinity();
-  out.max_magnitude = ranked.empty() ? 0.0 : ranked.front().magnitude;
+  out.lambda_hat = lambda_best;
+  out.max_magnitude =
+      order.empty()
+          ? 0.0
+          : std::fabs(level.s1[static_cast<size_t>(order.front())] / n);
   return out;
 }
 
@@ -128,16 +183,36 @@ CrossValidationResult CrossValidate(const EmpiricalCoefficients& coefficients,
 CrossValidationResult CrossValidate(const EmpiricalCoefficients& coefficients,
                                     ThresholdKind kind,
                                     CvStabilization stabilization) {
+  return CrossValidate(coefficients, kind, stabilization, nullptr);
+}
+
+CrossValidationResult CrossValidate(const EmpiricalCoefficients& coefficients,
+                                    ThresholdKind kind,
+                                    CvStabilization stabilization,
+                                    CvCache* cache) {
   WDE_CHECK_GE(coefficients.count(), 2u, "CV needs at least two observations");
   CrossValidationResult out;
   out.kind = kind;
   out.j0 = coefficients.j0();
   out.j_star = coefficients.j_max();
+  if (cache != nullptr &&
+      (cache->j0 != out.j0 || cache->j_star != out.j_star ||
+       cache->levels.size() !=
+           static_cast<size_t>(out.j_star - out.j0 + 1))) {
+    // Level range changed (or first use): reset to a cold cache.
+    cache->j0 = out.j0;
+    cache->j_star = out.j_star;
+    cache->levels.assign(static_cast<size_t>(out.j_star - out.j0 + 1),
+                         LevelCvCache{});
+  }
   for (int j = out.j0; j <= out.j_star; ++j) {
     const double floor = stabilization == CvStabilization::kUniversalFloor
                              ? UniversalFloor(coefficients, j)
                              : 0.0;
-    out.levels.push_back(MinimizeLevel(coefficients, j, kind, floor));
+    LevelCvCache* level_cache =
+        cache != nullptr ? &cache->levels[static_cast<size_t>(j - out.j0)]
+                         : nullptr;
+    out.levels.push_back(MinimizeLevel(coefficients, j, kind, floor, level_cache));
   }
   // ĵ1: smallest level such that every level from it up to j* selects the
   // empty model (CV_j(λ̂_j) = 0). If even j* keeps coefficients, ĵ1 = j*.

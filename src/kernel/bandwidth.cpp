@@ -21,6 +21,16 @@ double RuleOfThumbBandwidth(std::span<const double> data) {
   return sigma * std::pow(4.0 / (3.0 * n), 0.2);
 }
 
+double RuleOfThumbBandwidthSorted(std::span<const double> sorted) {
+  WDE_CHECK_GE(sorted.size(), 2u);
+  const double n = static_cast<double>(sorted.size());
+  double sigma =
+      stats::IqrSorted(sorted, stats::QuantileMethod::kMatlab) / (2.0 * 0.6745);
+  if (sigma <= 0.0) sigma = stats::StdDev(sorted);
+  WDE_CHECK_GT(sigma, 0.0, "degenerate sample: zero spread");
+  return sigma * std::pow(4.0 / (3.0 * n), 0.2);
+}
+
 double SilvermanBandwidth(std::span<const double> data) {
   WDE_CHECK_GE(data.size(), 2u);
   const double n = static_cast<double>(data.size());
@@ -64,7 +74,7 @@ double LeastSquaresCvBandwidth(const Kernel& kernel, std::span<const double> dat
   WDE_CHECK(lo_factor > 0.0 && hi_factor > lo_factor);
   std::vector<double> sorted(data.begin(), data.end());
   std::sort(sorted.begin(), sorted.end());
-  const double pilot = RuleOfThumbBandwidth(sorted);
+  const double pilot = RuleOfThumbBandwidthSorted(sorted);
   const double log_lo = std::log(lo_factor * pilot);
   const double log_hi = std::log(hi_factor * pilot);
   const double best_log = numerics::GridThenGoldenMinimize(

@@ -14,6 +14,15 @@ namespace kernel {
 /// sample standard deviation when the IQR degenerates.
 double RuleOfThumbBandwidth(std::span<const double> data);
 
+/// RuleOfThumbBandwidth over an already ascending-sorted sample. The IQR is
+/// read from order statistics in O(1) instead of two copy+sort passes, and
+/// the StdDev fallback sums in sorted order — so two calls on the same sorted
+/// span are bitwise-identical regardless of the insertion order that produced
+/// it. Callers that maintain the sorted buffer incrementally (KDE refit) use
+/// this on both the fit and restore paths to keep the fitted bandwidth
+/// bit-exact across save/load.
+double RuleOfThumbBandwidthSorted(std::span<const double> sorted);
+
 /// Silverman's rule 0.9 · min(sd, IQR/1.34) · n^{-1/5} (provided for
 /// completeness; not used in the reproduction benches).
 double SilvermanBandwidth(std::span<const double> data);

@@ -47,7 +47,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeEquiDepth(
     return Status::InvalidArgument("spec 'equi-depth': buckets must be positive");
   }
   return std::unique_ptr<SelectivityEstimator>(std::make_unique<EquiDepthHistogram>(
-      spec.domain_lo, spec.domain_hi, spec.buckets));
+      spec.domain_lo, spec.domain_hi, spec.buckets, spec.refit_mode));
 }
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeReservoir(
@@ -73,6 +73,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeKde(const EstimatorSpec& spec)
   options.domain_hi = spec.domain_hi;
   options.refit_interval = spec.refit_interval;
   options.eval_tolerance = spec.kde_eval_tolerance;
+  options.refit_mode = spec.refit_mode;
   return std::unique_ptr<SelectivityEstimator>(
       std::make_unique<KdeSelectivity>(options));
 }
@@ -108,6 +109,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeWaveletSketch(
   options.kind = spec.soft_threshold ? core::ThresholdKind::kSoft
                                      : core::ThresholdKind::kHard;
   options.refit_interval = spec.refit_interval;
+  options.refit_mode = spec.refit_mode;
   Result<StreamingWaveletSelectivity> sketch =
       StreamingWaveletSelectivity::Create(*basis, options);
   if (!sketch.ok()) return sketch.status();
@@ -131,6 +133,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeSharded(
   options.block_size = spec.block_size;
   options.merge_refresh_interval = spec.merge_refresh_interval;
   options.pool = spec.pool;
+  options.refit_mode = spec.refit_mode;
   Result<ShardedSelectivityEstimator> sharded =
       ShardedSelectivityEstimator::Create(**prototype, options);
   if (!sharded.ok()) return sharded.status();

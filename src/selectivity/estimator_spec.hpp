@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "selectivity/selectivity_estimator.hpp"
 #include "util/result.hpp"
 
 namespace wde {
@@ -31,16 +32,16 @@ class SelectivityEstimator;
 /// One description of one estimator. Field groups are consumed per tag:
 ///   every tag        — tag, domain_lo/domain_hi (except "reservoir", which
 ///                      declares no domain)
-///   "equi-width",
-///   "equi-depth"     — buckets
+///   "equi-width"     — buckets
+///   "equi-depth"     — buckets, refit_mode
 ///   "haar-synopsis"  — grid_log2, budget, refit_interval (rebuild cadence)
-///   "kde-rot"        — refit_interval, kde_eval_tolerance
+///   "kde-rot"        — refit_interval, kde_eval_tolerance, refit_mode
 ///   "wavelet-cv"     — filter, table_levels, j0, j_max, soft_threshold,
-///                      refit_interval
+///                      refit_interval, refit_mode
 ///   "reservoir"      — capacity, seed
 ///   "sharded"        — sharded_inner_tag (the prototype's tag; the rest of
 ///                      the spec configures that prototype), shards,
-///                      block_size, merge_refresh_interval, pool
+///                      block_size, merge_refresh_interval, pool, refit_mode
 struct EstimatorSpec {
   /// Registry key; identical to the estimator's snapshot_type_tag().
   std::string tag = "equi-width";
@@ -71,6 +72,14 @@ struct EstimatorSpec {
   /// KDE tree-pruned evaluation: certified absolute error budget per CDF
   /// endpoint (KdeSelectivity::Options::eval_tolerance); 0 answers exactly.
   double kde_eval_tolerance = 0.0;
+
+  /// Refit strategy for the tags that distinguish one ("kde-rot",
+  /// "equi-depth", "wavelet-cv", "sharded"): kIncremental (default)
+  /// delta-merges previously fitted state into each refit, kScratch rebuilds
+  /// from zero — the bitwise-identical oracle the equivalence tests and
+  /// benches compare against. An evaluation knob like refit_interval: not
+  /// part of a snapshot's identity.
+  RefitMode refit_mode = RefitMode::kIncremental;
 
   // Reservoir sample.
   size_t capacity = 256;

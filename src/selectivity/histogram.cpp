@@ -209,8 +209,9 @@ Status EquiWidthHistogram::LoadFastStateImpl(memory::FastStateReader& reader) {
   return Status::OK();
 }
 
-EquiDepthHistogram::EquiDepthHistogram(double lo, double hi, int buckets)
-    : lo_(lo), hi_(hi), buckets_(buckets) {
+EquiDepthHistogram::EquiDepthHistogram(double lo, double hi, int buckets,
+                                       RefitMode refit_mode)
+    : lo_(lo), hi_(hi), buckets_(buckets), refit_mode_(refit_mode) {
   WDE_CHECK_LT(lo, hi);
   WDE_CHECK_GT(buckets, 0);
 }
@@ -222,8 +223,26 @@ void EquiDepthHistogram::Insert(double x) {
 
 void EquiDepthHistogram::RebuildIfStale() const {
   if (!boundaries_.empty() && built_at_count_ == values_.size()) return;
-  std::vector<double> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
+  if (refit_mode_ == RefitMode::kIncremental) {
+    // Extend the sorted shadow by the appended delta only: sort the tail,
+    // one stable merge — O(Δ log Δ + n) against the scratch path's full
+    // O(n log n) sort, identical sorted sequence.
+    const size_t prev = sorted_.size();
+    sorted_.insert(sorted_.end(), values_.begin() + static_cast<ptrdiff_t>(prev),
+                   values_.end());
+    const auto mid = sorted_.begin() + static_cast<ptrdiff_t>(prev);
+    std::sort(mid, sorted_.end());
+    std::inplace_merge(sorted_.begin(), mid, sorted_.end());
+    BuildBoundariesFromSorted(sorted_);
+  } else {
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    BuildBoundariesFromSorted(sorted);
+  }
+}
+
+void EquiDepthHistogram::BuildBoundariesFromSorted(
+    std::span<const double> sorted) const {
   boundaries_.assign(static_cast<size_t>(buckets_) + 1, lo_);
   if (sorted.empty()) {
     boundaries_.back() = hi_;
@@ -295,7 +314,7 @@ std::string EquiDepthHistogram::name() const {
 }
 
 std::unique_ptr<SelectivityEstimator> EquiDepthHistogram::CloneEmpty() const {
-  return std::make_unique<EquiDepthHistogram>(lo_, hi_, buckets_);
+  return std::make_unique<EquiDepthHistogram>(lo_, hi_, buckets_, refit_mode_);
 }
 
 Status EquiDepthHistogram::MergeFrom(const SelectivityEstimator& other) {
@@ -307,9 +326,32 @@ Status EquiDepthHistogram::MergeFrom(const SelectivityEstimator& other) {
                                       " domain/bucket mismatch with " +
                                       rhs.name());
   }
+  // The sorted shadow survives: it mirrors the immutable prefix
+  // values_[0..sorted_.size()), which appends never disturb.
   values_.insert(values_.end(), rhs.values_.begin(), rhs.values_.end());
   boundaries_.clear();  // stale; rebuilt (sorted) at the next query
   built_at_count_ = 0;
+  return Status::OK();
+}
+
+Status EquiDepthHistogram::MergeTailFrom(const SelectivityEstimator& other,
+                                         size_t from_count) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const EquiDepthHistogram&>(other);
+  if (lo_ != rhs.lo_ || hi_ != rhs.hi_ || buckets_ != rhs.buckets_) {
+    return Status::FailedPrecondition("MergeTailFrom: " + name() +
+                                      " domain/bucket mismatch with " +
+                                      rhs.name());
+  }
+  if (from_count > rhs.values_.size()) {
+    return Status::InvalidArgument("MergeTailFrom: from_count past peer count");
+  }
+  // Append only the peer's tail; the boundary cache goes stale through the
+  // ordinary count check and the next rebuild delta-merges the delta.
+  values_.insert(values_.end(),
+                 rhs.values_.begin() + static_cast<ptrdiff_t>(from_count),
+                 rhs.values_.end());
   return Status::OK();
 }
 
@@ -336,6 +378,7 @@ Status EquiDepthHistogram::LoadStateImpl(io::Source& source) {
   hi_ = hi;
   buckets_ = buckets;
   values_ = std::move(values);
+  sorted_.clear();  // rebuilt (one full sort) at the first post-restore query
   boundaries_.clear();
   built_at_count_ = 0;
   return Status::OK();
@@ -396,6 +439,7 @@ Status EquiDepthHistogram::LoadFastStateImpl(memory::FastStateReader& reader) {
   hi_ = hi;
   buckets_ = buckets;
   values_.assign(values.begin(), values.end());
+  sorted_.clear();  // rebuilt (one full sort) at the first stale rebuild
   boundaries_ = std::move(boundaries);
   built_at_count_ = static_cast<size_t>(built_at);
   return Status::OK();

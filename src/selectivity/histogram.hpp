@@ -63,6 +63,8 @@ class EquiWidthHistogram : public SelectivityEstimator {
   /// the canonical lowering.
   void AnswerImpl(std::span<const Query> queries,
                   std::span<double> out) const override;
+  /// Quiesce: rebuild the prefix table now (the only lazy state).
+  void ForceRefitImpl() const override { RebuildPrefixIfStale(); }
   Status SaveStateImpl(io::Sink& sink) const override;
   Status LoadStateImpl(io::Source& source) override;
   /// Fast state: both arena columns travel verbatim — including the derived
@@ -94,11 +96,20 @@ class EquiWidthHistogram : public SelectivityEstimator {
 /// from the retained values when stale (rebuild cost shows up in the perf
 /// benches, as it would in ANALYZE).
 ///
+/// Rebuilds honor the RefitMode passed at construction. kScratch re-sorts
+/// the whole retained buffer per rebuild; kIncremental (the default)
+/// maintains a sorted shadow of the retained buffer across rebuilds — sort
+/// only the values appended since the last rebuild, one stable in-place
+/// merge — so a rebuild costs O(Δ log Δ + n) instead of O(n log n). The
+/// boundaries are a deterministic function of the sorted sequence, so both
+/// modes answer bitwise-identically (refit_equivalence_test).
+///
 /// Mergeable: the retained sample buffers concatenate, and the lazy rebuild
 /// sorts, so merged replicas answer exactly like the sequential histogram.
 class EquiDepthHistogram : public SelectivityEstimator {
  public:
-  EquiDepthHistogram(double lo, double hi, int buckets);
+  EquiDepthHistogram(double lo, double hi, int buckets,
+                     RefitMode refit_mode = RefitMode::kIncremental);
 
   void Insert(double x) override;
   size_t count() const override { return values_.size(); }
@@ -121,6 +132,12 @@ class EquiDepthHistogram : public SelectivityEstimator {
   /// Appends `other`'s retained values and invalidates the boundary cache;
   /// requires identical domain and bucket count.
   Status MergeFrom(const SelectivityEstimator& other) override;
+  /// Tail-merge support for the sharded incremental merged-view refresh:
+  /// appends only other's values from `from_count` onward; the sorted shadow
+  /// and boundary cache stay (stale) for the next rebuild to delta-merge.
+  bool SupportsTailMerge() const override { return true; }
+  Status MergeTailFrom(const SelectivityEstimator& other,
+                       size_t from_count) override;
   WDE_SELECTIVITY_MERGE_TAG()
   const char* snapshot_type_tag() const override { return "equi-depth"; }
 
@@ -142,16 +159,28 @@ class EquiDepthHistogram : public SelectivityEstimator {
   /// sibling pays at the first query.
   Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
   Status LoadFastStateImpl(memory::FastStateReader& reader) override;
+  /// Quiesce: rebuild the boundary cache now (the only lazy state).
+  void ForceRefitImpl() const override { RebuildIfStale(); }
 
  private:
   void RebuildIfStale() const;
+  /// Derives the buckets_ + 1 boundary values from an ascending-sorted view
+  /// of the retained values — shared by both refit modes, so the cache is a
+  /// deterministic function of the sorted sequence alone.
+  void BuildBoundariesFromSorted(std::span<const double> sorted) const;
   /// Estimated CDF at x from the bucket boundaries.
   double CdfAt(double x) const;
 
   double lo_;
   double hi_;
   int buckets_;
+  RefitMode refit_mode_;
   std::vector<double> values_;
+  /// kIncremental only: ascending-sorted shadow of the prefix
+  /// values_[0..sorted_.size()) (the buffer only ever appends, so the prefix
+  /// is immutable). Snapshot loads clear it — the first rebuild after a
+  /// restore pays one full sort, after which deltas are cheap again.
+  mutable std::vector<double> sorted_;
   mutable std::vector<double> boundaries_;  // buckets_ + 1 entries
   mutable size_t built_at_count_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "kernel/bandwidth.hpp"
 #include "memory/fast_state.hpp"
@@ -30,9 +31,48 @@ void KdeSelectivity::RefitIfStale() const {
   if (kde_.has_value() && values_.size() - fitted_at_count_ < options_.refit_interval) {
     return;
   }
-  const double bandwidth = kernel::RuleOfThumbBandwidth(values_);
-  Result<kernel::KernelDensityEstimator> kde = kernel::KernelDensityEstimator::Create(
-      kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth, values_);
+  Refit();
+}
+
+void KdeSelectivity::ForceRefitImpl() const {
+  if (values_.size() < 4) return;
+  if (kde_.has_value() && fitted_at_count_ == values_.size()) return;
+  Refit();
+}
+
+void KdeSelectivity::Refit() const {
+  // Every refit builds a NEW owned buffer: the previous fitted buffer may be
+  // shared with CloneForView copies (published serving views) or borrowed
+  // zero-copy from a snapshot arena, so it must never be mutated in place.
+  auto buffer = std::make_shared<std::vector<double>>();
+  buffer->reserve(values_.size());
+  const bool incremental = options_.refit_mode == RefitMode::kIncremental &&
+                           kde_.has_value() &&
+                           kde_->samples().size() == fitted_at_count_ &&
+                           fitted_at_count_ <= values_.size();
+  if (incremental) {
+    // The previous fitted buffer is the sorted permutation of
+    // values_[0..fitted_at_count_) (the buffer only ever appends): copy it,
+    // append the unfitted tail, sort only the tail, one stable merge.
+    // O(Δ log Δ + n) instead of O(n log n), identical sorted sequence.
+    const std::span<const double> prev = kde_->samples();
+    buffer->assign(prev.begin(), prev.end());
+    buffer->insert(buffer->end(), values_.begin() + prev.size(), values_.end());
+    const auto mid = buffer->begin() + static_cast<ptrdiff_t>(prev.size());
+    std::sort(mid, buffer->end());
+    std::inplace_merge(buffer->begin(), mid, buffer->end());
+  } else {
+    buffer->assign(values_.begin(), values_.end());
+    std::sort(buffer->begin(), buffer->end());
+  }
+  // Bandwidth from sorted order statistics: O(1) quartiles off the buffer
+  // both modes just built, and bitwise-reproducible from the sorted multiset
+  // alone (insertion order never enters).
+  const double bandwidth = kernel::RuleOfThumbBandwidthSorted(*buffer);
+  Result<kernel::KernelDensityEstimator> kde =
+      kernel::KernelDensityEstimator::FromSorted(
+          kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth,
+          std::span<const double>(buffer->data(), buffer->size()), buffer);
   if (kde.ok()) {
     kde_ = std::move(kde).value();
     fitted_at_count_ = values_.size();
@@ -90,6 +130,25 @@ Status KdeSelectivity::MergeFrom(const SelectivityEstimator& other) {
   return Status::OK();
 }
 
+Status KdeSelectivity::MergeTailFrom(const SelectivityEstimator& other,
+                                     size_t from_count) {
+  Status peer = CheckMergePeer(other);
+  if (!peer.ok()) return peer;
+  const auto& rhs = static_cast<const KdeSelectivity&>(other);
+  if (options_.domain_lo != rhs.options_.domain_lo ||
+      options_.domain_hi != rhs.options_.domain_hi) {
+    return Status::FailedPrecondition("MergeTailFrom: kde options mismatch");
+  }
+  if (from_count > rhs.values_.size()) {
+    return Status::InvalidArgument("MergeTailFrom: from_count past peer count");
+  }
+  // Append only the peer's tail; the fitted KDE stays (stale) so the next
+  // refit delta-merges instead of rebuilding.
+  values_.insert(values_.end(), rhs.values_.begin() + static_cast<ptrdiff_t>(from_count),
+                 rhs.values_.end());
+  return Status::OK();
+}
+
 Status KdeSelectivity::SaveStateImpl(io::Sink& sink) const {
   WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_lo));
   WDE_RETURN_IF_ERROR(io::WriteDouble(sink, options_.domain_hi));
@@ -118,19 +177,25 @@ Status KdeSelectivity::LoadStateImpl(io::Source& source) {
       fitted_at_count > values.size() || source.remaining() != 0) {
     return Status::InvalidArgument("corrupt kde snapshot");
   }
+  options.refit_mode = options_.refit_mode;  // pacing knob, never serialized
   options_ = options;
   values_ = std::move(values);
   kde_.reset();
   fitted_at_count_ = 0;
   // Refit from the prefix the saved estimator had fitted on (the buffer only
-  // ever appends), reproducing its cached KDE — bandwidth and all — exactly.
+  // ever appends), reproducing its cached KDE — bandwidth and all — exactly:
+  // sort the prefix and run the same sorted-order-statistics recipe the live
+  // refit uses, so even the degenerate StdDev fallback sums in the same
+  // (sorted) order and the restored bandwidth is bit-exact.
   if (fitted_at_count >= 4) {
-    const std::span<const double> prefix(values_.data(),
-                                         static_cast<size_t>(fitted_at_count));
-    const double bandwidth = kernel::RuleOfThumbBandwidth(prefix);
+    auto buffer = std::make_shared<std::vector<double>>(
+        values_.begin(), values_.begin() + static_cast<ptrdiff_t>(fitted_at_count));
+    std::sort(buffer->begin(), buffer->end());
+    const double bandwidth = kernel::RuleOfThumbBandwidthSorted(*buffer);
     Result<kernel::KernelDensityEstimator> kde =
-        kernel::KernelDensityEstimator::Create(
-            kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth, prefix);
+        kernel::KernelDensityEstimator::FromSorted(
+            kernel::Kernel(kernel::KernelType::kEpanechnikov), bandwidth,
+            std::span<const double>(buffer->data(), buffer->size()), buffer);
     if (kde.ok()) {
       kde_ = std::move(kde).value();
       fitted_at_count_ = static_cast<size_t>(fitted_at_count);
@@ -197,6 +262,7 @@ Status KdeSelectivity::LoadFastStateImpl(memory::FastStateReader& reader) {
                  reader.arena().F64(1), reader.arena().storage_keepalive()));
   }
   const std::span<const double> values = reader.arena().F64(0);
+  options.refit_mode = options_.refit_mode;  // pacing knob, never serialized
   options_ = options;
   values_.assign(values.begin(), values.end());
   kde_ = std::move(kde);

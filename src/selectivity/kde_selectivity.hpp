@@ -25,11 +25,22 @@ namespace selectivity {
 /// every equivalence suite pins — is bit-identical to the exact path.
 ///
 /// Mergeable: the sample buffers concatenate in merge order and the KDE
-/// refits from the merged buffer. Merges that append in stream order
-/// reproduce the sequential buffer element-for-element (bit-identical
-/// answers); out-of-order merges — e.g. under the sharded wrapper's
-/// round-robin partition — differ only in the order-sensitive rule-of-thumb
-/// bandwidth sums (~1e-12 relative).
+/// refits from the merged buffer. Answers depend only on the *sorted
+/// multiset* of buffered values — the rule-of-thumb bandwidth is derived
+/// from sorted order statistics (RuleOfThumbBandwidthSorted) — so merges in
+/// any order, including the sharded wrapper's round-robin partition, answer
+/// bit-identically to sequential ingest of the same multiset (the only
+/// possible buffer difference is the placement of ±0.0 among equal keys,
+/// which every downstream expression treats identically).
+///
+/// Refits honor Options::refit_mode. kScratch re-sorts the whole buffer per
+/// refit; kIncremental (the default) reuses the previously fitted KDE's
+/// sorted sample buffer as a sorted prefix, sorts only the new tail and does
+/// one stable in-place merge — O(Δ log Δ + n) instead of O(n log n) — into a
+/// freshly allocated buffer (fitted buffers are shared copy-on-write with
+/// CloneForView copies and snapshot arenas, so a refit never mutates them).
+/// Both modes derive the bandwidth from the same sorted sequence, so their
+/// answers are bitwise-identical (refit_equivalence_test).
 class KdeSelectivity : public SelectivityEstimator {
  public:
   struct Options {
@@ -40,6 +51,10 @@ class KdeSelectivity : public SelectivityEstimator {
     /// evaluation; 0 (default) answers exactly. Like refit_interval this is
     /// an evaluation knob, not part of the merge-compatibility key.
     double eval_tolerance = 0.0;
+    /// How refits rebuild the sorted sample buffer (see the class comment).
+    /// A pacing knob like refit_interval: not serialized, not part of the
+    /// merge-compatibility key; snapshot restore preserves the live mode.
+    RefitMode refit_mode = RefitMode::kIncremental;
   };
 
   explicit KdeSelectivity(const Options& options) : options_(options) {}
@@ -67,6 +82,12 @@ class KdeSelectivity : public SelectivityEstimator {
   /// Appends `other`'s buffered values and invalidates the fitted KDE;
   /// requires identical options.
   Status MergeFrom(const SelectivityEstimator& other) override;
+  /// Tail-merge support for the sharded incremental merged-view refresh:
+  /// appends only other's values from `from_count` onward and leaves the
+  /// fitted KDE intact (stale) for the next refit to delta-merge.
+  bool SupportsTailMerge() const override { return true; }
+  Status MergeTailFrom(const SelectivityEstimator& other,
+                       size_t from_count) override;
   WDE_SELECTIVITY_MERGE_TAG()
   const char* snapshot_type_tag() const override { return "kde-rot"; }
 
@@ -99,8 +120,15 @@ class KdeSelectivity : public SelectivityEstimator {
   void AnswerImpl(std::span<const Query> queries,
                   std::span<double> out) const override;
 
+  /// Refits whenever any unfitted tail exists (not just past the interval),
+  /// so a quiesced estimator is fitted at its full count — exactly the state
+  /// a fresh rebuild reaches on its first query.
+  void ForceRefitImpl() const override;
+
  private:
   void RefitIfStale() const;
+  /// Unconditional refit at the current count, honoring refit_mode.
+  void Refit() const;
   /// Fitted kernel CDF at x, honoring eval_tolerance. Requires kde_.
   double FittedCdf(double x) const;
 

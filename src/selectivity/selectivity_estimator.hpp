@@ -121,6 +121,22 @@ struct Query {
   }
 };
 
+/// How an estimator rebuilds its fitted caches when they go stale.
+///   kScratch     — re-derive everything from the raw retained state (full
+///                  sort, full CV scan, CloneEmpty + K merges). The oracle:
+///                  slow, trivially correct, retained for tests and benches.
+///   kIncremental — delta-merge the previous fitted state (sort only the new
+///                  tail and merge, warm-start CV from the previous ranking,
+///                  tail-append replica deltas). Answers are bitwise-identical
+///                  to kScratch — the standing contract, enforced by
+///                  refit_equivalence_test — only the refit cost changes.
+/// The mode is an evaluation/pacing knob like the thread pool: it is NOT
+/// serialized, and snapshot restore preserves the live object's mode.
+enum class RefitMode : uint8_t {
+  kScratch = 0,
+  kIncremental = 1,
+};
+
 /// A streaming estimator of selectivity over a single numeric attribute:
 /// after observing values x_1..x_n, Answer() approximates the probability
 /// (or quantile) each Query denotes — what a query optimizer expects
@@ -206,6 +222,14 @@ class SelectivityEstimator {
   virtual size_t count() const = 0;
   virtual std::string name() const = 0;
 
+  /// Brings every lazily fitted cache up to date with the data inserted so
+  /// far, exactly as the first query of a batch would (see the AnswerImpl
+  /// contract) — but without answering anything. Idempotent; a no-op for
+  /// estimators with no lazy state. Tests use it to quiesce an estimator
+  /// before bitwise comparisons, and the serving publish path uses it to pay
+  /// refit cost at publish time instead of on a reader's first query.
+  void ForceRefit() const { ForceRefitImpl(); }
+
   // ------------------------------------------------------------ mergeability
   //
   // Estimators whose internal state is additive (coefficient running sums,
@@ -235,6 +259,32 @@ class SelectivityEstimator {
   virtual Status MergeFrom(const SelectivityEstimator& other) {
     (void)other;
     return Status::FailedPrecondition(name() + " does not support MergeFrom");
+  }
+
+  // The delta-merge refinement of MergeFrom, for estimators whose merged
+  // state is a buffer that only ever appends (KDE sample buffer, equi-depth
+  // retained values): after a full MergeFrom(*peer) at some earlier point,
+  // MergeTailFrom(*peer, from_count) folds in only peer's values appended
+  // since `from_count` — WITHOUT resetting this estimator's fitted caches,
+  // so a subsequent ForceRefit() pays only the delta. The sharded engine's
+  // incremental merged-view refresh builds on this with per-replica
+  // high-water marks. Estimators whose state is additive sums (wavelet
+  // coefficients, bin counts) do NOT support it: a+b-a != b bitwise, and
+  // their full MergeFrom is already O(state), so they fall back to the full
+  // rebuild.
+
+  /// True when this estimator supports MergeTailFrom().
+  virtual bool SupportsTailMerge() const { return false; }
+
+  /// Appends `other`'s state from index `from_count` onward into this
+  /// estimator, leaving fitted caches intact (stale, to be refreshed by the
+  /// next refit). Requires from_count <= other.count() and passes the same
+  /// peer checks as MergeFrom (self-merge and type mismatches rejected).
+  virtual Status MergeTailFrom(const SelectivityEstimator& other,
+                               size_t from_count) {
+    (void)other;
+    (void)from_count;
+    return Status::FailedPrecondition(name() + " does not support MergeTailFrom");
   }
 
   /// Identity of the concrete type for MergeFrom compatibility checks
@@ -407,6 +457,12 @@ class SelectivityEstimator {
   /// [x - EqualityWidth()/2, x + EqualityWidth()/2], Less/Cdf become
   /// (-inf, c], Greater becomes [c, +inf).
   RangeQuery LowerToRange(const Query& query) const;
+
+  /// Extension point behind ForceRefit(): refresh every lazy cache this
+  /// estimator would refresh on the first query of a batch. const because
+  /// lazy caches are mutable (queries refresh them through const paths
+  /// already); the default is a no-op for estimators with no lazy state.
+  virtual void ForceRefitImpl() const {}
 
   /// The documented quantile algorithm: bisection of the lowered CDF
   /// x ↦ EstimateRangeImpl(-inf, x) over the Domain() bracket

@@ -96,17 +96,78 @@ std::unique_ptr<SelectivityEstimator> ShardedSelectivityEstimator::BuildMerged()
   return merged;
 }
 
+void ShardedSelectivityEstimator::RefreshMerged() const {
+  const bool can_tail_merge = options_.refit_mode == RefitMode::kIncremental &&
+                              merged_ != nullptr &&
+                              merged_hw_.size() == replicas_.size() &&
+                              merged_->SupportsTailMerge();
+  if (!can_tail_merge) {
+    merged_ = BuildMerged();
+    merged_hw_.resize(replicas_.size());
+    for (size_t s = 0; s < replicas_.size(); ++s) {
+      merged_hw_[s] = replicas_[s]->count();
+    }
+    return;
+  }
+  // Delta refresh: append each replica's values above the high-water mark to
+  // the existing view, then refit the view once. A from-zero rebuild would
+  // concatenate whole replicas in shard order, the delta path appends the
+  // tails after the previous concatenation — different insertion orders of
+  // the same multiset, which tail-mergeable (buffer-keeping) estimators
+  // answer bit-identically (their fits depend only on the sorted multiset;
+  // see the MergeTailFrom contract). The forced refit mirrors the scratch
+  // path's first-query fit at the full count: without it an interval-gated
+  // inner refit could keep serving the pre-delta fit and diverge.
+  bool appended = false;
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    const size_t replica_count = replicas_[s]->count();
+    if (replica_count == merged_hw_[s]) continue;
+    WDE_CHECK_OK(merged_->MergeTailFrom(*replicas_[s], merged_hw_[s]));
+    merged_hw_[s] = replica_count;
+    appended = true;
+  }
+  if (appended) merged_->ForceRefit();
+}
+
 std::unique_ptr<SelectivityEstimator>
 ShardedSelectivityEstimator::ExtractMergedView() const {
-  return BuildMerged();
+  const bool can_delta = options_.refit_mode == RefitMode::kIncremental &&
+                         merged_ != nullptr &&
+                         merged_hw_.size() == replicas_.size() &&
+                         merged_->SupportsTailMerge();
+  if (!can_delta) return BuildMerged();
+  // Clone the engine's view copy-on-write and fold each replica's delta into
+  // the CLONE, leaving the engine's own view, high-water marks, and pacing
+  // budget untouched: extraction must never change what subsequent engine
+  // queries answer (the scratch path's from-zero build has no side effects
+  // either, and refit_equivalence_test pins the two modes bitwise across
+  // schedules that query the engine after an extract). The clone's buffer is
+  // [view prefix..., replica tails...] — a different insertion order of the
+  // same multiset than the from-zero rebuild, which tail-mergeable
+  // (buffer-keeping) estimators answer bit-identically.
+  std::unique_ptr<SelectivityEstimator> view = merged_->CloneForView();
+  if (view == nullptr) return BuildMerged();  // no CoW copy offered
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    if (replicas_[s]->count() == merged_hw_[s]) continue;
+    WDE_CHECK_OK(view->MergeTailFrom(*replicas_[s], merged_hw_[s]));
+  }
+  return view;
 }
 
 SelectivityEstimator& ShardedSelectivityEstimator::Merged() const {
   if (merged_ == nullptr || pending_since_merge_ >= options_.merge_refresh_interval) {
-    merged_ = BuildMerged();
+    RefreshMerged();
     pending_since_merge_ = 0;
   }
   return *merged_;
+}
+
+void ShardedSelectivityEstimator::ForceRefitImpl() const {
+  if (merged_ == nullptr || pending_since_merge_ != 0) {
+    RefreshMerged();
+    pending_since_merge_ = 0;
+  }
+  merged_->ForceRefit();
 }
 
 double ShardedSelectivityEstimator::EstimateRangeImpl(double a, double b) const {
@@ -180,7 +241,11 @@ Status ShardedSelectivityEstimator::MergeFrom(const SelectivityEstimator& other)
     WDE_CHECK_OK(replicas_[s]->MergeFrom(*rhs.replicas_[s]));
   }
   position_ += rhs.position_;
-  merged_.reset();  // force a rebuild regardless of the refresh cadence
+  // Force a from-zero rebuild regardless of the refresh cadence: the
+  // shard-wise merges rewrote replica interiors, not tails, so the
+  // high-water marks are meaningless too.
+  merged_.reset();
+  merged_hw_.clear();
   return Status::OK();
 }
 
@@ -260,6 +325,15 @@ Status ShardedSelectivityEstimator::LoadStateImpl(io::Source& source) {
   position_ = static_cast<size_t>(position);
   pending_since_merge_ = static_cast<size_t>(pending);
   merged_ = std::move(merged);
+  // Re-anchor the delta-refresh marks. A view only survives the restore when
+  // pending == 0, i.e. it holds exactly the replica counts.
+  merged_hw_.clear();
+  if (merged_ != nullptr) {
+    merged_hw_.reserve(replicas_.size());
+    for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+      merged_hw_.push_back(replica->count());
+    }
+  }
   return Status::OK();
 }
 
@@ -368,6 +442,15 @@ Status ShardedSelectivityEstimator::LoadFastStateImpl(
   position_ = static_cast<size_t>(position);
   pending_since_merge_ = static_cast<size_t>(pending);
   merged_ = std::move(merged);
+  // Re-anchor the delta-refresh marks. A view only survives the restore when
+  // pending == 0, i.e. it holds exactly the replica counts.
+  merged_hw_.clear();
+  if (merged_ != nullptr) {
+    merged_hw_.reserve(replicas_.size());
+    for (const std::unique_ptr<SelectivityEstimator>& replica : replicas_) {
+      merged_hw_.push_back(replica->count());
+    }
+  }
   return Status::OK();
 }
 

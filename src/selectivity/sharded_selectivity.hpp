@@ -14,8 +14,9 @@ namespace selectivity {
 /// Sharded parallel ingest over any mergeable SelectivityEstimator: K replica
 /// estimators (built with the prototype's CloneEmpty) each own a deterministic
 /// slice of the stream, batch inserts fan out across the replicas on a
-/// ThreadPool, and queries are answered from a lazily rebuilt merged view
-/// (CloneEmpty + MergeFrom over all shards, invalidated by inserts).
+/// ThreadPool, and queries are answered from a lazily refreshed merged view —
+/// delta-appended from per-replica high-water marks by default, rebuilt from
+/// zero under Options::refit_mode == kScratch (see Options).
 ///
 /// Partitioning rule: stream position p (the running count of values offered,
 /// including dropped non-finite ones) maps to shard (p / block_size) mod K —
@@ -53,6 +54,17 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
     /// Staleness depends only on stream positions, so determinism is
     /// unaffected.
     size_t merge_refresh_interval = 1;
+    /// kScratch rebuilds the stale merged view from zero every time:
+    /// CloneEmpty + K full MergeFrom — O(total data) per refresh. With
+    /// kIncremental (the default) the engine tracks a per-replica high-water
+    /// mark (the replica count folded into the current view) and, when the
+    /// inner type supports MergeTailFrom, refreshes the existing view by
+    /// appending only each replica's delta and force-refitting once —
+    /// O(view + Δ log Δ) instead of O(n log n). Types without tail merges
+    /// (additive-sum sketches, where a full re-merge is already O(state))
+    /// fall back to the scratch rebuild. Answers are bitwise-identical in
+    /// both modes (refit_equivalence_test).
+    RefitMode refit_mode = RefitMode::kIncremental;
   };
 
   /// Builds K empty replicas of `prototype` (which contributes configuration
@@ -121,14 +133,18 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// The merged estimator queries are answered from (rebuilds if stale).
   const SelectivityEstimator& MergedView() const { return Merged(); }
 
-  /// Builds and returns a fresh, fully merged copy of the current shard
-  /// state — CloneEmpty + MergeFrom over every replica in shard order,
-  /// always from the live replicas regardless of the pacing cadence — as an
+  /// Returns a fully merged copy of the current shard state — always up to
+  /// date with the live replicas regardless of the pacing cadence — as an
   /// independent estimator of the prototype's concrete type. The caller owns
-  /// the result and the engine keeps no reference to it, so it can be frozen
-  /// and shared (the serving layer publishes these as immutable epoch
-  /// views). Answers bit-identically to MergedView() immediately after a
-  /// rebuild, because it runs the exact same merge in the exact same order.
+  /// the result, so it can be frozen and shared (the serving layer publishes
+  /// these as immutable epoch views). Under kScratch this is a from-zero
+  /// CloneEmpty + MergeFrom over every replica; under kIncremental it
+  /// CloneForView-copies the engine's merged view (copy-on-write arena
+  /// share — fitted state is never mutated by later refreshes, which build
+  /// new buffers) and folds each replica's tail above the high-water mark
+  /// into the clone. Neither path touches the engine's own view or pacing
+  /// budget, so extraction never changes what subsequent engine queries
+  /// answer. Answers are bit-identical either way.
   std::unique_ptr<SelectivityEstimator> ExtractMergedView() const;
 
   bool supports_fast_snapshot() const override { return true; }
@@ -162,6 +178,11 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
   Status LoadFastStateImpl(memory::FastStateReader& reader) override;
 
+  /// Quiesce: refresh the merged view to the live replica state (resetting
+  /// the pacing budget) and force-refit it, so subsequent queries are pure
+  /// reads of an up-to-date view.
+  void ForceRefitImpl() const override;
+
  private:
   ShardedSelectivityEstimator(const Options& options,
                               std::unique_ptr<SelectivityEstimator> prototype,
@@ -176,6 +197,12 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   }
   SelectivityEstimator& Merged() const;
   std::unique_ptr<SelectivityEstimator> BuildMerged() const;
+  /// Brings merged_ up to date with the live replicas: per-replica
+  /// MergeTailFrom above the high-water marks + one forced refit on the
+  /// incremental path, from-zero BuildMerged otherwise (kScratch, no prior
+  /// view, stale/absent marks, or an inner type without tail merges). Does
+  /// NOT touch pending_since_merge_ — callers own the pacing budget.
+  void RefreshMerged() const;
 
   Options options_;
   std::unique_ptr<SelectivityEstimator> prototype_;  // empty; config keeper
@@ -183,6 +210,11 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   size_t position_ = 0;  // stream positions offered so far
   mutable std::unique_ptr<SelectivityEstimator> merged_;
   mutable size_t pending_since_merge_ = 0;  // values since merged_ was built
+  /// Per-replica counts already folded into merged_ (kIncremental only).
+  /// Not serialized: the loads reconstruct it — a merged view only survives
+  /// a restore when pending == 0, i.e. when it holds exactly the replica
+  /// counts — and MergeFrom clears it along with the view.
+  mutable std::vector<size_t> merged_hw_;
 };
 
 }  // namespace selectivity

@@ -53,7 +53,22 @@ void StreamingWaveletSelectivity::InsertBatch(std::span<const double> xs) {
 
 void StreamingWaveletSelectivity::Refit() const {
   if (fit_.count() < 2) return;
-  cv_ = core::CrossValidate(fit_.coefficients(), options_.kind);
+  // Every sum mutation (Add/AddBatch/Merge) advances count(), so an
+  // unchanged count means unchanged sums and a bit-identical re-derivation:
+  // skip it. This is what makes ForceRefit idempotent.
+  if (estimate_.has_value() && cv_.has_value() &&
+      fitted_at_count_ == fit_.count()) {
+    return;
+  }
+  const core::CvStabilization stabilization =
+      options_.kind == core::ThresholdKind::kHard
+          ? core::CvStabilization::kUniversalFloor
+          : core::CvStabilization::kNone;
+  core::CvCache* cache = options_.refit_mode == RefitMode::kIncremental
+                             ? &cv_cache_
+                             : nullptr;
+  cv_ = core::CrossValidate(fit_.coefficients(), options_.kind, stabilization,
+                            cache);
   estimate_ = fit_.Estimate(cv_->Schedule(), options_.kind);
   fitted_at_count_ = fit_.count();
 }
@@ -257,11 +272,13 @@ Status StreamingWaveletSelectivity::LoadStateImpl(io::Source& source) {
   if (source.remaining() != 0) {
     return Status::InvalidArgument("corrupt wavelet sketch snapshot: trailing bytes");
   }
+  options.refit_mode = options_.refit_mode;  // pacing knob, never serialized
   options_ = options;
   fit_ = std::move(fit).value();
   fitted_at_count_ = static_cast<size_t>(fitted_at_count);
   estimate_ = std::move(estimate);
   cv_ = std::move(cv);
+  cv_cache_ = core::CvCache{};  // cold start: the first refit re-ranks fully
   insert_scratch_.clear();
   return Status::OK();
 }
@@ -378,11 +395,13 @@ Status StreamingWaveletSelectivity::LoadFastStateImpl(
     return Status::InvalidArgument(
         "corrupt wavelet sketch fast state: trailing bytes");
   }
+  options.refit_mode = options_.refit_mode;  // pacing knob, never serialized
   options_ = options;
   fit_ = std::move(fit);
   fitted_at_count_ = static_cast<size_t>(fitted_at_count);
   estimate_ = std::move(estimate);
   cv_ = std::move(cv);
+  cv_cache_ = core::CvCache{};  // cold start: the first refit re-ranks fully
   insert_scratch_.clear();
   return Status::OK();
 }

@@ -82,6 +82,13 @@ class WaveletSynopsisSelectivity : public SelectivityEstimator {
   /// re-derived once the grid has moved on).
   Status SaveFastStateImpl(memory::FastStateWriter& writer) const override;
   Status LoadFastStateImpl(memory::FastStateReader& reader) override;
+  /// Quiesce: rebuild the compressed transform at the current count (the
+  /// interval gate of RebuildIfStale does not apply to a forced refit).
+  void ForceRefitImpl() const override {
+    if (!reconstructed_.empty() && built_at_count_ == count_) return;
+    reconstructed_.clear();  // defeat the interval gate; rebuild runs now
+    RebuildIfStale();
+  }
 
  private:
   explicit WaveletSynopsisSelectivity(const Options& options);

@@ -100,10 +100,12 @@ uint64_t EstimatorService::PublishLocked(uint64_t epoch_floor) {
     WDE_CHECK(clone.ok(), clone.status().ToString().c_str());
     fresh = std::move(clone).value();
   }
-  // Warm every lazily fitted cache (refit, prefix table, boundary rebuild)
-  // with one query — the AnswerImpl contract guarantees the FIRST dispatched
-  // query refreshes ALL lazy state — so after the swap below, concurrent
-  // readers only ever read the view.
+  // Quiesce the view: bring every lazily fitted cache up to date with ALL
+  // data it holds — not merely the interval-gated refresh a first query would
+  // run, so a published view is always fitted at its full count — then prime
+  // any remaining query-path state (e.g. a KDE's kd-tree) with one query.
+  // After the swap below, concurrent readers only ever read the view.
+  fresh->ForceRefit();
   (void)fresh->Answer(selectivity::Query::Cdf(fresh->Domain().hi));
 
   // published_epoch_ is only written here, under writer_mu_, so the relaxed

@@ -35,11 +35,10 @@ double Max(std::span<const double> xs) {
   return *std::max_element(xs.begin(), xs.end());
 }
 
-double Quantile(std::span<const double> xs, double p, QuantileMethod method) {
-  WDE_CHECK(!xs.empty());
+double QuantileSorted(std::span<const double> sorted, double p,
+                      QuantileMethod method) {
+  WDE_CHECK(!sorted.empty());
   WDE_CHECK(p >= 0.0 && p <= 1.0, "quantile level must be in [0,1]");
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   const double n = static_cast<double>(sorted.size());
   double h;  // 1-based fractional order statistic index
   switch (method) {
@@ -59,10 +58,21 @@ double Quantile(std::span<const double> xs, double p, QuantileMethod method) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double Quantile(std::span<const double> xs, double p, QuantileMethod method) {
+  WDE_CHECK(!xs.empty());
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileSorted(sorted, p, method);
+}
+
 double Median(std::span<const double> xs) { return Quantile(xs, 0.5); }
 
 double Iqr(std::span<const double> xs, QuantileMethod method) {
   return Quantile(xs, 0.75, method) - Quantile(xs, 0.25, method);
+}
+
+double IqrSorted(std::span<const double> sorted, QuantileMethod method) {
+  return QuantileSorted(sorted, 0.75, method) - QuantileSorted(sorted, 0.25, method);
 }
 
 }  // namespace stats

@@ -26,10 +26,21 @@ enum class QuantileMethod { kType7, kMatlab };
 double Quantile(std::span<const double> xs, double p,
                 QuantileMethod method = QuantileMethod::kType7);
 
+/// Quantile over an already ascending-sorted span — bitwise-identical to
+/// Quantile() on the same multiset (same interpolation arithmetic, no copy,
+/// no sort). Callers that maintain a sorted buffer incrementally use this to
+/// skip the O(n log n) copy+sort per evaluation.
+double QuantileSorted(std::span<const double> sorted, double p,
+                      QuantileMethod method = QuantileMethod::kType7);
+
 double Median(std::span<const double> xs);
 
 /// Interquartile range q3 - q1 under the given convention.
 double Iqr(std::span<const double> xs, QuantileMethod method = QuantileMethod::kMatlab);
+
+/// Iqr over an already-sorted span; bitwise-identical to Iqr().
+double IqrSorted(std::span<const double> sorted,
+                 QuantileMethod method = QuantileMethod::kMatlab);
 
 }  // namespace stats
 }  // namespace wde
