@@ -108,6 +108,8 @@ int main(int argc, char** argv) {
     // story (the sharded row wraps the flagship wavelet sketch).
     selectivity::EstimatorSpec spec;
     spec.tag = tag;
+    spec.dims = selectivity::EstimatorRegistry::Global().NativeDims(tag);
+    if (spec.dims == 0) spec.dims = 1;
     spec.buckets = 64;
     spec.grid_log2 = 10;
     spec.budget = 64;

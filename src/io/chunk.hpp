@@ -38,8 +38,12 @@ uint32_t Crc32(std::span<const uint8_t> bytes);
 /// eval-tolerance tail (readers parse both tails, so v1 payloads still load);
 /// v3 — estimator state may travel as one arena fast-path chunk (tag "ARNA",
 /// columnar image restored by pointer fixup) instead of the portable "STAT"
-/// chunk — readers dispatch on the tag, so v1/v2 payloads still load.
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+/// chunk — readers dispatch on the tag, so v1/v2 payloads still load;
+/// v4 — estimators may declare dims() > 1: their envelopes carry a "DIMS"
+/// chunk (u32 dimensionality) between the TYPE chunk and the state chunk.
+/// 1-D envelopes omit it, so their bytes equal a v3 writer's, and v1–v3
+/// snapshots (necessarily 1-D) load unchanged.
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /// Writes the 12-byte snapshot header (magic + format version).
 Status WriteSnapshotHeader(Sink& sink);

@@ -1,0 +1,99 @@
+/// \file multidim/prod_kde2d.hpp
+/// Pure math behind the "kde2d-prod" estimator: a product-kernel 2-D KDE
+/// with per-dimension bandwidths and per-point adaptive bandwidth factors,
+///
+///   f̂(x, y) = (1/n) Σ_i K((x−x_i)/(hx·λ_i)) · K((y−y_i)/(hy·λ_i))
+///                       / (hx·λ_i · hy·λ_i),
+///
+/// in the Mazeika/Böhlen/Trivellato product/adaptive style: the two
+/// bandwidths come from the paper's per-dimension rule of thumb (optionally
+/// refined by least-squares CV), and λ_i = (pilot_i / ḡ)^(−α) sharpens the
+/// kernel where a binned pilot density says the data is dense. Rectangle
+/// masses are products of per-axis kernel-CDF differences, summed over an
+/// x-window binary-searched out of the lex-sorted sample — the compact
+/// Epanechnikov support makes the pruning bit-exact, not approximate.
+///
+/// No estimator/IO dependencies — the selectivity adapter owns storage,
+/// refit pacing and snapshots; these kernels are deterministic functions of
+/// their spans, so fitted state restored from a snapshot answers
+/// bit-identically to the live fit that produced it.
+#ifndef WDE_MULTIDIM_PROD_KDE2D_HPP_
+#define WDE_MULTIDIM_PROD_KDE2D_HPP_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kernel/kernels.hpp"
+
+namespace wde {
+namespace multidim {
+
+/// Sorts the parallel coordinate arrays lexicographically by (x, y).
+/// Equal (x, y) pairs are indistinguishable, so the sorted sequence — and
+/// everything derived from it — is a function of the point multiset alone.
+void SortPointsLex(std::span<double> xs, std::span<double> ys);
+
+/// Restores lex order after appending a tail at `split` to arrays whose
+/// prefix [0, split) is already lex-sorted: sort the tail, one stable merge.
+/// O(Δ log Δ + n) against a full sort's O(n log n), identical sequence —
+/// the incremental-refit counterpart of SortPointsLex (refit_equivalence).
+void MergeSortedTailLex(std::span<double> xs, std::span<double> ys,
+                        size_t split);
+
+/// True when (xs, ys) is lex-sorted by (x, y) with every coordinate finite —
+/// the validation fast-snapshot loads run before adopting fitted columns.
+bool IsLexSorted(std::span<const double> xs, std::span<const double> ys);
+
+/// Per-point adaptive bandwidth factors from a binned pilot density: the
+/// points are binned on a 2^pilot_log2 × 2^pilot_log2 grid over the domain,
+/// the pilot mass at point i is its cell's count (always >= 1 — the point
+/// itself), ḡ = exp(mean_i log pilot_i) is the geometric mean, and
+///   λ_i = clamp((pilot_i / ḡ)^(−α), 1/4, 4)
+/// (Abramson-style with exponent scaled by α ∈ [0, 1]; α = 0 short-circuits
+/// to λ ≡ 1). Normalizing constants cancel inside the ratio, so raw cell
+/// counts stand in for the pilot density. Returns max_i λ_i (the window
+/// inflation the rectangle evaluation needs); 1.0 for an empty sample.
+/// Deterministic in the point sequence.
+double AdaptiveLambdas(std::span<const double> xs, std::span<const double> ys,
+                       double lo0, double hi0, double lo1, double hi1,
+                       double alpha, int pilot_log2,
+                       std::span<double> lambdas);
+
+/// Scratch buffers for ProdKde2dRectSum, reused across calls (contents are
+/// dead between calls). One instance per concurrent caller: the evaluation
+/// itself is const over the fitted spans, so distinct scratches make
+/// concurrent rectangle queries over one fitted state safe.
+struct ProdKde2dScratch {
+  std::vector<double> arg;
+  std::vector<double> tmp;
+  std::vector<double> fx;
+  std::vector<double> fy;
+};
+
+/// Un-normalized product-kernel rectangle mass over the fitted points
+/// (the caller divides by n):
+///
+///   Σ_i [Kcdf((hi0−x_i)/(hx λ_i)) − Kcdf((lo0−x_i)/(hx λ_i))] ·
+///       [Kcdf((hi1−y_i)/(hy λ_i)) − Kcdf((lo1−y_i)/(hy λ_i))]
+///
+/// `xs` must be ascending (lex-sorted): a point with x_i outside
+/// [lo0 − R·hx·λmax, hi0 + R·hx·λmax] has an exactly-zero x factor (the
+/// kernel CDF saturates to exactly 0/1 outside its support radius R), so
+/// the sum runs over the binary-searched x-window only and the pruning is
+/// bit-exact. ±inf endpoints become the exact CDF limits 0/1 and are never
+/// fed to CdfMany; bounds must be non-NaN with lo <= hi per axis (the
+/// taxonomy normalization guarantees both). The per-axis CDF arguments are
+/// computed in SIMD-annotated elementwise loops and the final products
+/// accumulate in one sequential chain, so the result is a deterministic
+/// function of (fitted spans, bandwidths, rectangle) alone.
+double ProdKde2dRectSum(const kernel::Kernel& k, std::span<const double> xs,
+                        std::span<const double> ys,
+                        std::span<const double> lambdas, double hx, double hy,
+                        double lambda_max, double lo0, double hi0, double lo1,
+                        double hi1, ProdKde2dScratch& scratch);
+
+}  // namespace multidim
+}  // namespace wde
+
+#endif  // WDE_MULTIDIM_PROD_KDE2D_HPP_

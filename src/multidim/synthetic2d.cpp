@@ -1,0 +1,71 @@
+#include "multidim/synthetic2d.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wde {
+namespace multidim {
+namespace {
+
+/// Reflects t into [0, 1] (one bounce per excursion; inputs stay within one
+/// period for any plausible noise scale).
+double Reflect01(double t) {
+  if (t < 0.0) t = -t;
+  if (t > 1.0) t = 2.0 - t;
+  // A second clamp catches the (noise > 1) double-excursion corner.
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return t;
+}
+
+}  // namespace
+
+void SampleGaussianMixture2d(stats::Rng& rng,
+                             std::span<const GaussianComponent2d> components,
+                             size_t n, std::vector<double>* out) {
+  WDE_CHECK(!components.empty(), "mixture needs at least one component");
+  double total_weight = 0.0;
+  for (const GaussianComponent2d& c : components) {
+    WDE_CHECK(c.weight >= 0.0, "component weights must be nonnegative");
+    WDE_CHECK(c.rho >= -1.0 && c.rho <= 1.0, "correlation must be in [-1, 1]");
+    total_weight += c.weight;
+  }
+  WDE_CHECK_GT(total_weight, 0.0);
+  out->reserve(out->size() + 2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    // Component draw, then the correlated pair: two fixed draws per
+    // observation, so the stream is reproducible position by position.
+    double pick = rng.UniformDouble() * total_weight;
+    size_t chosen = components.size() - 1;
+    for (size_t c = 0; c < components.size(); ++c) {
+      pick -= components[c].weight;
+      if (pick < 0.0) {
+        chosen = c;
+        break;
+      }
+    }
+    const GaussianComponent2d& comp = components[chosen];
+    double z0 = 0.0;
+    double z1 = 0.0;
+    rng.GaussianPair(comp.rho, &z0, &z1);
+    out->push_back(comp.mean_x + comp.stddev_x * z0);
+    out->push_back(comp.mean_y + comp.stddev_y * z1);
+  }
+}
+
+void SampleAntiProduct2d(stats::Rng& rng, size_t n, double noise,
+                         std::vector<double>* out) {
+  WDE_CHECK(noise >= 0.0, "noise must be nonnegative");
+  out->reserve(out->size() + 2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble();
+    const bool rising = rng.Bernoulli(0.5);
+    const double y = (rising ? x : 1.0 - x) + rng.Gaussian(0.0, noise);
+    out->push_back(x);
+    out->push_back(Reflect01(y));
+  }
+}
+
+}  // namespace multidim
+}  // namespace wde

@@ -6,7 +6,9 @@
 
 #include "core/thresholding.hpp"
 #include "io/chunk.hpp"
+#include "selectivity/grid2d_selectivity.hpp"
 #include "selectivity/histogram.hpp"
+#include "selectivity/kde2d_selectivity.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/sample_selectivity.hpp"
 #include "selectivity/sharded_selectivity.hpp"
@@ -20,6 +22,16 @@ namespace selectivity {
 
 namespace {
 
+/// Every factory pins the spec to its tag's native dimensionality: a spec
+/// cannot silently build an estimator that ignores half its coordinates.
+Status CheckDims(const EstimatorSpec& spec, int native_dims) {
+  if (spec.dims != native_dims) {
+    return Status::InvalidArgument(
+        "spec '" + spec.tag + "': dims must be " + std::to_string(native_dims));
+  }
+  return Status::OK();
+}
+
 /// Validation shared by the tags that declare a domain.
 Status CheckDomain(const EstimatorSpec& spec) {
   if (!std::isfinite(spec.domain_lo) || !std::isfinite(spec.domain_hi) ||
@@ -30,8 +42,19 @@ Status CheckDomain(const EstimatorSpec& spec) {
   return Status::OK();
 }
 
+/// Axis-1 counterpart for the 2-D tags.
+Status CheckDomain2(const EstimatorSpec& spec) {
+  if (!std::isfinite(spec.domain2_lo) || !std::isfinite(spec.domain2_hi) ||
+      !(spec.domain2_lo < spec.domain2_hi)) {
+    return Status::InvalidArgument("spec '" + spec.tag +
+                                   "': domain2_lo must be < domain2_hi");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<SelectivityEstimator>> MakeEquiWidth(
     const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   WDE_RETURN_IF_ERROR(CheckDomain(spec));
   if (spec.buckets <= 0) {
     return Status::InvalidArgument("spec 'equi-width': buckets must be positive");
@@ -42,6 +65,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeEquiWidth(
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeEquiDepth(
     const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   WDE_RETURN_IF_ERROR(CheckDomain(spec));
   if (spec.buckets <= 0) {
     return Status::InvalidArgument("spec 'equi-depth': buckets must be positive");
@@ -52,6 +76,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeEquiDepth(
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeReservoir(
     const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   if (spec.capacity == 0) {
     return Status::InvalidArgument("spec 'reservoir': capacity must be positive");
   }
@@ -60,6 +85,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeReservoir(
 }
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeKde(const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   WDE_RETURN_IF_ERROR(CheckDomain(spec));
   if (spec.refit_interval == 0) {
     return Status::InvalidArgument("spec 'kde-rot': refit_interval must be positive");
@@ -80,6 +106,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeKde(const EstimatorSpec& spec)
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeSynopsis(
     const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   WaveletSynopsisSelectivity::Options options;
   options.domain_lo = spec.domain_lo;
   options.domain_hi = spec.domain_hi;
@@ -95,6 +122,7 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeSynopsis(
 
 Result<std::unique_ptr<SelectivityEstimator>> MakeWaveletSketch(
     const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 1));
   WDE_RETURN_IF_ERROR(CheckDomain(spec));
   Result<wavelet::WaveletFilter> filter = wavelet::WaveletFilter::FromName(spec.filter);
   if (!filter.ok()) return filter.status();
@@ -117,8 +145,52 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeWaveletSketch(
       std::make_unique<StreamingWaveletSelectivity>(std::move(sketch).value()));
 }
 
+Result<std::unique_ptr<SelectivityEstimator>> MakeKde2d(
+    const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 2));
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  WDE_RETURN_IF_ERROR(CheckDomain2(spec));
+  if (spec.refit_interval == 0) {
+    return Status::InvalidArgument(
+        "spec 'kde2d-prod': refit_interval must be positive");
+  }
+  if (!std::isfinite(spec.kde2d_alpha) || spec.kde2d_alpha < 0.0 ||
+      spec.kde2d_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "spec 'kde2d-prod': kde2d_alpha must be in [0, 1]");
+  }
+  Kde2dSelectivity::Options options;
+  options.domain_lo0 = spec.domain_lo;
+  options.domain_hi0 = spec.domain_hi;
+  options.domain_lo1 = spec.domain2_lo;
+  options.domain_hi1 = spec.domain2_hi;
+  options.refit_interval = spec.refit_interval;
+  options.alpha = spec.kde2d_alpha;
+  options.cv_bandwidths = spec.kde2d_cv;
+  options.refit_mode = spec.refit_mode;
+  return std::unique_ptr<SelectivityEstimator>(
+      std::make_unique<Kde2dSelectivity>(options));
+}
+
+Result<std::unique_ptr<SelectivityEstimator>> MakeGrid2d(
+    const EstimatorSpec& spec) {
+  WDE_RETURN_IF_ERROR(CheckDims(spec, 2));
+  WDE_RETURN_IF_ERROR(CheckDomain(spec));
+  WDE_RETURN_IF_ERROR(CheckDomain2(spec));
+  if (spec.grid_log2 < 1 || spec.grid_log2 > 10) {
+    return Status::InvalidArgument(
+        "spec 'grid2d': grid_log2 must be in [1, 10] (the grid is "
+        "2^grid_log2 x 2^grid_log2 cells)");
+  }
+  return std::unique_ptr<SelectivityEstimator>(std::make_unique<Grid2dHistogram>(
+      spec.domain_lo, spec.domain_hi, spec.domain2_lo, spec.domain2_hi,
+      spec.grid_log2));
+}
+
 Result<std::unique_ptr<SelectivityEstimator>> MakeSharded(
     const EstimatorSpec& spec) {
+  // No CheckDims here: the wrapper's dimensionality is the prototype's, and
+  // the inner factory (which sees the same spec.dims) validates it.
   if (spec.sharded_inner_tag == "sharded") {
     return Status::InvalidArgument(
         "spec 'sharded': nesting sharded inside sharded is not supported");
@@ -143,8 +215,9 @@ Result<std::unique_ptr<SelectivityEstimator>> MakeSharded(
 
 void RegisterBuiltins(EstimatorRegistry& registry) {
   const auto register_or_die = [&registry](const char* tag,
-                                           EstimatorRegistry::Factory factory) {
-    WDE_CHECK_OK(registry.Register(tag, std::move(factory)));
+                                           EstimatorRegistry::Factory factory,
+                                           int dims = 1) {
+    WDE_CHECK_OK(registry.Register(tag, std::move(factory), dims));
   };
   register_or_die("equi-width", MakeEquiWidth);
   register_or_die("equi-depth", MakeEquiDepth);
@@ -152,6 +225,11 @@ void RegisterBuiltins(EstimatorRegistry& registry) {
   register_or_die("kde-rot", MakeKde);
   register_or_die("haar-synopsis", MakeSynopsis);
   register_or_die("wavelet-cv", MakeWaveletSketch);
+  register_or_die("kde2d-prod", MakeKde2d, 2);
+  register_or_die("grid2d", MakeGrid2d, 2);
+  // "sharded" is registered 1-D (its shell wraps a 1-D prototype); wrapping
+  // a 2-D inner tag works by setting spec.dims = 2, which the inner factory
+  // validates.
   register_or_die("sharded", MakeSharded);
 }
 
@@ -163,6 +241,8 @@ EstimatorSpec EstimatorSpec::ShellFor(const std::string& tag) {
   // cheaply constructed instance of the right concrete type.
   EstimatorSpec shell;
   shell.tag = tag;
+  shell.dims = EstimatorRegistry::Global().NativeDims(tag);
+  if (shell.dims == 0) shell.dims = 1;  // unknown tag: Make will NotFound it
   shell.buckets = 1;
   shell.grid_log2 = 2;
   shell.budget = 1;
@@ -190,13 +270,19 @@ EstimatorRegistry& EstimatorRegistry::Global() {
   return *registry;
 }
 
-Status EstimatorRegistry::Register(const std::string& tag, Factory factory) {
+Status EstimatorRegistry::Register(const std::string& tag, Factory factory,
+                                   int dims) {
   if (tag.empty()) return Status::InvalidArgument("empty snapshot tag");
   if (factory == nullptr) {
     return Status::InvalidArgument("null factory for snapshot tag '" + tag + "'");
   }
+  if (dims < 1) {
+    return Status::InvalidArgument("snapshot tag '" + tag +
+                                   "' registered with dims < 1");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = factories_.emplace(tag, std::move(factory));
+  const auto [it, inserted] =
+      factories_.emplace(tag, Entry{std::move(factory), dims});
   (void)it;
   if (!inserted) {
     return Status::InvalidArgument("snapshot tag '" + tag +
@@ -210,11 +296,17 @@ bool EstimatorRegistry::Contains(const std::string& tag) const {
   return factories_.count(tag) != 0;
 }
 
+int EstimatorRegistry::NativeDims(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = factories_.find(tag);
+  return it == factories_.end() ? 0 : it->second.dims;
+}
+
 std::vector<std::string> EstimatorRegistry::Tags() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> tags;
   tags.reserve(factories_.size());
-  for (const auto& [tag, factory] : factories_) tags.push_back(tag);
+  for (const auto& [tag, entry] : factories_) tags.push_back(tag);
   return tags;  // std::map iterates sorted
 }
 
@@ -228,7 +320,7 @@ Result<std::unique_ptr<SelectivityEstimator>> EstimatorRegistry::Make(
       return Status::NotFound("no estimator registered for tag '" + spec.tag +
                               "'");
     }
-    factory = it->second;
+    factory = it->second.factory;
   }
   return factory(spec);
 }

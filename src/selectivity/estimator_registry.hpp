@@ -44,10 +44,17 @@ class EstimatorRegistry {
   /// The process-wide registry, with every shipped estimator pre-registered.
   static EstimatorRegistry& Global();
 
-  /// Registers a factory for `tag`; a duplicate tag is an error.
-  Status Register(const std::string& tag, Factory factory);
+  /// Registers a factory for `tag`; a duplicate tag is an error. `dims` is
+  /// the tag's native dimensionality (what NativeDims reports and ShellFor
+  /// stamps into shell specs); factories validate spec.dims against it.
+  Status Register(const std::string& tag, Factory factory, int dims = 1);
 
   bool Contains(const std::string& tag) const;
+
+  /// The native dimensionality the tag was registered with, or 0 for an
+  /// unknown tag. Tests and workload builders use it to stamp spec.dims (and
+  /// pick per-tag workloads) when iterating Tags().
+  int NativeDims(const std::string& tag) const;
 
   /// All registered tags, sorted (what the round-trip and spec-construction
   /// tests iterate).
@@ -67,8 +74,13 @@ class EstimatorRegistry {
  private:
   EstimatorRegistry() = default;
 
+  struct Entry {
+    Factory factory;
+    int dims = 1;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  std::map<std::string, Entry> factories_;
 };
 
 /// Writes one estimator envelope (no snapshot header) — what nested

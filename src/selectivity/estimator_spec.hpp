@@ -39,6 +39,9 @@ class SelectivityEstimator;
 ///   "wavelet-cv"     — filter, table_levels, j0, j_max, soft_threshold,
 ///                      refit_interval, refit_mode
 ///   "reservoir"      — capacity, seed
+///   "kde2d-prod"     — dims (must be 2), domain2_lo/domain2_hi,
+///                      refit_interval, kde2d_alpha, kde2d_cv, refit_mode
+///   "grid2d"         — dims (must be 2), domain2_lo/domain2_hi, grid_log2
 ///   "sharded"        — sharded_inner_tag (the prototype's tag; the rest of
 ///                      the spec configures that prototype), shards,
 ///                      block_size, merge_refresh_interval, pool, refit_mode
@@ -46,9 +49,19 @@ struct EstimatorSpec {
   /// Registry key; identical to the estimator's snapshot_type_tag().
   std::string tag = "equi-width";
 
-  // Shared: the declared value domain.
+  /// Dimensionality of the estimator. Every tag has one native
+  /// dimensionality (EstimatorRegistry::NativeDims) and its factory rejects
+  /// any other value, so a spec cannot silently build an estimator that
+  /// ignores half its coordinates. Default 1 — existing specs are untouched.
+  int dims = 1;
+
+  // Shared: the declared value domain of axis 0 (and of 1-D estimators).
   double domain_lo = 0.0;
   double domain_hi = 1.0;
+
+  // 2-D estimators: the declared value domain of axis 1.
+  double domain2_lo = 0.0;
+  double domain2_hi = 1.0;
 
   // Histograms.
   int buckets = 64;
@@ -72,6 +85,13 @@ struct EstimatorSpec {
   /// KDE tree-pruned evaluation: certified absolute error budget per CDF
   /// endpoint (KdeSelectivity::Options::eval_tolerance); 0 answers exactly.
   double kde_eval_tolerance = 0.0;
+
+  /// 2-D product KDE ("kde2d-prod"): adaptive-bandwidth sensitivity α in
+  /// [0, 1] — per-point bandwidth factors λ_i = (pilot_i / g)^(-α), 0
+  /// disables adaptivity — and whether a least-squares CV pass refines the
+  /// per-dimension rule-of-thumb bandwidths.
+  double kde2d_alpha = 0.5;
+  bool kde2d_cv = false;
 
   /// Refit strategy for the tags that distinguish one ("kde-rot",
   /// "equi-depth", "wavelet-cv", "sharded"): kIncremental (default)

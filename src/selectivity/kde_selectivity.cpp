@@ -290,6 +290,13 @@ void KdeSelectivity::AnswerImpl(std::span<const Query> queries,
       case QueryKind::kQuantile:
         out[i] = QuantileByBisection(q.a);
         break;
+      case QueryKind::kRect:
+      case QueryKind::kMarginal:
+      case QueryKind::kConditional:
+        // No range lowering exists for these; the shared multi-dim dispatch
+        // (0.0 / axis-0 marginal for this 1-D estimator) is the contract.
+        out[i] = AnswerOne(q);
+        break;
       default: {
         const RangeQuery r = LowerToRange(q);
         out[i] = std::clamp(FittedCdf(r.hi) - FittedCdf(r.lo), 0.0, 1.0);

@@ -42,8 +42,10 @@ std::vector<Query> MixedQueryWorkload(stats::Rng& rng, size_t count,
                                       double domain_lo, double domain_hi,
                                       const QueryKindMix& mix) {
   WDE_CHECK_LT(domain_lo, domain_hi);
-  const double weights[] = {mix.range, mix.point,    mix.less,
-                            mix.greater, mix.cdf,    mix.quantile};
+  const double weights[] = {mix.range,    mix.point, mix.less,
+                            mix.greater,  mix.cdf,   mix.quantile,
+                            mix.rect,     mix.marginal,
+                            mix.conditional};
   double total = 0.0;
   for (double w : weights) {
     WDE_CHECK(w >= 0.0, "kind weights must be nonnegative");
@@ -81,6 +83,34 @@ std::vector<Query> MixedQueryWorkload(stats::Rng& rng, size_t count,
       case QueryKind::kQuantile:
         q = Query::Quantile(rng.UniformDouble());
         break;
+      case QueryKind::kRect: {
+        double a = rng.Uniform(domain_lo, domain_hi);
+        double b = rng.Uniform(domain_lo, domain_hi);
+        if (b < a) std::swap(a, b);
+        double c = rng.Uniform(domain_lo, domain_hi);
+        double d = rng.Uniform(domain_lo, domain_hi);
+        if (d < c) std::swap(c, d);
+        q = Query::Rect(a, b, c, d);
+        break;
+      }
+      case QueryKind::kMarginal: {
+        const uint8_t axis = rng.UniformDouble() < 0.5 ? 0 : 1;
+        double a = rng.Uniform(domain_lo, domain_hi);
+        double b = rng.Uniform(domain_lo, domain_hi);
+        if (b < a) std::swap(a, b);
+        q = Query::Marginal(axis, a, b);
+        break;
+      }
+      case QueryKind::kConditional: {
+        double a = rng.Uniform(domain_lo, domain_hi);
+        double b = rng.Uniform(domain_lo, domain_hi);
+        if (b < a) std::swap(a, b);
+        double c = rng.Uniform(domain_lo, domain_hi);
+        double d = rng.Uniform(domain_lo, domain_hi);
+        if (d < c) std::swap(c, d);
+        q = Query::Conditional(a, b, c, d);
+        break;
+      }
     }
   }
   return out;

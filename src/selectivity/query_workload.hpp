@@ -34,6 +34,12 @@ struct QueryKindMix {
   double greater = 0.12;
   double cdf = 0.12;
   double quantile = 0.12;
+  /// Multi-dimensional kinds, off by default so 1-D workloads are unchanged.
+  /// Rect/conditional intervals draw both axes uniform over the same domain
+  /// (sorted per axis); marginal picks axis 0 or 1 with equal probability.
+  double rect = 0.0;
+  double marginal = 0.0;
+  double conditional = 0.0;
 };
 
 /// Generates `count` mixed-kind queries over the domain: range endpoints

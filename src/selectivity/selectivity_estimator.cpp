@@ -27,6 +27,12 @@ bool IsNormalized(const Query& q) {
       return q.a <= q.b;
     case QueryKind::kQuantile:
       return q.a >= 0.0 && q.a <= 1.0;
+    case QueryKind::kRect:
+    case QueryKind::kConditional:
+      // Both axis intervals ordered; NaN fails either comparison.
+      return q.a <= q.b && q.c <= q.d;
+    case QueryKind::kMarginal:
+      return q.a <= q.b;
     default:
       return !std::isnan(q.a);
   }
@@ -37,22 +43,48 @@ bool IsNormalized(const Query& q) {
 bool AnswersZero(const Query& q) {
   switch (q.kind) {
     case QueryKind::kRange:
+    case QueryKind::kMarginal:
       return std::isnan(q.a) || std::isnan(q.b);
+    case QueryKind::kRect:
+    case QueryKind::kConditional:
+      return std::isnan(q.a) || std::isnan(q.b) || std::isnan(q.c) ||
+             std::isnan(q.d);
     default:
       return std::isnan(q.a);
   }
 }
 
-/// Rewrites the one abnormal non-NaN form per kind: inverted ranges swap,
-/// out-of-range quantile levels clamp.
+/// Rewrites the one abnormal non-NaN form per kind: inverted ranges swap
+/// (independently per axis for the two-interval kinds), out-of-range quantile
+/// levels clamp.
 Query Normalize(const Query& q) {
   Query fixed = q;
-  if (q.kind == QueryKind::kRange) {
-    std::swap(fixed.a, fixed.b);
-  } else if (q.kind == QueryKind::kQuantile) {
-    fixed.a = std::clamp(q.a, 0.0, 1.0);
+  switch (q.kind) {
+    case QueryKind::kRange:
+    case QueryKind::kMarginal:
+      std::swap(fixed.a, fixed.b);
+      break;
+    case QueryKind::kQuantile:
+      fixed.a = std::clamp(q.a, 0.0, 1.0);
+      break;
+    case QueryKind::kRect:
+    case QueryKind::kConditional:
+      // Each axis swaps only when inverted: Normalize() runs whenever EITHER
+      // axis is abnormal, so the in-order axis must pass through untouched.
+      if (q.a > q.b) std::swap(fixed.a, fixed.b);
+      if (q.c > q.d) std::swap(fixed.c, fixed.d);
+      break;
+    default:
+      break;
   }
   return fixed;
+}
+
+/// The 4-byte DIMS chunk payload: one little-endian u32 dimensionality.
+Status WriteDimsChunk(io::Sink& sink, int dims) {
+  io::VectorSink payload;
+  WDE_RETURN_IF_ERROR(io::WriteU32(payload, static_cast<uint32_t>(dims)));
+  return io::WriteChunk(sink, internal::kChunkEstimatorDims, payload.bytes());
 }
 
 }  // namespace
@@ -119,14 +151,52 @@ RangeQuery SelectivityEstimator::LowerToRange(const Query& query) const {
     case QueryKind::kGreater:
       return RangeQuery{query.a, kInf};
     case QueryKind::kQuantile:
+    case QueryKind::kRect:
+    case QueryKind::kMarginal:
+    case QueryKind::kConditional:
       break;
   }
-  WDE_CHECK(false, "kQuantile has no range lowering");
+  WDE_CHECK(false, "query kind has no 1-D range lowering");
   return RangeQuery{};
 }
 
+double SelectivityEstimator::AnswerMultiDim(const Query& query) const {
+  switch (query.kind) {
+    case QueryKind::kMarginal:
+      if (query.axis >= dims()) return 0.0;
+      // Axis 0 IS the range primitive — for every estimator, 1-D included —
+      // so Marginal(0, a, b) and Range(a, b) are one code path, bitwise.
+      if (query.axis == 0) return EstimateRangeImpl(query.a, query.b);
+      return EstimateRectImpl(-kInf, kInf, query.a, query.b);
+    case QueryKind::kRect:
+      if (dims() < 2) return 0.0;
+      return EstimateRectImpl(query.a, query.b, query.c, query.d);
+    case QueryKind::kConditional: {
+      if (dims() < 2) return 0.0;
+      const double condition = EstimateRectImpl(-kInf, kInf, query.c, query.d);
+      if (!(condition > 0.0)) return 0.0;
+      const double joint =
+          EstimateRectImpl(query.a, query.b, query.c, query.d);
+      return std::clamp(joint / condition, 0.0, 1.0);
+    }
+    default:
+      break;
+  }
+  WDE_CHECK(false, "AnswerMultiDim dispatched a 1-D query kind");
+  return 0.0;
+}
+
 double SelectivityEstimator::AnswerOne(const Query& query) const {
-  if (query.kind == QueryKind::kQuantile) return QuantileByBisection(query.a);
+  switch (query.kind) {
+    case QueryKind::kQuantile:
+      return QuantileByBisection(query.a);
+    case QueryKind::kRect:
+    case QueryKind::kMarginal:
+    case QueryKind::kConditional:
+      return AnswerMultiDim(query);
+    default:
+      break;
+  }
   const RangeQuery range = LowerToRange(query);
   return EstimateRangeImpl(range.lo, range.hi);
 }
@@ -147,6 +217,10 @@ Status SelectivityEstimator::SaveState(io::Sink& sink) const {
   WDE_RETURN_IF_ERROR(io::WriteChunk(
       sink, internal::kChunkEstimatorType,
       std::span(reinterpret_cast<const uint8_t*>(tag.data()), tag.size())));
+  // Multi-dimensional envelopes carry their dimensionality ahead of the
+  // state (snapshot v4); 1-D envelopes omit the chunk and stay byte-for-byte
+  // what a v3 writer produced.
+  if (dims() != 1) WDE_RETURN_IF_ERROR(WriteDimsChunk(sink, dims()));
   // Buffer the state so the chunk framing can length-prefix and checksum it.
   io::VectorSink state;
   WDE_RETURN_IF_ERROR(SaveStateImpl(state));
@@ -169,13 +243,16 @@ Status SelectivityEstimator::SaveStateFast(io::Sink& sink,
   WDE_RETURN_IF_ERROR(io::WriteChunk(
       sink, internal::kChunkEstimatorType,
       std::span(reinterpret_cast<const uint8_t*>(tag.data()), tag.size())));
+  if (dims() != 1) WDE_RETURN_IF_ERROR(WriteDimsChunk(sink, dims()));
   memory::FastStateWriter writer;
   WDE_RETURN_IF_ERROR(SaveFastStateImpl(writer));
   // The ARNA payload starts after the TYPE chunk (16 bytes of framing + the
-  // tag) and the ARNA chunk's own 12-byte tag/size header; the writer pads
-  // its column region to a 64-byte offset relative to that absolute
-  // position, so an mmapped artifact presents the columns aligned.
-  const uint64_t payload_offset = base_offset + 16 + tag.size() + 12;
+  // tag), the 20-byte DIMS chunk when present, and the ARNA chunk's own
+  // 12-byte tag/size header; the writer pads its column region to a 64-byte
+  // offset relative to that absolute position, so an mmapped artifact
+  // presents the columns aligned.
+  const uint64_t payload_offset = base_offset + 16 + tag.size() +
+                                  (dims() != 1 ? 20 : 0) + 12;
   io::VectorSink frame;
   WDE_RETURN_IF_ERROR(writer.Finish(frame, payload_offset));
   return io::WriteChunk(sink, internal::kChunkEstimatorArena, frame.bytes());
@@ -201,6 +278,25 @@ Status SelectivityEstimator::LoadEnvelopeState(io::Source& source) {
   // mmapped FileSource) the payload is a view into the source's buffer,
   // anchored below by source.backing(); only byte-stream sources pay a copy.
   WDE_ASSIGN_OR_RETURN(io::ChunkRef chunk, io::ReadChunkRef(source));
+  if (chunk.tag == internal::kChunkEstimatorDims) {
+    // Snapshot v4 dimensionality tag: validated against the target BEFORE
+    // any state byte is parsed. Absence (every v1–v3 envelope, and every
+    // v4 1-D envelope) implies dimensionality 1, checked below.
+    if (chunk.payload.size() != 4) {
+      return Status::InvalidArgument("malformed estimator DIMS chunk");
+    }
+    io::SpanSource dims_source(chunk.payload);
+    WDE_ASSIGN_OR_RETURN(const uint32_t snapshot_dims,
+                         io::ReadU32(dims_source));
+    if (snapshot_dims != static_cast<uint32_t>(dims())) {
+      return Status::FailedPrecondition(
+          "snapshot dimensionality does not match " + name());
+    }
+    WDE_ASSIGN_OR_RETURN(chunk, io::ReadChunkRef(source));
+  } else if (dims() != 1) {
+    return Status::FailedPrecondition(
+        "snapshot lacks the dimensionality tag required by " + name());
+  }
   if (chunk.tag == internal::kChunkEstimatorState) {
     io::SpanSource state(chunk.payload);
     // Payload exhaustion is part of the LoadStateImpl contract and must be

@@ -5,8 +5,11 @@
 /// motivating database application. The public query surface is the typed
 /// `Query` taxonomy answered through the single non-virtual `Answer()` entry
 /// point: closed ranges, equality points, one-sided predicates, CDF probes
-/// and quantiles — the query family a real optimizer mixes over one fitted
-/// statistic. Invariants: Insert() never throws or aborts on dirty data
+/// and quantiles — plus, for estimators that declare dims() > 1, axis-aligned
+/// rectangles, per-axis marginals and conditional probes (src/multidim holds
+/// the 2-D implementations) — the query family a real optimizer mixes over
+/// one fitted statistic. Invariants: Insert() never throws or aborts on dirty
+/// data
 /// (non-finite values are dropped, out-of-domain values clamped); mass-kind
 /// answers approximate probabilities in [0, 1] up to estimator bias; all
 /// edge-case normalization (inverted ranges, NaN parameters, quantile levels
@@ -64,6 +67,12 @@ namespace internal {
 inline constexpr uint32_t kChunkEstimatorType = 0x45505954;   // "TYPE"
 inline constexpr uint32_t kChunkEstimatorState = 0x54415453;  // "STAT"
 inline constexpr uint32_t kChunkEstimatorArena = 0x414E5241;  // "ARNA"
+/// Snapshot v4: estimators with dims() != 1 write one DIMS chunk (u32
+/// dimensionality) between TYPE and the state chunk, so a reader rejects a
+/// dimensionality mismatch before parsing any state. 1-D envelopes omit it —
+/// their bytes are identical to v3 — and v1–v3 snapshots (which can only
+/// contain 1-D estimators) load unchanged.
+inline constexpr uint32_t kChunkEstimatorDims = 0x534D4944;  // "DIMS"
 }  // namespace internal
 
 /// Restores one estimator envelope through the tag → factory registry; see
@@ -78,19 +87,28 @@ struct RangeQuery {
   double hi = 0.0;
 };
 
-/// The query taxonomy: what a query optimizer asks a column statistic.
+/// The query taxonomy: what a query optimizer asks a column statistic. The
+/// first six kinds are 1-D (they read fields a/b only); the multi-dimensional
+/// kinds additionally read c/d/axis and are answered by estimators that
+/// declare dims() > 1 (a 1-D estimator answers them 0.0, except the axis-0
+/// marginal, which IS its range primitive).
 enum class QueryKind : uint8_t {
-  kRange = 0,     // P(lo <= X <= hi)
-  kPoint = 1,     // P(X = x), answered via the equality-width heuristic
-  kLess = 2,      // P(X <= c)
-  kGreater = 3,   // P(X >= c)
-  kCdf = 4,       // F(x) = P(X <= x) (alias of kLess; spelled for intent)
-  kQuantile = 5,  // F^{-1}(p): the value x with F(x) ≈ p
+  kRange = 0,        // P(lo <= X <= hi)
+  kPoint = 1,        // P(X = x), answered via the equality-width heuristic
+  kLess = 2,         // P(X <= c)
+  kGreater = 3,      // P(X >= c)
+  kCdf = 4,          // F(x) = P(X <= x) (alias of kLess; spelled for intent)
+  kQuantile = 5,     // F^{-1}(p): the value x with F(x) ≈ p
+  kRect = 6,         // P(lo0 <= X0 <= hi0, lo1 <= X1 <= hi1)
+  kMarginal = 7,     // P(lo <= X_axis <= hi), other axes integrated out
+  kConditional = 8,  // P(lo0 <= X0 <= hi0 | lo1 <= X1 <= hi1)
 };
 
-/// A tagged query. `a` carries the single parameter of every kind (x, c, or
-/// p); ranges additionally use `b` as the upper endpoint. Build queries with
-/// the named factories — they document which field means what.
+/// A tagged query. `a` carries the single parameter of every 1-D kind (x, c,
+/// or p); ranges additionally use `b` as the upper endpoint. The
+/// multi-dimensional kinds use a/b as the axis-0 interval, c/d as the axis-1
+/// interval, and `axis` to select a marginal axis. Build queries with the
+/// named factories — they document which field means what.
 ///
 /// Semantics are fixed at the interface (see Answer() for the normalization
 /// and the lowering rules):
@@ -102,10 +120,26 @@ enum class QueryKind : uint8_t {
 ///   Cdf(x)         — identical lowering to Less(x).
 ///   Quantile(p)    — inverse CDF at p in [0, 1] (out-of-range p clamps),
 ///                    bracketed by Domain() and found by bisection.
+///   Rect(lo0, hi0, lo1, hi1)
+///                  — mass of the axis-aligned rectangle
+///                    [lo0, hi0] × [lo1, hi1]; each axis's inverted endpoints
+///                    swap independently; ±inf endpoints denote half-planes.
+///   Marginal(axis, lo, hi)
+///                  — mass of [lo, hi] on one axis with every other axis
+///                    integrated out. Axis 0 coincides with Range(lo, hi) for
+///                    every estimator (1-D included); an axis >= dims()
+///                    answers 0.0.
+///   Conditional(lo0, hi0, lo1, hi1)
+///                  — P(X0 ∈ [lo0, hi0] | X1 ∈ [lo1, hi1]): the rect mass
+///                    over the axis-1 marginal mass, clamped to [0, 1]; a
+///                    zero-mass condition answers 0.0.
 struct Query {
   QueryKind kind = QueryKind::kRange;
   double a = 0.0;
   double b = 0.0;
+  double c = 0.0;
+  double d = 0.0;
+  uint8_t axis = 0;
 
   static constexpr Query Range(double lo, double hi) {
     return Query{QueryKind::kRange, lo, hi};
@@ -118,6 +152,16 @@ struct Query {
   static constexpr Query Cdf(double x) { return Query{QueryKind::kCdf, x, 0.0}; }
   static constexpr Query Quantile(double p) {
     return Query{QueryKind::kQuantile, p, 0.0};
+  }
+  static constexpr Query Rect(double lo0, double hi0, double lo1, double hi1) {
+    return Query{QueryKind::kRect, lo0, hi0, lo1, hi1};
+  }
+  static constexpr Query Marginal(uint8_t axis, double lo, double hi) {
+    return Query{QueryKind::kMarginal, lo, hi, 0.0, 0.0, axis};
+  }
+  static constexpr Query Conditional(double lo0, double hi0, double lo1,
+                                     double hi1) {
+    return Query{QueryKind::kConditional, lo0, hi0, lo1, hi1};
   }
 };
 
@@ -175,7 +219,8 @@ class SelectivityEstimator {
   //     implementation. ±inf endpoints are legal (they denote the one-sided
   //     limits and clamp against the estimator's domain).
   //   * Inverted ranges (a > b) are swapped: one documented choice —
-  //     Range(a, b) with a > b denotes the same predicate as [b, a].
+  //     Range(a, b) with a > b denotes the same predicate as [b, a]. Rect and
+  //     conditional intervals swap per axis, independently.
   //   * Quantile levels are clamped to [0, 1].
   // Normalization never copies the whole batch: already-normalized runs are
   // handed to AnswerImpl as sub-spans of the caller's storage and only the
@@ -221,6 +266,15 @@ class SelectivityEstimator {
 
   virtual size_t count() const = 0;
   virtual std::string name() const = 0;
+
+  /// The number of attributes this estimator models. Inserts of a dims() == D
+  /// estimator consume D consecutive stream values per observation
+  /// (interleaved coordinates: x0, x1, x0, x1, ...); count() reports complete
+  /// observations. The interface default 1 keeps every existing estimator —
+  /// and every existing answer — untouched; multi-dimensional estimators
+  /// override, which routes kRect/kMarginal/kConditional queries to
+  /// EstimateRectImpl (see AnswerMultiDim for the exact lowering).
+  virtual int dims() const { return 1; }
 
   /// Brings every lazily fitted cache up to date with the data inserted so
   /// far, exactly as the first query of a batch would (see the AnswerImpl
@@ -419,9 +473,26 @@ class SelectivityEstimator {
   }
 
   /// The scalar range extension point — the minimal surface a new estimator
-  /// implements; every query kind lowers onto it. Called with a <= b; the
-  /// endpoints may be ±inf (the one-sided limits), never NaN.
+  /// implements; every 1-D query kind lowers onto it. Called with a <= b; the
+  /// endpoints may be ±inf (the one-sided limits), never NaN. For a
+  /// multi-dimensional estimator this is the axis-0 marginal — identically
+  /// EstimateRectImpl(a, b, -inf, +inf) — so quantiles and the 1-D kinds stay
+  /// meaningful over the first attribute.
   virtual double EstimateRangeImpl(double a, double b) const = 0;
+
+  /// The rectangle extension point for dims() == 2 estimators: the mass of
+  /// [lo0, hi0] × [lo1, hi1]. Called with lo <= hi per axis; endpoints may be
+  /// ±inf (half-planes and full-axis marginals), never NaN. The interface
+  /// default answers 0.0 — the documented answer of a 1-D estimator to a
+  /// genuinely 2-D predicate (AnswerMultiDim never calls it for dims() == 1).
+  virtual double EstimateRectImpl(double lo0, double hi0, double lo1,
+                                  double hi1) const {
+    (void)lo0;
+    (void)hi0;
+    (void)lo1;
+    (void)hi1;
+    return 0.0;
+  }
 
   /// The batch query extension point: called with matched spans, at least
   /// one query, and every query normalized (ranges with lo <= hi, no NaN
@@ -448,15 +519,31 @@ class SelectivityEstimator {
 
   /// The canonical lowering of one normalized query onto EstimateRangeImpl:
   /// mass kinds become range endpoints via LowerToRange(); quantiles invert
-  /// the lowered CDF via QuantileByBisection(). AnswerImpl overrides fall
-  /// back to this for kinds they have no cheaper path for.
+  /// the lowered CDF via QuantileByBisection(); the multi-dimensional kinds
+  /// dispatch through AnswerMultiDim(). AnswerImpl overrides fall back to
+  /// this for kinds they have no cheaper path for.
   double AnswerOne(const Query& query) const;
 
-  /// Lowers a normalized mass-kind query (anything but kQuantile) to its
-  /// range endpoints: Range passes through, Point becomes
+  /// Lowers a normalized 1-D mass-kind query (kRange/kPoint/kLess/kCdf/
+  /// kGreater) to its range endpoints: Range passes through, Point becomes
   /// [x - EqualityWidth()/2, x + EqualityWidth()/2], Less/Cdf become
-  /// (-inf, c], Greater becomes [c, +inf).
+  /// (-inf, c], Greater becomes [c, +inf). kQuantile and the
+  /// multi-dimensional kinds have no range lowering (route them through
+  /// AnswerOne instead — AnswerImpl overrides with a default branch that
+  /// calls LowerToRange directly must divert those kinds first).
   RangeQuery LowerToRange(const Query& query) const;
+
+  /// The documented lowering of the multi-dimensional kinds, shared by
+  /// AnswerOne and every AnswerImpl override:
+  ///   kMarginal  — axis >= dims() answers 0.0; axis 0 is
+  ///                EstimateRangeImpl(a, b) for EVERY estimator (the axis-0
+  ///                marginal IS the range primitive, 1-D included); axis 1 on
+  ///                a 2-D estimator is EstimateRectImpl(-inf, +inf, a, b).
+  ///   kRect      — 0.0 unless dims() >= 2, else EstimateRectImpl(a,b,c,d).
+  ///   kConditional — 0.0 unless dims() >= 2; else the rect mass divided by
+  ///                the axis-1 marginal mass of [c, d], clamped to [0, 1],
+  ///                with a non-positive denominator answering 0.0.
+  double AnswerMultiDim(const Query& query) const;
 
   /// Extension point behind ForceRefit(): refresh every lazy cache this
   /// estimator would refresh on the first query of a batch. const because

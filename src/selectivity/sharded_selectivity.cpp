@@ -22,6 +22,13 @@ Result<ShardedSelectivityEstimator> ShardedSelectivityEstimator::Create(
   if (options.merge_refresh_interval == 0) {
     return Status::InvalidArgument("merge_refresh_interval must be positive");
   }
+  if (prototype.dims() > 1 &&
+      options.block_size % static_cast<size_t>(prototype.dims()) != 0) {
+    return Status::InvalidArgument(
+        "block_size must be a multiple of the prototype's dims() so the "
+        "interleaved coordinates of one observation never split across "
+        "shards");
+  }
   if (!prototype.mergeable()) {
     return Status::FailedPrecondition(
         prototype.name() +

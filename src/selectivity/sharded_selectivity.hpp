@@ -97,6 +97,11 @@ class ShardedSelectivityEstimator : public SelectivityEstimator {
   /// quantile queries exactly like its underlying type.
   double EqualityWidth() const override { return prototype_->EqualityWidth(); }
   RangeQuery Domain() const override { return prototype_->Domain(); }
+  /// A sharded multi-dimensional estimator is itself multi-dimensional:
+  /// Create() requires block_size % dims == 0, so blocks begin at observation
+  /// boundaries and the interleaved coordinates of one observation always
+  /// land in the same shard.
+  int dims() const override { return prototype_->dims(); }
 
   /// Sharded estimators merge shard-wise with a sharded estimator of the
   /// same K/block size and compatible replicas — the distributed-node merge

@@ -153,6 +153,13 @@ void StreamingWaveletSelectivity::AnswerImpl(std::span<const Query> queries,
       out[i] = QuantileByBisection(q.a);
       continue;
     }
+    if (q.kind == QueryKind::kRect || q.kind == QueryKind::kMarginal ||
+        q.kind == QueryKind::kConditional) {
+      // No range lowering exists for these; the shared multi-dim dispatch
+      // (0.0 / axis-0 marginal for this 1-D estimator) is the contract.
+      out[i] = AnswerOne(q);
+      continue;
+    }
     const RangeQuery r = LowerToRange(q);
     a.push_back(r.lo);
     b.push_back(r.hi);

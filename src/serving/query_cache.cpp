@@ -26,17 +26,22 @@ size_t RoundUpPow2(size_t n) {
 }  // namespace
 
 uint64_t QueryKeyHash(const selectivity::Query& query) {
-  uint64_t h = Mix64(static_cast<uint64_t>(query.kind));
+  uint64_t h = Mix64(static_cast<uint64_t>(query.kind) |
+                     (static_cast<uint64_t>(query.axis) << 8));
   h = Mix64(h ^ std::bit_cast<uint64_t>(query.a));
   h = Mix64(h ^ std::bit_cast<uint64_t>(query.b));
+  h = Mix64(h ^ std::bit_cast<uint64_t>(query.c));
+  h = Mix64(h ^ std::bit_cast<uint64_t>(query.d));
   return h;
 }
 
 bool QueryKeyEquals(const selectivity::Query& lhs,
                     const selectivity::Query& rhs) {
-  return lhs.kind == rhs.kind &&
+  return lhs.kind == rhs.kind && lhs.axis == rhs.axis &&
          std::bit_cast<uint64_t>(lhs.a) == std::bit_cast<uint64_t>(rhs.a) &&
-         std::bit_cast<uint64_t>(lhs.b) == std::bit_cast<uint64_t>(rhs.b);
+         std::bit_cast<uint64_t>(lhs.b) == std::bit_cast<uint64_t>(rhs.b) &&
+         std::bit_cast<uint64_t>(lhs.c) == std::bit_cast<uint64_t>(rhs.c) &&
+         std::bit_cast<uint64_t>(lhs.d) == std::bit_cast<uint64_t>(rhs.d);
 }
 
 QueryResultCache::QueryResultCache(size_t shards, size_t slots_per_shard) {

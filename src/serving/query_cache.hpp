@@ -31,13 +31,14 @@
 namespace wde {
 namespace serving {
 
-/// Bitwise key hash of a query: splitmix64-style mixing over the kind byte
-/// and the bit patterns of both parameters. NaN payloads hash by their exact
-/// bit pattern; +0.0 and -0.0 are distinct keys (both cache their — equal —
-/// answers independently, which is harmless).
+/// Bitwise key hash of a query: splitmix64-style mixing over the kind and
+/// axis bytes and the bit patterns of all four parameters (a/b and the
+/// axis-1 interval c/d of the multi-dimensional kinds). NaN payloads hash by
+/// their exact bit pattern; +0.0 and -0.0 are distinct keys (both cache
+/// their — equal — answers independently, which is harmless).
 uint64_t QueryKeyHash(const selectivity::Query& query);
 
-/// Bitwise key equality: same kind, same `a` bits, same `b` bits.
+/// Bitwise key equality: same kind and axis, same a/b/c/d bits.
 bool QueryKeyEquals(const selectivity::Query& lhs,
                     const selectivity::Query& rhs);
 

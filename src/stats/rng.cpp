@@ -71,6 +71,14 @@ double Rng::Gaussian() {
   return u * factor;
 }
 
+void Rng::GaussianPair(double rho, double* z0, double* z1) {
+  WDE_CHECK(rho >= -1.0 && rho <= 1.0, "correlation must be in [-1, 1]");
+  const double a = Gaussian();
+  const double b = Gaussian();
+  *z0 = a;
+  *z1 = rho * a + std::sqrt(1.0 - rho * rho) * b;
+}
+
 bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
 
 double Rng::Exponential(double lambda) {

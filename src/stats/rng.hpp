@@ -42,6 +42,13 @@ class Rng {
   /// Normal with the given mean and standard deviation.
   double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
 
+  /// A correlated standard-normal pair with correlation `rho` in [-1, 1]:
+  /// z0 ~ N(0,1), z1 = rho*z0 + sqrt(1-rho^2)*w with w ~ N(0,1) independent.
+  /// The 2-D synthetic-data generators build covariant Gaussian mixtures from
+  /// this (multidim/synthetic2d.hpp). Draws exactly two Gaussian variates, so
+  /// interleaving with Gaussian() stays deterministic.
+  void GaussianPair(double rho, double* z0, double* z1);
+
   /// Bernoulli trial.
   bool Bernoulli(double p);
 

@@ -81,6 +81,11 @@
 #include "kernel/kde.hpp"
 #include "kernel/kernels.hpp"
 
+// multidim — depends on kernel, stats, memory, numerics, util.
+#include "multidim/grid2d.hpp"
+#include "multidim/prod_kde2d.hpp"
+#include "multidim/synthetic2d.hpp"
+
 // processes — depends on stats, numerics, util.
 #include "processes/ar1_process.hpp"
 #include "processes/arch_process.hpp"
@@ -108,7 +113,9 @@
 // selectivity — depends on core, kernel, wavelet, stats, io, util.
 #include "selectivity/estimator_registry.hpp"
 #include "selectivity/estimator_spec.hpp"
+#include "selectivity/grid2d_selectivity.hpp"
 #include "selectivity/histogram.hpp"
+#include "selectivity/kde2d_selectivity.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"
 #include "selectivity/sample_selectivity.hpp"

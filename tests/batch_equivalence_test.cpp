@@ -445,11 +445,24 @@ void ExpectAnswerEquivalence(selectivity::SelectivityEstimator* est,
     for (double& v : values) v = data_rng.UniformDouble();
     est->InsertBatch(values);
 
+    // Every kind, the multi-dimensional ones included: 1-D estimators answer
+    // rect/conditional (and axis >= dims marginals) 0.0, and that zero must
+    // be batch == scalar like any other answer.
+    selectivity::QueryKindMix mix;
+    mix.rect = 0.10;
+    mix.marginal = 0.10;
+    mix.conditional = 0.05;
     std::vector<selectivity::Query> queries =
-        selectivity::MixedQueryWorkload(query_rng, 120, -0.1, 1.1);
+        selectivity::MixedQueryWorkload(query_rng, 120, -0.1, 1.1, mix);
     // Sprinkle in the abnormal forms the wrapper normalizes.
     queries.push_back(selectivity::Query::Range(0.9, 0.1));  // inverted
     queries.push_back(selectivity::Query::Range(std::nan(""), 0.5));
+    queries.push_back(selectivity::Query::Rect(0.9, 0.1, 0.8, 0.2));
+    queries.push_back(selectivity::Query::Rect(std::nan(""), 0.5, 0.2, 0.8));
+    queries.push_back(selectivity::Query::Marginal(1, 0.7, 0.3));
+    queries.push_back(selectivity::Query::Marginal(9, 0.2, 0.8));
+    queries.push_back(selectivity::Query::Conditional(0.2, 0.8, 0.9, 0.1));
+    queries.push_back(selectivity::Query::Conditional(0.2, 0.8, std::nan(""), 1.0));
     queries.push_back(selectivity::Query::Point(std::nan("")));
     queries.push_back(selectivity::Query::Quantile(1.5));
     queries.push_back(selectivity::Query::Quantile(-2.0));
@@ -473,6 +486,7 @@ TEST(BatchEquivalenceTest, AnswerMixedKindBatchMatchesScalarLoop) {
   for (const std::string& tag : selectivity::EstimatorRegistry::Global().Tags()) {
     selectivity::EstimatorSpec spec;
     spec.tag = tag;
+    spec.dims = selectivity::EstimatorRegistry::Global().NativeDims(tag);
     spec.buckets = 32;
     spec.grid_log2 = 7;
     spec.budget = 32;
@@ -496,6 +510,7 @@ TEST(BatchEquivalenceTest, AnswerRangeMatchesLegacyEstimateRange) {
   for (const std::string& tag : selectivity::EstimatorRegistry::Global().Tags()) {
     selectivity::EstimatorSpec spec;
     spec.tag = tag;
+    spec.dims = selectivity::EstimatorRegistry::Global().NativeDims(tag);
     spec.j_max = 7;
     spec.grid_log2 = 7;
     Result<std::unique_ptr<selectivity::SelectivityEstimator>> est =

@@ -1,0 +1,475 @@
+// Tier-1 tests for the multi-dimensional estimation subsystem: the pure 2-D
+// lattice and product-KDE math in src/multidim (cell indexing, summed-area
+// prefix tables, lex sorting and the incremental tail merge, adaptive
+// bandwidth factors, the windowed product-kernel rectangle sum vs a
+// no-pruning reference), the correlated synthetic-data generators, and the
+// estimator-level contracts of the two registered 2-D tags: rectangle
+// accuracy against analytic truth, correlation capture on the anti-product
+// distribution (where any product-of-marginals answer is badly wrong),
+// merge-of-disjoint-substreams ≡ sequential bitwise, and the sharded engine
+// over a 2-D prototype.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "kernel/kernels.hpp"
+#include "multidim/grid2d.hpp"
+#include "multidim/prod_kde2d.hpp"
+#include "multidim/synthetic2d.hpp"
+#include "selectivity/estimator_registry.hpp"
+#include "selectivity/estimator_spec.hpp"
+#include "selectivity/selectivity_estimator.hpp"
+#include "stats/rng.hpp"
+
+namespace wde {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double NormalCdf(double x, double mean, double stddev) {
+  return 0.5 * std::erfc((mean - x) / (stddev * std::sqrt(2.0)));
+}
+
+// ----------------------------------------------------------- grid2d lattice
+
+TEST(Grid2dMathTest, CellIndexClampsAndCoversTheDomain) {
+  EXPECT_EQ(multidim::CellIndex1d(0.0, 0.0, 1.0, 8), 0u);
+  EXPECT_EQ(multidim::CellIndex1d(0.124, 0.0, 1.0, 8), 0u);
+  EXPECT_EQ(multidim::CellIndex1d(0.126, 0.0, 1.0, 8), 1u);
+  // The last cell is closed: hi lands in g-1, not g.
+  EXPECT_EQ(multidim::CellIndex1d(1.0, 0.0, 1.0, 8), 7u);
+  EXPECT_EQ(multidim::CellIndex1d(-5.0, 0.0, 1.0, 8), 0u);
+  EXPECT_EQ(multidim::CellIndex1d(5.0, 0.0, 1.0, 8), 7u);
+}
+
+TEST(Grid2dMathTest, CellSpaceClampsInfinitiesToTheEdges) {
+  EXPECT_EQ(multidim::CellSpace1d(-kInf, 0.0, 1.0, 8), 0.0);
+  EXPECT_EQ(multidim::CellSpace1d(kInf, 0.0, 1.0, 8), 8.0);
+  EXPECT_EQ(multidim::CellSpace1d(0.5, 0.0, 1.0, 8), 4.0);
+  EXPECT_EQ(multidim::CellSpace1d(-3.0, 0.0, 1.0, 8), 0.0);
+  EXPECT_EQ(multidim::CellSpace1d(42.0, 0.0, 1.0, 8), 8.0);
+}
+
+TEST(Grid2dMathTest, InclusivePrefixMatchesBruteForce) {
+  stats::Rng rng(31);
+  const size_t g = 8;
+  std::vector<double> counts(g * g);
+  for (double& c : counts) c = static_cast<double>(rng.UniformInt(9));
+  std::vector<double> prefix(g * g);
+  multidim::InclusivePrefix2d(counts, prefix, g);
+  for (size_t i = 0; i < g; ++i) {
+    for (size_t j = 0; j < g; ++j) {
+      double want = 0.0;
+      for (size_t a = 0; a <= i; ++a) {
+        for (size_t b = 0; b <= j; ++b) want += counts[a * g + b];
+      }
+      // Integer-valued counts: every partial sum is exact, so the table is
+      // equal to ANY summation order, not merely close.
+      EXPECT_EQ(prefix[i * g + j], want) << i << "," << j;
+    }
+  }
+}
+
+TEST(Grid2dMathTest, RectCountIsExactOnCellAlignedRectanglesAndClamps) {
+  stats::Rng rng(37);
+  const size_t g = 8;
+  std::vector<double> counts(g * g);
+  for (double& c : counts) c = static_cast<double>(rng.UniformInt(5));
+  std::vector<double> prefix(g * g);
+  multidim::InclusivePrefix2d(counts, prefix, g);
+  const double total = prefix[g * g - 1];
+  // The all-space rectangle is the total count, exactly.
+  EXPECT_EQ(multidim::RectCount(prefix, g, -kInf, kInf, -kInf, kInf, 0.0, 1.0,
+                                0.0, 1.0),
+            total);
+  // Cell-aligned rectangles hit lattice corners, where the bilinear CDF is
+  // the table value itself: the answer is the exact cell-block sum.
+  for (int rep = 0; rep < 32; ++rep) {
+    size_t i0 = rng.UniformInt(g), i1 = rng.UniformInt(g);
+    size_t j0 = rng.UniformInt(g), j1 = rng.UniformInt(g);
+    if (i1 < i0) std::swap(i0, i1);
+    if (j1 < j0) std::swap(j0, j1);
+    double want = 0.0;
+    for (size_t a = i0; a <= i1; ++a) {
+      for (size_t b = j0; b <= j1; ++b) want += counts[a * g + b];
+    }
+    const double got = multidim::RectCount(
+        prefix, g, static_cast<double>(i0) / g, static_cast<double>(i1 + 1) / g,
+        static_cast<double>(j0) / g, static_cast<double>(j1 + 1) / g, 0.0, 1.0,
+        0.0, 1.0);
+    EXPECT_EQ(got, want) << i0 << ".." << i1 << " x " << j0 << ".." << j1;
+  }
+  // Degenerate and off-domain rectangles answer 0, never negative.
+  EXPECT_EQ(multidim::RectCount(prefix, g, 0.3, 0.3, 0.2, 0.2, 0.0, 1.0, 0.0,
+                                1.0),
+            0.0);
+  EXPECT_EQ(multidim::RectCount(prefix, g, 2.0, 3.0, 2.0, 3.0, 0.0, 1.0, 0.0,
+                                1.0),
+            0.0);
+}
+
+// -------------------------------------------------------- lex sort / merge
+
+TEST(ProdKde2dMathTest, MergeSortedTailMatchesFullSortBitwise) {
+  stats::Rng rng(41);
+  for (const size_t n : {size_t{5}, size_t{64}, size_t{513}}) {
+    for (const size_t split : {size_t{0}, size_t{1}, n / 2, n - 1, n}) {
+      std::vector<double> xs(n), ys(n);
+      // Coarse values force ties in x (and some full (x, y) ties), the cases
+      // where lex order and multiset-determinism actually bite.
+      for (double& x : xs) x = static_cast<double>(rng.UniformInt(16)) / 16.0;
+      for (double& y : ys) y = static_cast<double>(rng.UniformInt(16)) / 16.0;
+      std::vector<double> fx = xs, fy = ys;
+      multidim::SortPointsLex(fx, fy);
+      ASSERT_TRUE(multidim::IsLexSorted(fx, fy));
+
+      std::vector<double> mx = xs, my = ys;
+      multidim::SortPointsLex(std::span<double>(mx).first(split),
+                              std::span<double>(my).first(split));
+      multidim::MergeSortedTailLex(mx, my, split);
+      EXPECT_EQ(mx, fx) << "n=" << n << " split=" << split;
+      EXPECT_EQ(my, fy) << "n=" << n << " split=" << split;
+    }
+  }
+}
+
+TEST(ProdKde2dMathTest, IsLexSortedRejectsDisorderAndNonFinite) {
+  std::vector<double> xs = {0.1, 0.2, 0.2, 0.5};
+  std::vector<double> ys = {0.9, 0.1, 0.4, 0.2};
+  EXPECT_TRUE(multidim::IsLexSorted(xs, ys));
+  std::swap(ys[1], ys[2]);  // tie in x, y out of order
+  EXPECT_FALSE(multidim::IsLexSorted(xs, ys));
+  std::swap(ys[1], ys[2]);
+  xs[3] = 0.0;  // x out of order
+  EXPECT_FALSE(multidim::IsLexSorted(xs, ys));
+  xs[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(multidim::IsLexSorted(xs, ys));
+  xs[3] = kInf;
+  EXPECT_FALSE(multidim::IsLexSorted(xs, ys));
+}
+
+TEST(ProdKde2dMathTest, AdaptiveLambdasSharpenDenseRegions) {
+  // A dense clump plus sparse outliers: the clump's pilot density is far
+  // above the geometric mean, so its λ must be below the outliers' λ.
+  std::vector<double> xs, ys;
+  stats::Rng rng(43);
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(0.25 + 0.02 * rng.UniformDouble());
+    ys.push_back(0.25 + 0.02 * rng.UniformDouble());
+  }
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back(rng.Uniform(0.6, 1.0));
+    ys.push_back(rng.Uniform(0.6, 1.0));
+  }
+  std::vector<double> lambdas(xs.size());
+  const double lambda_max = multidim::AdaptiveLambdas(
+      xs, ys, 0.0, 1.0, 0.0, 1.0, 0.5, 5, lambdas);
+  double max_seen = 0.0;
+  for (const double l : lambdas) {
+    EXPECT_GE(l, 0.25);
+    EXPECT_LE(l, 4.0);
+    max_seen = std::max(max_seen, l);
+  }
+  EXPECT_EQ(lambda_max, max_seen);
+  EXPECT_LT(lambdas[0], lambdas[xs.size() - 1]);  // clump sharper than outlier
+
+  // α = 0 disables adaptivity entirely.
+  const double flat_max = multidim::AdaptiveLambdas(
+      xs, ys, 0.0, 1.0, 0.0, 1.0, 0.0, 5, lambdas);
+  EXPECT_EQ(flat_max, 1.0);
+  for (const double l : lambdas) EXPECT_EQ(l, 1.0);
+}
+
+TEST(ProdKde2dMathTest, WindowedRectSumMatchesNoPruningReference) {
+  stats::Rng rng(47);
+  const size_t n = 500;
+  std::vector<double> xs(n), ys(n), lambdas(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.UniformDouble();
+    ys[i] = rng.UniformDouble();
+  }
+  multidim::SortPointsLex(xs, ys);
+  for (double& l : lambdas) l = rng.Uniform(0.25, 4.0);
+  const double lambda_max = *std::max_element(lambdas.begin(), lambdas.end());
+  const kernel::Kernel k(kernel::KernelType::kEpanechnikov);
+  const double hx = 0.04, hy = 0.07;
+  multidim::ProdKde2dScratch scratch;
+  for (int rep = 0; rep < 64; ++rep) {
+    double lo0 = rng.Uniform(-0.2, 1.2), hi0 = rng.Uniform(-0.2, 1.2);
+    double lo1 = rng.Uniform(-0.2, 1.2), hi1 = rng.Uniform(-0.2, 1.2);
+    if (hi0 < lo0) std::swap(lo0, hi0);
+    if (hi1 < lo1) std::swap(lo1, hi1);
+    if (rep % 7 == 0) lo0 = -kInf;
+    if (rep % 11 == 0) hi1 = kInf;
+    const double got = multidim::ProdKde2dRectSum(
+        k, xs, ys, lambdas, hx, hy, lambda_max, lo0, hi0, lo1, hi1, scratch);
+    double want = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double sx = hx * lambdas[i];
+      const double sy = hy * lambdas[i];
+      const double fx = (std::isinf(hi0) ? 1.0 : k.Cdf((hi0 - xs[i]) / sx)) -
+                        (std::isinf(lo0) ? 0.0 : k.Cdf((lo0 - xs[i]) / sx));
+      const double fy = (std::isinf(hi1) ? 1.0 : k.Cdf((hi1 - ys[i]) / sy)) -
+                        (std::isinf(lo1) ? 0.0 : k.Cdf((lo1 - ys[i]) / sy));
+      want += fx * fy;
+    }
+    EXPECT_NEAR(got, want, 1e-11 * static_cast<double>(n)) << "rep " << rep;
+  }
+  // The all-space rectangle is exactly n: the compact-support CDF saturates
+  // to exactly 0/1, so no tolerance is needed.
+  EXPECT_EQ(multidim::ProdKde2dRectSum(k, xs, ys, lambdas, hx, hy, lambda_max,
+                                       -kInf, kInf, -kInf, kInf, scratch),
+            static_cast<double>(n));
+}
+
+// --------------------------------------------------------- synthetic data
+
+TEST(Synthetic2dTest, GaussianPairRealizesTheRequestedCorrelation) {
+  stats::Rng rng(53);
+  const size_t n = 20000;
+  for (const double rho : {-0.8, 0.0, 0.6}) {
+    double sum0 = 0.0, sum1 = 0.0, sum00 = 0.0, sum11 = 0.0, sum01 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z0 = 0.0, z1 = 0.0;
+      rng.GaussianPair(rho, &z0, &z1);
+      sum0 += z0;
+      sum1 += z1;
+      sum00 += z0 * z0;
+      sum11 += z1 * z1;
+      sum01 += z0 * z1;
+    }
+    const double m0 = sum0 / n, m1 = sum1 / n;
+    const double v0 = sum00 / n - m0 * m0, v1 = sum11 / n - m1 * m1;
+    const double cov = sum01 / n - m0 * m1;
+    EXPECT_NEAR(cov / std::sqrt(v0 * v1), rho, 0.03) << "rho=" << rho;
+  }
+  // ρ = ±1 are exact, not statistical.
+  double z0 = 0.0, z1 = 0.0;
+  rng.GaussianPair(1.0, &z0, &z1);
+  EXPECT_EQ(z1, z0);
+  rng.GaussianPair(-1.0, &z0, &z1);
+  EXPECT_EQ(z1, -z0);
+}
+
+TEST(Synthetic2dTest, GeneratorsAreDeterministicAndInterleaved) {
+  const std::vector<multidim::GaussianComponent2d> components = {
+      {1.0, 0.3, 0.3, 0.05, 0.08, 0.5}, {2.0, 0.7, 0.6, 0.1, 0.05, -0.3}};
+  std::vector<double> a, b;
+  stats::Rng rng_a(61), rng_b(61);
+  multidim::SampleGaussianMixture2d(rng_a, components, 500, &a);
+  multidim::SampleGaussianMixture2d(rng_b, components, 500, &b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 1000u);
+
+  std::vector<double> c, d;
+  stats::Rng rng_c(62), rng_d(62);
+  multidim::SampleAntiProduct2d(rng_c, 300, 0.05, &c);
+  multidim::SampleAntiProduct2d(rng_d, 300, 0.05, &d);
+  EXPECT_EQ(c, d);
+  EXPECT_EQ(c.size(), 600u);
+  for (size_t i = 0; i < c.size(); i += 2) {
+    EXPECT_GE(c[i + 1], 0.0);  // y reflected into [0, 1]
+    EXPECT_LE(c[i + 1], 1.0);
+  }
+}
+
+TEST(Synthetic2dTest, AntiProductConcentratesOnTheDiagonals) {
+  stats::Rng rng(67);
+  std::vector<double> data;
+  const size_t n = 10000;
+  multidim::SampleAntiProduct2d(rng, n, 0.03, &data);
+  size_t on_diagonals = 0;
+  double x_sum = 0.0, y_sum = 0.0;
+  for (size_t i = 0; i < 2 * n; i += 2) {
+    const double x = data[i], y = data[i + 1];
+    if (std::fabs(y - x) < 0.1 || std::fabs(y - (1.0 - x)) < 0.1) {
+      ++on_diagonals;
+    }
+    x_sum += x;
+    y_sum += y;
+  }
+  EXPECT_GT(static_cast<double>(on_diagonals) / n, 0.9);
+  // ... while both marginals stay centered like uniforms.
+  EXPECT_NEAR(x_sum / n, 0.5, 0.02);
+  EXPECT_NEAR(y_sum / n, 0.5, 0.02);
+}
+
+// ------------------------------------------------------ estimator contracts
+
+std::unique_ptr<selectivity::SelectivityEstimator> Make2d(
+    const std::string& tag) {
+  selectivity::EstimatorSpec spec;
+  spec.tag = tag;
+  spec.dims = 2;
+  spec.grid_log2 = 6;
+  spec.refit_interval = 512;
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> est =
+      selectivity::MakeEstimator(spec);
+  WDE_CHECK(est.ok(), est.status().ToString().c_str());
+  return std::move(est).value();
+}
+
+const char* const k2dTags[] = {"grid2d", "kde2d-prod"};
+
+TEST(MultiDimEstimatorTest, RegistryDeclaresNativeDims) {
+  EXPECT_EQ(selectivity::EstimatorRegistry::Global().NativeDims("grid2d"), 2);
+  EXPECT_EQ(selectivity::EstimatorRegistry::Global().NativeDims("kde2d-prod"),
+            2);
+  EXPECT_EQ(selectivity::EstimatorRegistry::Global().NativeDims("equi-width"),
+            1);
+  EXPECT_EQ(selectivity::EstimatorRegistry::Global().NativeDims("no-such"), 0);
+  for (const char* tag : k2dTags) {
+    EXPECT_EQ(Make2d(tag)->dims(), 2) << tag;
+  }
+}
+
+TEST(MultiDimEstimatorTest, RectAnswersMatchAnalyticTruthOnAMixture) {
+  // Uncorrelated components so the rect truth factors per component:
+  // P(rect) = Σ w_k · [Φ_x(hi0) − Φ_x(lo0)] · [Φ_y(hi1) − Φ_y(lo1)].
+  const std::vector<multidim::GaussianComponent2d> components = {
+      {0.6, 0.3, 0.35, 0.07, 0.06, 0.0}, {0.4, 0.7, 0.65, 0.06, 0.08, 0.0}};
+  stats::Rng rng(71);
+  std::vector<double> data;
+  multidim::SampleGaussianMixture2d(rng, components, 20000, &data);
+  const auto truth = [&](double lo0, double hi0, double lo1, double hi1) {
+    double p = 0.0;
+    for (const auto& c : components) {
+      p += c.weight *
+           (NormalCdf(hi0, c.mean_x, c.stddev_x) -
+            NormalCdf(lo0, c.mean_x, c.stddev_x)) *
+           (NormalCdf(hi1, c.mean_y, c.stddev_y) -
+            NormalCdf(lo1, c.mean_y, c.stddev_y));
+    }
+    return p;
+  };
+  for (const char* tag : k2dTags) {
+    std::unique_ptr<selectivity::SelectivityEstimator> est = Make2d(tag);
+    est->InsertBatch(data);
+    stats::Rng query_rng(73);
+    for (int rep = 0; rep < 40; ++rep) {
+      double lo0 = query_rng.UniformDouble(), hi0 = query_rng.UniformDouble();
+      double lo1 = query_rng.UniformDouble(), hi1 = query_rng.UniformDouble();
+      if (hi0 < lo0) std::swap(lo0, hi0);
+      if (hi1 < lo1) std::swap(lo1, hi1);
+      const double got =
+          est->Answer(selectivity::Query::Rect(lo0, hi0, lo1, hi1));
+      EXPECT_NEAR(got, truth(lo0, hi0, lo1, hi1), 0.04)
+          << tag << " rect [" << lo0 << "," << hi0 << "]x[" << lo1 << ","
+          << hi1 << "]";
+    }
+  }
+}
+
+TEST(MultiDimEstimatorTest, BothEstimatorsCaptureAntiProductCorrelation) {
+  // The discriminating case for 2-D estimation: the anti-product joint puts
+  // ~5x more mass in the central square than the product of its marginals
+  // claims. Any estimator that factorizes would answer ~0.04 here.
+  stats::Rng rng(79);
+  std::vector<double> data;
+  multidim::SampleAntiProduct2d(rng, 20000, 0.03, &data);
+  for (const char* tag : k2dTags) {
+    std::unique_ptr<selectivity::SelectivityEstimator> est = Make2d(tag);
+    est->InsertBatch(data);
+    const double joint =
+        est->Answer(selectivity::Query::Rect(0.4, 0.6, 0.4, 0.6));
+    const double m0 = est->Answer(selectivity::Query::Marginal(0, 0.4, 0.6));
+    const double m1 = est->Answer(selectivity::Query::Marginal(1, 0.4, 0.6));
+    EXPECT_GT(joint, 2.5 * m0 * m1) << tag;
+    EXPECT_NEAR(m0, 0.2, 0.05) << tag;  // marginals still near-uniform
+    EXPECT_NEAR(m1, 0.2, 0.05) << tag;
+  }
+}
+
+TEST(MultiDimEstimatorTest, MergeOfDisjointSubstreamsMatchesSequentialBitwise) {
+  // Answers are functions of the observation multiset for both 2-D tags, so
+  // CloneEmpty + per-substream ingest + MergeFrom must be indistinguishable
+  // from one sequential estimator — bitwise, after both quiesce.
+  stats::Rng rng(83);
+  std::vector<double> data;
+  multidim::SampleAntiProduct2d(rng, 3000, 0.05, &data);
+  const size_t cut = 2 * 1000;  // observation-aligned split
+  const std::span<const double> head(data.data(), cut);
+  const std::span<const double> tail(data.data() + cut, data.size() - cut);
+  stats::Rng query_rng(89);
+  for (const char* tag : k2dTags) {
+    std::unique_ptr<selectivity::SelectivityEstimator> sequential = Make2d(tag);
+    sequential->InsertBatch(data);
+    std::unique_ptr<selectivity::SelectivityEstimator> merged = Make2d(tag);
+    std::unique_ptr<selectivity::SelectivityEstimator> peer =
+        merged->CloneEmpty();
+    merged->InsertBatch(head);
+    peer->InsertBatch(tail);
+    ASSERT_TRUE(merged->MergeFrom(*peer).ok()) << tag;
+    ASSERT_EQ(merged->count(), sequential->count()) << tag;
+    sequential->ForceRefit();
+    merged->ForceRefit();
+    for (int rep = 0; rep < 32; ++rep) {
+      double lo0 = query_rng.UniformDouble(), hi0 = query_rng.UniformDouble();
+      double lo1 = query_rng.UniformDouble(), hi1 = query_rng.UniformDouble();
+      if (hi0 < lo0) std::swap(lo0, hi0);
+      if (hi1 < lo1) std::swap(lo1, hi1);
+      const selectivity::Query q =
+          selectivity::Query::Rect(lo0, hi0, lo1, hi1);
+      EXPECT_EQ(merged->Answer(q), sequential->Answer(q)) << tag;
+    }
+  }
+}
+
+TEST(MultiDimEstimatorTest, ShardedEngineOverA2dPrototypeMatchesSequential) {
+  // The sharded engine splits the interleaved stream into blocks; Create
+  // guarantees block_size % dims == 0, so observations never straddle
+  // shards, and the grid's integer cell counts make the merged view
+  // bit-identical to sequential ingest.
+  stats::Rng rng(97);
+  std::vector<double> data;
+  multidim::SampleAntiProduct2d(rng, 10000, 0.05, &data);
+  selectivity::EstimatorSpec spec;
+  spec.tag = "sharded";
+  spec.sharded_inner_tag = "grid2d";
+  spec.dims = 2;
+  spec.grid_log2 = 6;
+  spec.shards = 3;
+  spec.block_size = 128;
+  Result<std::unique_ptr<selectivity::SelectivityEstimator>> sharded =
+      selectivity::MakeEstimator(spec);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ((*sharded)->dims(), 2);
+  std::unique_ptr<selectivity::SelectivityEstimator> plain = Make2d("grid2d");
+  (*sharded)->InsertBatch(data);
+  plain->InsertBatch(data);
+  EXPECT_EQ((*sharded)->count(), plain->count());
+  stats::Rng query_rng(101);
+  for (int rep = 0; rep < 32; ++rep) {
+    double lo0 = query_rng.UniformDouble(), hi0 = query_rng.UniformDouble();
+    double lo1 = query_rng.UniformDouble(), hi1 = query_rng.UniformDouble();
+    if (hi0 < lo0) std::swap(lo0, hi0);
+    if (hi1 < lo1) std::swap(lo1, hi1);
+    const selectivity::Query q = selectivity::Query::Rect(lo0, hi0, lo1, hi1);
+    EXPECT_EQ((*sharded)->Answer(q), plain->Answer(q)) << "rep " << rep;
+  }
+}
+
+TEST(MultiDimEstimatorTest, InterleaveParitySurvivesNonFiniteCoordinates) {
+  // A non-finite value anywhere in the pair drops the WHOLE observation;
+  // dropping a single coordinate would shift the interleave and silently
+  // pair x's with the wrong y's forever after.
+  for (const char* tag : k2dTags) {
+    std::unique_ptr<selectivity::SelectivityEstimator> est = Make2d(tag);
+    std::unique_ptr<selectivity::SelectivityEstimator> clean = Make2d(tag);
+    const double nan = std::nan("");
+    est->InsertBatch(std::vector<double>{0.1, 0.2, nan, 0.9, 0.3, 0.4, 0.5,
+                                         kInf, 0.7, 0.8});
+    clean->InsertBatch(std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.7, 0.8});
+    EXPECT_EQ(est->count(), 3u) << tag;
+    const selectivity::Query q = selectivity::Query::Rect(0.0, 0.45, 0.0, 0.45);
+    EXPECT_EQ(est->Answer(q), clean->Answer(q)) << tag;
+  }
+}
+
+}  // namespace
+}  // namespace wde

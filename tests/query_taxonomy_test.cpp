@@ -33,6 +33,9 @@ std::vector<std::unique_ptr<SelectivityEstimator>> MakeAllEstimators() {
   for (const std::string& tag : EstimatorRegistry::Global().Tags()) {
     EstimatorSpec spec;
     spec.tag = tag;
+    // Every tag builds at its native dimensionality (factories reject any
+    // other value, pinned in SpecValidationRejectsBadFields below).
+    spec.dims = EstimatorRegistry::Global().NativeDims(tag);
     spec.buckets = 64;
     spec.grid_log2 = 8;
     spec.budget = 48;
@@ -119,6 +122,47 @@ TEST(QueryTaxonomyTest, SpecValidationRejectsBadFields) {
   spec.tag = "sharded";
   spec.sharded_inner_tag = "reservoir";
   EXPECT_TRUE(MakeEstimator(spec).ok());
+
+  // Dimensionality is validated, not inferred: a 2-D tag refuses the default
+  // dims = 1, a 1-D tag refuses dims = 2, and the axis-1 domain of a 2-D tag
+  // must be a real interval.
+  spec = EstimatorSpec{};
+  spec.tag = "kde2d-prod";
+  EXPECT_FALSE(MakeEstimator(spec).ok());  // dims left at 1
+  spec.dims = 2;
+  EXPECT_TRUE(MakeEstimator(spec).ok());
+  spec.domain2_lo = 1.0;
+  spec.domain2_hi = 0.0;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "grid2d";
+  EXPECT_FALSE(MakeEstimator(spec).ok());  // dims left at 1
+  spec.dims = 2;
+  EXPECT_TRUE(MakeEstimator(spec).ok());
+  spec.grid_log2 = 11;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "equi-width";
+  spec.dims = 2;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  spec = EstimatorSpec{};
+  spec.tag = "kde2d-prod";
+  spec.dims = 2;
+  spec.kde2d_alpha = 1.5;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+
+  // A sharded 2-D prototype needs block_size aligned to whole observations.
+  spec = EstimatorSpec{};
+  spec.tag = "sharded";
+  spec.sharded_inner_tag = "grid2d";
+  spec.dims = 2;
+  spec.block_size = 63;
+  EXPECT_FALSE(MakeEstimator(spec).ok());
+  spec.block_size = 64;
+  EXPECT_TRUE(MakeEstimator(spec).ok());
 }
 
 TEST(QueryTaxonomyTest, EveryKindLowersOntoTheRangePrimitive) {
@@ -178,6 +222,94 @@ TEST(QueryTaxonomyTest, InvertedRangesAndOutOfRangeQuantilesNormalize) {
         << est->name();
     EXPECT_EQ(est->Answer(Query::Quantile(2.0)),
               est->Answer(Query::Quantile(1.0)))
+        << est->name();
+  }
+}
+
+TEST(QueryTaxonomyTest, MultiDimKindsNormalizeLikeTheOneDimensionalOnes) {
+  // The interface-level normalization of the new kinds, pinned for EVERY
+  // registered estimator (1-D estimators answer rect/conditional 0.0, but
+  // must normalize — not crash or UB — on hostile parameters all the same):
+  // any NaN endpoint answers 0.0, inverted bounds swap per axis
+  // independently, and ±inf endpoints are legal limits.
+  for (auto& est : MakeIngestedEstimators(2101, 4000)) {
+    // NaN in any of the four rect endpoints answers 0.0.
+    EXPECT_EQ(est->Answer(Query::Rect(kNan, 0.8, 0.2, 0.8)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(0.2, kNan, 0.2, 0.8)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(0.2, 0.8, kNan, 0.8)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(0.2, 0.8, 0.2, kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Marginal(0, kNan, 0.8)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Marginal(1, 0.2, kNan)), 0.0) << est->name();
+    EXPECT_EQ(est->Answer(Query::Conditional(kNan, 0.8, 0.2, 0.8)), 0.0)
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Conditional(0.2, 0.8, 0.2, kNan)), 0.0)
+        << est->name();
+    // Inverted bounds swap per axis, each axis independently.
+    EXPECT_EQ(est->Answer(Query::Rect(0.8, 0.2, 0.3, 0.7)),
+              est->Answer(Query::Rect(0.2, 0.8, 0.3, 0.7)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(0.2, 0.8, 0.7, 0.3)),
+              est->Answer(Query::Rect(0.2, 0.8, 0.3, 0.7)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(0.8, 0.2, 0.7, 0.3)),
+              est->Answer(Query::Rect(0.2, 0.8, 0.3, 0.7)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Marginal(1, 0.7, 0.3)),
+              est->Answer(Query::Marginal(1, 0.3, 0.7)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Conditional(0.8, 0.2, 0.7, 0.3)),
+              est->Answer(Query::Conditional(0.2, 0.8, 0.3, 0.7)))
+        << est->name();
+    // ±inf endpoints are legal limits; the all-space rect is the total mass.
+    const double total = est->Answer(Query::Rect(-kInf, kInf, -kInf, kInf));
+    if (est->dims() >= 2) {
+      EXPECT_GE(total, 0.9) << est->name();
+      EXPECT_LE(total, 1.0 + 1e-9) << est->name();
+    } else {
+      EXPECT_EQ(total, 0.0) << est->name();
+    }
+  }
+}
+
+TEST(QueryTaxonomyTest, MultiDimKindsLowerAsDocumented) {
+  for (auto& est : MakeIngestedEstimators(2201, 4000)) {
+    // Axis-0 marginal IS the range primitive — for every estimator, 1-D
+    // included; a marginal on an axis the estimator does not model is 0.0.
+    stats::Rng rng(11);
+    for (int rep = 0; rep < 20; ++rep) {
+      double a = rng.Uniform(-0.1, 1.1);
+      double b = rng.Uniform(-0.1, 1.1);
+      if (b < a) std::swap(a, b);
+      EXPECT_EQ(est->Answer(Query::Marginal(0, a, b)), est->EstimateRange(a, b))
+          << est->name();
+    }
+    EXPECT_EQ(est->Answer(Query::Marginal(7, 0.2, 0.8)), 0.0) << est->name();
+    if (est->dims() < 2) {
+      EXPECT_EQ(est->Answer(Query::Rect(0.2, 0.8, 0.2, 0.8)), 0.0)
+          << est->name();
+      EXPECT_EQ(est->Answer(Query::Conditional(0.2, 0.8, 0.2, 0.8)), 0.0)
+          << est->name();
+      continue;
+    }
+    // 2-D: a rect unbounded on axis 1 is the axis-0 marginal, a rect
+    // unbounded on axis 0 is the axis-1 marginal, and the conditional is the
+    // documented clamped ratio.
+    EXPECT_EQ(est->Answer(Query::Rect(0.2, 0.8, -kInf, kInf)),
+              est->Answer(Query::Marginal(0, 0.2, 0.8)))
+        << est->name();
+    EXPECT_EQ(est->Answer(Query::Rect(-kInf, kInf, 0.2, 0.8)),
+              est->Answer(Query::Marginal(1, 0.2, 0.8)))
+        << est->name();
+    const double joint = est->Answer(Query::Rect(0.2, 0.8, 0.3, 0.7));
+    const double given = est->Answer(Query::Marginal(1, 0.3, 0.7));
+    const double conditional = est->Answer(Query::Conditional(0.2, 0.8, 0.3, 0.7));
+    if (given > 0.0) {
+      EXPECT_EQ(conditional, std::clamp(joint / given, 0.0, 1.0)) << est->name();
+    } else {
+      EXPECT_EQ(conditional, 0.0) << est->name();
+    }
+    // Conditioning on an empty axis-1 slice answers 0.0, not a 0/0 NaN.
+    EXPECT_EQ(est->Answer(Query::Conditional(0.2, 0.8, 9.0, 9.5)), 0.0)
         << est->name();
   }
 }
@@ -299,10 +431,23 @@ TEST(QueryTaxonomyTest, ServingCacheNeverChangesAnAnswerForAnyTag) {
   queries.push_back(Query::Quantile(2.0));
   queries.push_back(Query::Less(-kInf));
   queries.push_back(Query::Greater(kInf));
+  // Multi-dimensional kinds — clean, inverted, NaN, unbounded — so the cache
+  // key provably covers the c/d/axis fields on every tag (1-D tags answer
+  // them 0.0, which must still round-trip the cache unchanged).
+  queries.push_back(Query::Rect(0.2, 0.8, 0.3, 0.7));
+  queries.push_back(Query::Rect(0.8, 0.2, 0.7, 0.3));
+  queries.push_back(Query::Rect(0.2, 0.8, kNan, 0.7));
+  queries.push_back(Query::Rect(-kInf, kInf, -kInf, kInf));
+  queries.push_back(Query::Marginal(0, 0.2, 0.8));
+  queries.push_back(Query::Marginal(1, 0.2, 0.8));
+  queries.push_back(Query::Marginal(7, 0.2, 0.8));
+  queries.push_back(Query::Conditional(0.2, 0.8, 0.3, 0.7));
+  queries.push_back(Query::Conditional(0.2, 0.8, 9.0, 9.5));
 
   for (const std::string& tag : EstimatorRegistry::Global().Tags()) {
     EstimatorSpec spec;
     spec.tag = tag;
+    spec.dims = EstimatorRegistry::Global().NativeDims(tag);
     spec.buckets = 64;
     spec.grid_log2 = 8;
     spec.budget = 48;

@@ -48,6 +48,8 @@ selectivity::EstimatorSpec SpecFor(const std::string& tag,
                                    selectivity::RefitMode mode) {
   selectivity::EstimatorSpec spec;
   spec.tag = tag;
+  spec.dims = selectivity::EstimatorRegistry::Global().NativeDims(tag);
+  if (spec.dims == 0) spec.dims = 1;  // non-registry tags in the loops below
   spec.refit_mode = mode;
   spec.refit_interval = 256;
   spec.j_max = 8;

@@ -22,7 +22,9 @@
 #include "io/chunk.hpp"
 #include "io/serialize.hpp"
 #include "selectivity/estimator_registry.hpp"
+#include "selectivity/grid2d_selectivity.hpp"
 #include "selectivity/histogram.hpp"
+#include "selectivity/kde2d_selectivity.hpp"
 #include "selectivity/kde_selectivity.hpp"
 #include "selectivity/query_workload.hpp"
 #include "selectivity/sample_selectivity.hpp"
@@ -106,6 +108,15 @@ MakeIngestedEstimators() {
     estimators.push_back(std::make_unique<selectivity::ShardedSelectivityEstimator>(
         *selectivity::ShardedSelectivityEstimator::Create(prototype, options)));
   }
+  // The 2-D estimators consume the same stream as interleaved (x, y) pairs —
+  // 2500 complete observations from 5000 values, with the save again landing
+  // mid refit interval for the KDE.
+  selectivity::Kde2dSelectivity::Options kde2d_options;
+  kde2d_options.refit_interval = 2048;
+  estimators.push_back(
+      std::make_unique<selectivity::Kde2dSelectivity>(kde2d_options));
+  estimators.push_back(
+      std::make_unique<selectivity::Grid2dHistogram>(0.0, 1.0, 0.0, 1.0, 6));
   for (auto& est : estimators) est->InsertBatch(xs);
   return estimators;
 }
@@ -702,7 +713,10 @@ TEST(FastSnapshotTest, MappedFileRestoreMatchesPortableForEveryTag) {
     // estimator must un-share (CoW) rather than write through the mapping,
     // and the estimator keeps working after further ingest.
     (*mapped)->InsertBatch(UnitStream(20, 500));
-    EXPECT_EQ((*mapped)->count(), est->count() + 500) << est->name();
+    // A d-dimensional estimator consumes d interleaved values per observation.
+    EXPECT_EQ((*mapped)->count(),
+              est->count() + 500 / static_cast<size_t>(est->dims()))
+        << est->name();
     AnswersOf(**mapped, queries);  // must not crash or corrupt
   }
   std::remove(path.c_str());
